@@ -1,0 +1,183 @@
+//! Reconfiguration diffing — the computational core of Figure 5.
+//!
+//! When the Laptop is undocked, the Session Manager asks for the wireless
+//! configuration; the Adaptivity Manager must know *exactly* which bindings
+//! to break, which components to retire, which to instantiate, and which
+//! bindings to establish. [`diff`] computes that plan as a pure set
+//! difference, ordered so it can be executed safely:
+//!
+//! 1. **unbind** bindings absent from the target (never leave a binding to a
+//!    component about to stop);
+//! 2. **stop** instances absent from the target;
+//! 3. **start** instances new in the target;
+//! 4. **bind** bindings new in the target (their endpoints now all exist).
+
+use crate::ast::Binding;
+use crate::config::Configuration;
+
+/// An executable reconfiguration plan. Steps must be applied in field order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReconfigurationPlan {
+    /// Bindings to remove, first.
+    pub unbind: Vec<Binding>,
+    /// Instances to stop (name, type), after unbinding.
+    pub stop: Vec<(String, String)>,
+    /// Instances to start (name, type), before binding.
+    pub start: Vec<(String, String)>,
+    /// Bindings to establish, last.
+    pub bind: Vec<Binding>,
+}
+
+impl ReconfigurationPlan {
+    /// Whether the plan changes anything.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.unbind.is_empty()
+            && self.stop.is_empty()
+            && self.start.is_empty()
+            && self.bind.is_empty()
+    }
+
+    /// Total number of steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.unbind.len() + self.stop.len() + self.start.len() + self.bind.len()
+    }
+
+    /// Apply the plan to a configuration (used for verification and by the
+    /// component runtime's transactional switch).
+    #[must_use]
+    pub fn apply(&self, from: &Configuration) -> Configuration {
+        let mut cfg = from.clone();
+        for b in &self.unbind {
+            cfg.bindings.remove(b);
+        }
+        for (name, _) in &self.stop {
+            cfg.instances.remove(name);
+        }
+        for (name, ty) in &self.start {
+            cfg.instances.insert(name.clone(), ty.clone());
+        }
+        for b in &self.bind {
+            cfg.bindings.insert(b.clone());
+        }
+        cfg
+    }
+
+    /// The inverse plan — what the Adaptivity Manager executes to *back off*
+    /// a failed switch ("the switch can be backed off if something goes
+    /// wrong").
+    #[must_use]
+    pub fn inverse(&self) -> ReconfigurationPlan {
+        ReconfigurationPlan {
+            unbind: self.bind.clone(),
+            stop: self.start.clone(),
+            start: self.stop.clone(),
+            bind: self.unbind.clone(),
+        }
+    }
+}
+
+/// Compute the plan that transforms `from` into `to`.
+#[must_use]
+pub fn diff(from: &Configuration, to: &Configuration) -> ReconfigurationPlan {
+    let unbind: Vec<Binding> =
+        from.bindings.iter().filter(|b| !to.bindings.contains(*b)).cloned().collect();
+    let bind: Vec<Binding> =
+        to.bindings.iter().filter(|b| !from.bindings.contains(*b)).cloned().collect();
+    let stop: Vec<(String, String)> = from
+        .instances
+        .iter()
+        .filter(|(n, t)| to.instances.get(*n) != Some(t))
+        .map(|(n, t)| (n.clone(), t.clone()))
+        .collect();
+    let start: Vec<(String, String)> = to
+        .instances
+        .iter()
+        .filter(|(n, t)| from.instances.get(*n) != Some(t))
+        .map(|(n, t)| (n.clone(), t.clone()))
+        .collect();
+    ReconfigurationPlan { unbind, stop, start, bind }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::flatten;
+    use crate::parse::parse;
+
+    const SRC: &str = r"
+        component Opt  { provide plan; require net; }
+        component WOpt { provide plan; require net; }
+        component Eth  { provide link; }
+        component Wifi { provide link; }
+        component SM   { provide session; require plan; }
+        component Mobile {
+            provide query;
+            inst sm : SM;
+            bind query -- sm.session;
+            when docked {
+                inst opt : Opt; eth : Eth;
+                bind sm.plan -- opt.plan; opt.net -- eth.link;
+            }
+            when wireless {
+                inst wopt : WOpt; wifi : Wifi;
+                bind sm.plan -- wopt.plan; wopt.net -- wifi.link;
+            }
+        }
+    ";
+
+    #[test]
+    fn docked_to_wireless_switchover_plan() {
+        let doc = parse(SRC).unwrap();
+        let docked = flatten(&doc, "Mobile", &["docked"]).unwrap();
+        let wireless = flatten(&doc, "Mobile", &["wireless"]).unwrap();
+        let plan = diff(&docked, &wireless);
+        // Figure 5: swap the optimiser and the driver; the session manager
+        // and the query delegation survive.
+        assert_eq!(plan.stop.len(), 2);
+        assert_eq!(plan.start.len(), 2);
+        assert_eq!(plan.unbind.len(), 2);
+        assert_eq!(plan.bind.len(), 2);
+        assert!(plan.stop.iter().any(|(n, _)| n == "opt"));
+        assert!(plan.start.iter().any(|(n, _)| n == "wopt"));
+    }
+
+    #[test]
+    fn apply_reaches_the_target() {
+        let doc = parse(SRC).unwrap();
+        let a = flatten(&doc, "Mobile", &["docked"]).unwrap();
+        let b = flatten(&doc, "Mobile", &["wireless"]).unwrap();
+        assert_eq!(diff(&a, &b).apply(&a), b);
+        assert_eq!(diff(&b, &a).apply(&b), a);
+    }
+
+    #[test]
+    fn identical_configurations_diff_to_nothing() {
+        let doc = parse(SRC).unwrap();
+        let a = flatten(&doc, "Mobile", &["docked"]).unwrap();
+        let plan = diff(&a, &a);
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+    }
+
+    #[test]
+    fn inverse_undoes_the_plan() {
+        let doc = parse(SRC).unwrap();
+        let a = flatten(&doc, "Mobile", &["docked"]).unwrap();
+        let b = flatten(&doc, "Mobile", &["wireless"]).unwrap();
+        let plan = diff(&a, &b);
+        assert_eq!(plan.inverse().apply(&plan.apply(&a)), a);
+    }
+
+    #[test]
+    fn retyped_instance_is_stop_plus_start() {
+        let mut a = Configuration::default();
+        a.instances.insert("x".into(), "T".into());
+        let mut b = Configuration::default();
+        b.instances.insert("x".into(), "U".into());
+        let plan = diff(&a, &b);
+        assert_eq!(plan.stop, vec![("x".into(), "T".into())]);
+        assert_eq!(plan.start, vec![("x".into(), "U".into())]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Graphviz export in Darwin's graphical notation.
+//!
+//! Darwin draws a provided service as a **filled circle** and a required
+//! service as an **empty circle**; components are rectangles. DOT cannot
+//! draw port circles directly, so provisions render as `●name` and
+//! requirements as `○name` in record labels, and bindings as edges from the
+//! requiring record field to the providing one.
+
+use crate::ast::Document;
+use crate::config::Configuration;
+use std::fmt::Write as _;
+
+fn sanitize(s: &str) -> String {
+    s.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+/// Render a flattened configuration as a DOT digraph.
+#[must_use]
+pub fn configuration_to_dot(name: &str, cfg: &Configuration, doc: &Document) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(name));
+    out.push_str("    rankdir=LR;\n    node [shape=record];\n");
+    for (inst, ty) in &cfg.instances {
+        let (provides, requires) = doc
+            .component(ty)
+            .map(|c| {
+                (
+                    c.provides().iter().map(|p| format!("<{p}> \\u25CF {p}")).collect::<Vec<_>>(),
+                    c.requires().iter().map(|r| format!("<{r}> \\u25CB {r}")).collect::<Vec<_>>(),
+                )
+            })
+            .unwrap_or_default();
+        let mut fields = vec![format!("{inst} : {ty}")];
+        fields.extend(provides);
+        fields.extend(requires);
+        let _ = writeln!(out, "    {} [label=\"{}\"];", sanitize(inst), fields.join(" | "));
+    }
+    for b in &cfg.bindings {
+        let from = match &b.from.instance {
+            Some(i) => format!("{}:{}", sanitize(i), sanitize(&b.from.port)),
+            None => format!("__self_{}", sanitize(&b.from.port)),
+        };
+        let to = match &b.to.instance {
+            Some(i) => format!("{}:{}", sanitize(i), sanitize(&b.to.port)),
+            None => format!("__self_{}", sanitize(&b.to.port)),
+        };
+        // Composite's own ports appear as plain ellipse nodes.
+        for (r, n) in [(&b.from, &from), (&b.to, &to)] {
+            if r.instance.is_none() {
+                let _ = writeln!(
+                    out,
+                    "    {n} [shape=ellipse, label=\"{}\"];",
+                    sanitize(&r.port)
+                );
+            }
+        }
+        let _ = writeln!(out, "    {from} -> {to};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::flatten;
+    use crate::parse::parse;
+
+    #[test]
+    fn dot_contains_instances_and_edges() {
+        let doc = parse(
+            "component T { provide p; }
+             component U { require q; }
+             component C { inst t : T; u : U; bind u.q -- t.p; }",
+        )
+        .unwrap();
+        let cfg = flatten(&doc, "C", &[]).unwrap();
+        let dot = configuration_to_dot("C", &cfg, &doc);
+        assert!(dot.starts_with("digraph C {"));
+        assert!(dot.contains("t ["));
+        assert!(dot.contains("u ["));
+        assert!(dot.contains("u:q -> t:p;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn own_ports_become_ellipse_nodes() {
+        let doc = parse(
+            "component T { provide p; }
+             component C { provide svc; inst t : T; bind svc -- t.p; }",
+        )
+        .unwrap();
+        let cfg = flatten(&doc, "C", &[]).unwrap();
+        let dot = configuration_to_dot("C", &cfg, &doc);
+        assert!(dot.contains("__self_svc [shape=ellipse"));
+        assert!(dot.contains("__self_svc -> t:p;"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize("a-b.c"), "a_b_c");
+    }
+}

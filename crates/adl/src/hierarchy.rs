@@ -1,0 +1,376 @@
+//! Hierarchical flattening: composites of composites.
+//!
+//! > "Sophisticated adaptive systems can be composed of components that in
+//! > turn are composed of sub-components."
+//!
+//! [`flatten_deep`] expands a composite all the way to primitive
+//! components: sub-instances get dot-qualified names (`store.cache`),
+//! internal bindings are re-qualified, and **delegation** bindings are
+//! resolved through composite boundaries — a composite's own *provide* port
+//! stands for the inner provider it is bound to, and its own *require* port
+//! stands for the inner requirers bound to it. Darwin's graphical notation
+//! draws these as circles on the composite's border; here they dissolve, so
+//! the runtime sees only primitive components, "down to the metal".
+//!
+//! Mode (`when`) selection applies at the top level only: a session mode is
+//! a property of the session's composite, not of library sub-composites
+//! (which expand their unconditional configuration).
+
+use crate::ast::{Binding, Document, PortRef};
+use crate::config::{flatten, Configuration, FlattenError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors specific to deep flattening.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HierarchyError {
+    /// Plain flattening failed.
+    Flatten(FlattenError),
+    /// Composite nesting exceeded the depth limit (recursive composites).
+    TooDeep {
+        /// The composite that exceeded the limit.
+        component: String,
+    },
+    /// A binding reached a composite port that no inner binding delegates.
+    UnresolvedDelegation {
+        /// The composite type.
+        component: String,
+        /// The port nothing delegates.
+        port: String,
+    },
+    /// A binding references an instance the configuration does not declare
+    /// (the document was not run through [`crate::analysis::analyze`]).
+    UnknownInstance(String),
+}
+
+impl fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierarchyError::Flatten(e) => write!(f, "{e}"),
+            HierarchyError::TooDeep { component } => {
+                write!(f, "composite nesting too deep at `{component}` (recursive?)")
+            }
+            HierarchyError::UnresolvedDelegation { component, port } => {
+                write!(f, "port `{port}` of composite `{component}` delegates to nothing")
+            }
+            HierarchyError::UnknownInstance(i) => {
+                write!(f, "binding references undeclared instance `{i}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HierarchyError {}
+
+impl From<FlattenError> for HierarchyError {
+    fn from(e: FlattenError) -> Self {
+        HierarchyError::Flatten(e)
+    }
+}
+
+const MAX_DEPTH: u32 = 32;
+
+/// A fully expanded composite: leaf instances, internal bindings, and the
+/// delegation maps of its border ports.
+#[derive(Debug, Clone, Default)]
+struct Expanded {
+    instances: BTreeMap<String, String>,
+    bindings: Vec<Binding>,
+    /// own provide port → inner provider endpoints (usually exactly one).
+    provide_map: BTreeMap<String, Vec<PortRef>>,
+    /// own require port → inner requirer endpoints (possibly several).
+    require_map: BTreeMap<String, Vec<PortRef>>,
+}
+
+fn qualify(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_owned()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}
+
+/// Resolve an endpoint to its primitive endpoints, through composite
+/// borders if needed. `provider` selects which delegation map applies.
+fn resolve(
+    endpoint: &PortRef,
+    prefix: &str,
+    cfg: &Configuration,
+    subs: &BTreeMap<String, Expanded>,
+    provider: bool,
+) -> Result<Vec<PortRef>, HierarchyError> {
+    let inst = endpoint.instance.as_ref().expect("own ports handled by caller");
+    let ty = cfg
+        .instances
+        .get(inst)
+        .ok_or_else(|| HierarchyError::UnknownInstance(inst.clone()))?;
+    if let Some(sub) = subs.get(inst) {
+        let map = if provider { &sub.provide_map } else { &sub.require_map };
+        map.get(&endpoint.port).cloned().ok_or_else(|| HierarchyError::UnresolvedDelegation {
+            component: ty.clone(),
+            port: endpoint.port.clone(),
+        })
+    } else {
+        Ok(vec![PortRef::on(&qualify(prefix, inst), &endpoint.port)])
+    }
+}
+
+fn expand(
+    doc: &Document,
+    component: &str,
+    prefix: &str,
+    modes: &[&str],
+    depth: u32,
+) -> Result<Expanded, HierarchyError> {
+    if depth > MAX_DEPTH {
+        return Err(HierarchyError::TooDeep { component: component.to_owned() });
+    }
+    let cfg = flatten(doc, component, modes)?;
+    let mut out = Expanded::default();
+    let mut subs: BTreeMap<String, Expanded> = BTreeMap::new();
+    for (inst, ty) in &cfg.instances {
+        let qi = qualify(prefix, inst);
+        let is_composite = doc.component(ty).is_some_and(super::ast::ComponentDecl::is_composite);
+        if is_composite {
+            let sub = expand(doc, ty, &qi, &[], depth + 1)?;
+            out.instances.extend(sub.instances.clone());
+            out.bindings.extend(sub.bindings.clone());
+            subs.insert(inst.clone(), sub);
+        } else {
+            out.instances.insert(qi, ty.clone());
+        }
+    }
+    for b in &cfg.bindings {
+        match (&b.from.instance, &b.to.instance) {
+            // Internal binding: requirement end → provision end.
+            (Some(_), Some(_)) => {
+                let reqs = resolve(&b.from, prefix, &cfg, &subs, false)?;
+                let provs = resolve(&b.to, prefix, &cfg, &subs, true)?;
+                for r in &reqs {
+                    for p in &provs {
+                        out.bindings.push(Binding { from: r.clone(), to: p.clone() });
+                    }
+                }
+            }
+            // `ownProvide -- inner.p`: the composite's provide port
+            // delegates to an inner provider.
+            (None, Some(_)) => {
+                let provs = resolve(&b.to, prefix, &cfg, &subs, true)?;
+                out.provide_map.entry(b.from.port.clone()).or_default().extend(provs);
+            }
+            // `inner.q -- ownRequire`: an inner requirement delegates out.
+            (Some(_), None) => {
+                let reqs = resolve(&b.from, prefix, &cfg, &subs, false)?;
+                out.require_map.entry(b.to.port.clone()).or_default().extend(reqs);
+            }
+            // `ownProvide -- ownRequire`: a pass-through composite.
+            (None, None) => {
+                out.provide_map
+                    .entry(b.from.port.clone())
+                    .or_default()
+                    .push(PortRef::own(&b.to.port));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Flatten `component` to primitive instances, expanding nested composites.
+/// Delegation bindings at the *top* level (to the session's own ports)
+/// survive as own-port bindings against the resolved inner endpoints.
+///
+/// # Errors
+/// [`HierarchyError`] on unknown components/modes, unresolved delegations,
+/// or excessive (recursive) nesting.
+pub fn flatten_deep(
+    doc: &Document,
+    component: &str,
+    active_modes: &[&str],
+) -> Result<Configuration, HierarchyError> {
+    let exp = expand(doc, component, "", active_modes, 0)?;
+    let mut cfg = Configuration { instances: exp.instances, bindings: exp.bindings.iter().cloned().collect() };
+    // Surface the top composite's own delegations as own-port bindings so
+    // the session can still see its external interface.
+    for (port, provs) in &exp.provide_map {
+        for p in provs {
+            cfg.bindings.insert(Binding { from: PortRef::own(port), to: p.clone() });
+        }
+    }
+    for (port, reqs) in &exp.require_map {
+        for r in reqs {
+            cfg.bindings.insert(Binding { from: r.clone(), to: PortRef::own(port) });
+        }
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    /// A two-level system: `Store` is a composite of cache + disk driver;
+    /// `System` instantiates it next to a client.
+    const SRC: &str = r"
+        component Cache   { provide pages; require backing; }
+        component DiskDrv { provide blocks; }
+        component Client  { require pages; }
+        component Store {
+            provide pages;
+            inst c : Cache; d : DiskDrv;
+            bind pages -- c.pages;
+                 c.backing -- d.blocks;
+        }
+        component System {
+            inst s : Store; app : Client;
+            bind app.pages -- s.pages;
+        }
+    ";
+
+    #[test]
+    fn two_levels_flatten_to_primitives() {
+        let doc = parse(SRC).unwrap();
+        let cfg = flatten_deep(&doc, "System", &[]).unwrap();
+        let names: Vec<&str> = cfg.instances.keys().map(String::as_str).collect();
+        assert_eq!(names, vec!["app", "s.c", "s.d"]);
+        assert_eq!(cfg.instances["s.c"], "Cache");
+        // app.pages is rewired straight to the inner cache provider.
+        assert!(cfg.bindings.contains(&Binding {
+            from: PortRef::on("app", "pages"),
+            to: PortRef::on("s.c", "pages"),
+        }));
+        // The cache's backing requirement stays internal but qualified.
+        assert!(cfg.bindings.contains(&Binding {
+            from: PortRef::on("s.c", "backing"),
+            to: PortRef::on("s.d", "blocks"),
+        }));
+        assert_eq!(cfg.bindings.len(), 2);
+    }
+
+    #[test]
+    fn three_levels_qualify_transitively() {
+        let doc = parse(&format!(
+            "{SRC}
+             component Outer {{
+                 inst sys : System;
+                 inst extra : Client;
+                 bind extra.pages -- sys2port;
+                 require sys2port;
+             }}"
+        ))
+        .unwrap();
+        // Outer has no usable delegation to System (System provides no
+        // ports), so bind extra's requirement to Outer's own require.
+        let cfg = flatten_deep(&doc, "Outer", &[]).unwrap();
+        let names: Vec<&str> = cfg.instances.keys().map(String::as_str).collect();
+        assert_eq!(names, vec!["extra", "sys.app", "sys.s.c", "sys.s.d"]);
+        assert!(cfg.bindings.contains(&Binding {
+            from: PortRef::on("sys.app", "pages"),
+            to: PortRef::on("sys.s.c", "pages"),
+        }));
+    }
+
+    #[test]
+    fn require_delegation_resolves_outward() {
+        let src = r"
+            component Worker { require net; }
+            component Pool {
+                require uplink;
+                inst w1 : Worker; w2 : Worker;
+                bind w1.net -- uplink;
+                     w2.net -- uplink;
+            }
+            component Nic { provide link; }
+            component Sys {
+                inst p : Pool; n : Nic;
+                bind p.uplink -- n.link;
+            }
+        ";
+        let doc = parse(src).unwrap();
+        let cfg = flatten_deep(&doc, "Sys", &[]).unwrap();
+        // Both inner workers end up bound to the NIC directly.
+        for w in ["p.w1", "p.w2"] {
+            assert!(
+                cfg.bindings.contains(&Binding {
+                    from: PortRef::on(w, "net"),
+                    to: PortRef::on("n", "link"),
+                }),
+                "{w} not wired: {:?}",
+                cfg.bindings
+            );
+        }
+    }
+
+    #[test]
+    fn unresolved_delegation_is_an_error() {
+        let src = r"
+            component Inner { provide p; }
+            component Box { provide svc; inst i : Inner; }
+            component User { require svc; }
+            component Sys { inst b : Box; u : User; bind u.svc -- b.svc; }
+        ";
+        // Box declares `provide svc` but never binds it to an inner
+        // provider — the delegation dangles.
+        let doc = parse(src).unwrap();
+        let err = flatten_deep(&doc, "Sys", &[]).unwrap_err();
+        assert!(matches!(
+            err,
+            HierarchyError::UnresolvedDelegation { ref component, ref port }
+                if component == "Box" && port == "svc"
+        ));
+    }
+
+    #[test]
+    fn recursive_composites_are_caught() {
+        let src = r"
+            component A { inst b : B; }
+            component B { inst a : A; }
+            component Sys { inst root : A; }
+        ";
+        let doc = parse(src).unwrap();
+        assert!(matches!(
+            flatten_deep(&doc, "Sys", &[]),
+            Err(HierarchyError::TooDeep { .. })
+        ));
+    }
+
+    #[test]
+    fn modes_apply_at_the_top_level_only() {
+        let src = r"
+            component Leaf { provide p; }
+            component Lib {
+                provide p;
+                inst l : Leaf;
+                bind p -- l.p;
+                when turbo { inst extra : Leaf; }
+            }
+            component Sys {
+                require out0;
+                when fancy { inst lib : Lib; u : User; bind u.need -- lib.p; }
+            }
+            component User { require need; }
+        ";
+        let doc = parse(src).unwrap();
+        let cfg = flatten_deep(&doc, "Sys", &["fancy"]).unwrap();
+        // Lib's `turbo` mode is NOT expanded (library modes are inert).
+        assert!(cfg.instances.contains_key("lib.l"));
+        assert!(!cfg.instances.keys().any(|k| k.contains("extra")));
+        // And the user reaches through the composite border.
+        assert!(cfg.bindings.contains(&Binding {
+            from: PortRef::on("u", "need"),
+            to: PortRef::on("lib.l", "p"),
+        }));
+    }
+
+    #[test]
+    fn deep_flatten_of_flat_composite_matches_shallow() {
+        // A composite with no nested composites: flatten_deep must agree
+        // with plain flatten (modulo own-port delegation bindings, which a
+        // flat composite keeps identical).
+        let doc = crate::figures::fig4_document();
+        let deep = flatten_deep(&doc, "MobileCBMS", &["docked"]).unwrap();
+        let shallow = flatten(&doc, "MobileCBMS", &["docked"]).unwrap();
+        assert_eq!(deep.instances, shallow.instances);
+        assert_eq!(deep.bindings, shallow.bindings);
+    }
+}

@@ -1,0 +1,316 @@
+//! Recursive-descent parser for the Darwin-style ADL.
+//!
+//! Grammar:
+//! ```text
+//! document  := component*
+//! component := "component" IDENT "{" decl* "}"
+//! decl      := "provide" idlist ";"
+//!            | "require" idlist ";"
+//!            | "inst" (IDENT ":" IDENT ";")+
+//!            | "bind" (portref "--" portref ";")+
+//!            | "when" IDENT "{" decl* "}"
+//! idlist    := IDENT ("," IDENT)*
+//! portref   := IDENT ("." IDENT)?
+//! ```
+
+use crate::ast::{Binding, ComponentDecl, Decl, Document, InstDecl, PortRef};
+use crate::token::{lex, LexError, Spanned, Tok};
+use std::fmt;
+
+/// A parse error with the line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Lexing failed.
+    Lex(LexError),
+    /// An unexpected token.
+    Unexpected {
+        /// What was found (rendered), or "end of input".
+        found: String,
+        /// What the parser wanted.
+        expected: &'static str,
+        /// 1-based line, 0 for end of input.
+        line: u32,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "lex error: {e}"),
+            ParseError::Unexpected { found, expected, line } => {
+                write!(f, "line {line}: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks.get(self.pos).map_or(0, |s| s.line)
+    }
+
+    fn err(&self, expected: &'static str) -> ParseError {
+        ParseError::Unexpected {
+            found: self.peek().map_or_else(|| "end of input".to_owned(), ToString::to_string),
+            expected,
+            line: self.line(),
+        }
+    }
+
+    fn eat(&mut self, want: &Tok, expected: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(expected))
+        }
+    }
+
+    fn ident(&mut self, expected: &'static str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err(expected)),
+        }
+    }
+
+    fn document(&mut self) -> Result<Document, ParseError> {
+        let mut components = Vec::new();
+        while self.peek().is_some() {
+            components.push(self.component()?);
+        }
+        Ok(Document { components })
+    }
+
+    fn component(&mut self) -> Result<ComponentDecl, ParseError> {
+        self.eat(&Tok::Component, "`component`")?;
+        let name = self.ident("component name")?;
+        self.eat(&Tok::LBrace, "`{`")?;
+        let body = self.decls()?;
+        self.eat(&Tok::RBrace, "`}`")?;
+        Ok(ComponentDecl { name, body })
+    }
+
+    fn decls(&mut self) -> Result<Vec<Decl>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Provide) => {
+                    self.pos += 1;
+                    let names = self.idlist()?;
+                    self.eat(&Tok::Semi, "`;`")?;
+                    out.push(Decl::Provide(names));
+                }
+                Some(Tok::Require) => {
+                    self.pos += 1;
+                    let names = self.idlist()?;
+                    self.eat(&Tok::Semi, "`;`")?;
+                    out.push(Decl::Require(names));
+                }
+                Some(Tok::Inst) => {
+                    self.pos += 1;
+                    let mut insts = Vec::new();
+                    loop {
+                        let name = self.ident("instance name")?;
+                        self.eat(&Tok::Colon, "`:`")?;
+                        let ty = self.ident("type name")?;
+                        self.eat(&Tok::Semi, "`;`")?;
+                        insts.push(InstDecl { name, ty });
+                        // Another `ident :` pair continues the inst block.
+                        if !matches!(
+                            (self.peek(), self.toks.get(self.pos + 1).map(|s| &s.tok)),
+                            (Some(Tok::Ident(_)), Some(Tok::Colon))
+                        ) {
+                            break;
+                        }
+                    }
+                    out.push(Decl::Inst(insts));
+                }
+                Some(Tok::Bind) => {
+                    self.pos += 1;
+                    let mut binds = Vec::new();
+                    loop {
+                        let from = self.portref()?;
+                        self.eat(&Tok::Arrow, "`--`")?;
+                        let to = self.portref()?;
+                        self.eat(&Tok::Semi, "`;`")?;
+                        binds.push(Binding { from, to });
+                        // Another portref continues the bind block.
+                        if !matches!(self.peek(), Some(Tok::Ident(_))) {
+                            break;
+                        }
+                        // ...unless it's actually an inst decl (ident `:`).
+                        if matches!(self.toks.get(self.pos + 1).map(|s| &s.tok), Some(Tok::Colon)) {
+                            break;
+                        }
+                    }
+                    out.push(Decl::Bind(binds));
+                }
+                Some(Tok::When) => {
+                    self.pos += 1;
+                    let mode = self.ident("mode name")?;
+                    self.eat(&Tok::LBrace, "`{`")?;
+                    let body = self.decls()?;
+                    self.eat(&Tok::RBrace, "`}`")?;
+                    out.push(Decl::When { mode, body });
+                }
+                _ => break,
+            }
+        }
+        Ok(out)
+    }
+
+    fn idlist(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut out = vec![self.ident("port name")?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.pos += 1;
+            out.push(self.ident("port name")?);
+        }
+        Ok(out)
+    }
+
+    fn portref(&mut self) -> Result<PortRef, ParseError> {
+        let first = self.ident("port reference")?;
+        if self.peek() == Some(&Tok::Dot) {
+            self.pos += 1;
+            let port = self.ident("port name")?;
+            Ok(PortRef { instance: Some(first), port })
+        } else {
+            Ok(PortRef { instance: None, port: first })
+        }
+    }
+}
+
+/// Parse a document from source text.
+///
+/// # Errors
+/// [`ParseError`] with the failing line.
+pub fn parse(src: &str) -> Result<Document, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.document()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = r"
+        component FileStore {
+            provide pages;
+            require disk;
+        }
+        component System {
+            inst fs : FileStore;
+                 drv : Driver;
+            bind fs.disk -- drv.block;
+        }
+    ";
+
+    #[test]
+    fn parses_primitive_and_composite() {
+        let doc = parse(SMALL).unwrap();
+        assert_eq!(doc.components.len(), 2);
+        let fs = doc.component("FileStore").unwrap();
+        assert_eq!(fs.provides(), vec!["pages"]);
+        assert_eq!(fs.requires(), vec!["disk"]);
+        let sys = doc.component("System").unwrap();
+        assert!(sys.is_composite());
+    }
+
+    #[test]
+    fn parses_multi_inst_and_multi_bind_blocks() {
+        let doc = parse(SMALL).unwrap();
+        let sys = doc.component("System").unwrap();
+        let insts: Vec<_> = sys
+            .body
+            .iter()
+            .filter_map(|d| match d {
+                Decl::Inst(v) => Some(v.len()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(insts, vec![2]);
+    }
+
+    #[test]
+    fn parses_when_blocks() {
+        let src = r"
+            component M {
+                provide query;
+                when docked { inst e : Eth; bind net -- e.link; }
+                when wireless { inst w : Wifi; bind net -- w.link; }
+            }
+        ";
+        let doc = parse(src).unwrap();
+        let m = doc.component("M").unwrap();
+        assert_eq!(m.modes(), vec!["docked", "wireless"]);
+    }
+
+    #[test]
+    fn parses_comma_port_lists() {
+        let doc = parse("component A { provide p, q, r; }").unwrap();
+        assert_eq!(doc.component("A").unwrap().provides(), vec!["p", "q", "r"]);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("component A {\n provide ; \n}").unwrap_err();
+        match err {
+            ParseError::Unexpected { line, expected, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(expected, "port name");
+            }
+            ParseError::Lex(_) => panic!("wrong error kind"),
+        }
+    }
+
+    #[test]
+    fn missing_brace_is_reported() {
+        let err = parse("component A { provide p;").unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn empty_document_is_valid() {
+        assert_eq!(parse("").unwrap(), Document::default());
+    }
+
+    #[test]
+    fn binding_to_own_port_parses() {
+        let doc = parse("component C { require net; inst w : Wifi; bind net -- w.link; }")
+            .unwrap();
+        let c = doc.component("C").unwrap();
+        let binds: Vec<&Binding> = c
+            .body
+            .iter()
+            .filter_map(|d| match d {
+                Decl::Bind(v) => Some(v.iter()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(binds[0].from, PortRef::own("net"));
+        assert_eq!(binds[0].to, PortRef::on("w", "link"));
+    }
+}

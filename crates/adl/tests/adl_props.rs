@@ -1,0 +1,152 @@
+//! Property tests for the ADL: printer/parser fixpoint and diff soundness.
+
+use adl::ast::{Binding, ComponentDecl, Decl, Document, PortRef};
+use adl::config::Configuration;
+use adl::diff::diff;
+use adl::parse::parse;
+use adl::printer::print_document;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| {
+        // Avoid keywords.
+        match s.as_str() {
+            "component" | "provide" | "require" | "inst" | "bind" | "when" => format!("{s}x"),
+            _ => s,
+        }
+    })
+}
+
+fn portref() -> impl Strategy<Value = PortRef> {
+    (prop::option::of(ident()), ident())
+        .prop_map(|(instance, port)| PortRef { instance, port })
+}
+
+fn decl(depth: u32) -> BoxedStrategy<Decl> {
+    let leaf = prop_oneof![
+        prop::collection::vec(ident(), 1..4).prop_map(Decl::Provide),
+        prop::collection::vec(ident(), 1..4).prop_map(Decl::Require),
+        prop::collection::vec((ident(), ident()), 1..4).prop_map(|v| Decl::Inst(
+            v.into_iter()
+                .map(|(name, ty)| adl::ast::InstDecl { name, ty })
+                .collect()
+        )),
+        prop::collection::vec((portref(), portref()), 1..4).prop_map(|v| Decl::Bind(
+            v.into_iter().map(|(from, to)| Binding { from, to }).collect()
+        )),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        prop_oneof![
+            3 => leaf,
+            1 => (ident(), prop::collection::vec(decl(depth - 1), 0..4))
+                .prop_map(|(mode, body)| Decl::When { mode, body }),
+        ]
+        .boxed()
+    }
+}
+
+fn document() -> impl Strategy<Value = Document> {
+    prop::collection::vec(
+        (ident(), prop::collection::vec(decl(2), 0..6))
+            .prop_map(|(name, body)| ComponentDecl { name, body }),
+        0..5,
+    )
+    .prop_map(|components| Document { components })
+}
+
+fn configuration() -> impl Strategy<Value = Configuration> {
+    (
+        prop::collection::btree_map(ident(), ident(), 0..10),
+        prop::collection::btree_set((portref(), portref()), 0..10),
+    )
+        .prop_map(|(instances, binds)| Configuration {
+            instances,
+            bindings: binds.into_iter().map(|(from, to)| Binding { from, to }).collect(),
+        })
+}
+
+proptest! {
+    /// Printing any AST and reparsing it yields the same AST — the printer
+    /// and parser agree on the whole language, including nested `when`s.
+    #[test]
+    fn print_parse_fixpoint(doc in document()) {
+        let printed = print_document(&doc);
+        let reparsed = parse(&printed);
+        prop_assert_eq!(reparsed.as_ref().ok(), Some(&doc), "printed:\n{}", printed);
+    }
+
+    /// diff(a, b).apply(a) == b for arbitrary configurations — the
+    /// Adaptivity Manager's plan always reaches the target architecture.
+    #[test]
+    fn diff_apply_reaches_target(a in configuration(), b in configuration()) {
+        let plan = diff(&a, &b);
+        prop_assert_eq!(plan.apply(&a), b);
+    }
+
+    /// The inverse plan restores the source — the "back off" guarantee.
+    #[test]
+    fn diff_inverse_restores_source(a in configuration(), b in configuration()) {
+        let plan = diff(&a, &b);
+        let reached = plan.apply(&a);
+        prop_assert_eq!(plan.inverse().apply(&reached), a);
+    }
+
+    /// Self-diff is empty, and plan size is bounded by the symmetric
+    /// difference of the two configurations.
+    #[test]
+    fn diff_is_minimal(a in configuration(), b in configuration()) {
+        prop_assert!(diff(&a, &a).is_empty());
+        let plan = diff(&a, &b);
+        let inst_sym: usize = {
+            let ka: BTreeMap<_, _> = a.instances.clone().into_iter().collect();
+            let kb: BTreeMap<_, _> = b.instances.clone().into_iter().collect();
+            ka.iter().filter(|(k, v)| kb.get(*k) != Some(v)).count()
+                + kb.iter().filter(|(k, v)| ka.get(*k) != Some(v)).count()
+        };
+        let bind_sym: usize = {
+            let sa: BTreeSet<_> = a.bindings.iter().collect();
+            let sb: BTreeSet<_> = b.bindings.iter().collect();
+            sa.symmetric_difference(&sb).count()
+        };
+        prop_assert_eq!(plan.len(), inst_sym + bind_sym);
+    }
+}
+
+proptest! {
+    /// Deep flattening never panics: for arbitrary (even ill-formed)
+    /// documents it returns a configuration or a structured error.
+    #[test]
+    fn flatten_deep_is_total(doc in document()) {
+        for comp in &doc.components {
+            let _ = adl::hierarchy::flatten_deep(&doc, &comp.name, &[]);
+        }
+    }
+
+    /// On analysed documents, deep flattening of a composite with no nested
+    /// composites agrees with shallow flattening.
+    #[test]
+    fn flatten_deep_extends_flatten(doc in document()) {
+        if adl::analysis::analyze(&doc).is_err() {
+            return Ok(());
+        }
+        for comp in &doc.components {
+            let has_composite_child = comp.body.iter().any(|d| match d {
+                adl::ast::Decl::Inst(is) => is.iter().any(|i| {
+                    doc.component(&i.ty).is_some_and(adl::ast::ComponentDecl::is_composite)
+                }),
+                _ => false,
+            });
+            if has_composite_child {
+                continue;
+            }
+            let deep = adl::hierarchy::flatten_deep(&doc, &comp.name, &[]);
+            let shallow = adl::config::flatten(&doc, &comp.name, &[]);
+            if let (Ok(d), Ok(s)) = (deep, shallow) {
+                prop_assert_eq!(d.instances, s.instances);
+            }
+        }
+    }
+}

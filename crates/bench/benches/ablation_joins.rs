@@ -1,0 +1,120 @@
+//! Ablation A1: the adaptive operators of Section 2 against their static
+//! counterparts, on local (immediate) and wide-area (delayed/bursty)
+//! sources. The adaptive operators should win under stalls — first-result
+//! latency and stall-time productivity — and pay only a modest premium on
+//! clean local data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datacomp::{ColumnType, Schema, Table, Value};
+use query::adaptive::ripple::AggKind;
+use query::adaptive::{RippleJoin, SymmetricHashJoin, XJoin};
+use query::basic::HashJoin;
+use query::op::{drain, Operator, WorkCounter};
+use query::source::{ArrivalPattern, DelayedScan, TableScan};
+use std::hint::black_box;
+
+fn table(n: i64, dup: i64) -> Table {
+    let schema = Schema::new(&[("k", ColumnType::Int), ("v", ColumnType::Int)]).unwrap();
+    let mut t = Table::new(schema);
+    for i in 0..n {
+        t.insert(vec![Value::Int(i % dup), Value::Int(i)]).unwrap();
+    }
+    t
+}
+
+fn src(t: &Table, pat: Option<ArrivalPattern>, w: &WorkCounter) -> Box<dyn Operator> {
+    match pat {
+        Some(p) => Box::new(DelayedScan::new(t.clone(), p, w.clone())),
+        None => Box::new(TableScan::new(t.clone(), w.clone())),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_joins");
+    group.sample_size(20);
+    let l = table(600, 40);
+    let r = table(600, 40);
+    let wan = Some(ArrivalPattern { initial_delay: 200, burst: 20, gap: 30 });
+
+    for (src_label, pat) in [("local", None), ("wan", wan)] {
+        for algo in ["hash_static", "shj", "xjoin", "ripple"] {
+            group.bench_function(BenchmarkId::new(algo, src_label), |b| {
+                b.iter(|| {
+                    let w = WorkCounter::new();
+                    let rows = match algo {
+                        "hash_static" => {
+                            let mut op = HashJoin::new(
+                                src(&l, pat, &w),
+                                src(&r, pat, &w),
+                                vec![0],
+                                vec![0],
+                                true,
+                                w.clone(),
+                            );
+                            drain(&mut op, 1_000_000)
+                        }
+                        "shj" => {
+                            let mut op = SymmetricHashJoin::new(
+                                src(&l, pat, &w),
+                                src(&r, pat, &w),
+                                vec![0],
+                                vec![0],
+                                w.clone(),
+                            );
+                            drain(&mut op, 1_000_000)
+                        }
+                        "xjoin" => {
+                            let mut op = XJoin::new(
+                                src(&l, pat, &w),
+                                src(&r, pat, &w),
+                                vec![0],
+                                vec![0],
+                                64,
+                                w.clone(),
+                            );
+                            drain(&mut op, 1_000_000)
+                        }
+                        _ => {
+                            let mut op = RippleJoin::new(
+                                src(&l, pat, &w),
+                                src(&r, pat, &w),
+                                vec![0],
+                                vec![0],
+                                8,
+                                AggKind::Count,
+                                w.clone(),
+                            );
+                            drain(&mut op, 1_000_000)
+                        }
+                    };
+                    black_box(rows.len())
+                });
+            });
+        }
+    }
+
+    // Shape report: polls until the FIRST result under WAN stalls — the
+    // crossover the adaptive literature is about.
+    for algo in ["hash_static", "shj"] {
+        let w = WorkCounter::new();
+        let mut op: Box<dyn Operator> = if algo == "hash_static" {
+            Box::new(HashJoin::new(src(&l, wan, &w), src(&r, wan, &w), vec![0], vec![0], true, w.clone()))
+        } else {
+            Box::new(SymmetricHashJoin::new(src(&l, wan, &w), src(&r, wan, &w), vec![0], vec![0], w.clone()))
+        };
+        let mut polls = 0u64;
+        loop {
+            polls += 1;
+            match op.poll() {
+                query::op::Poll::Ready(_) => break,
+                query::op::Poll::Pending => {}
+                query::op::Poll::Done => break,
+            }
+        }
+        println!("first result under WAN stalls: {algo} after {polls} polls");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

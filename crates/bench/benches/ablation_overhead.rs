@@ -1,0 +1,88 @@
+//! Ablation A2: componentisation overhead — the paper's requirement that
+//! "componentisation itself must not produce excessive overheads".
+//! Compares a direct (monolithic) call path against the ORB-mediated
+//! component call, in *simulated cycles* (the honest currency) and wall
+//! time, plus the monitoring overhead of an idle adaptation loop.
+
+use compkit::gauge::{Gauge, GaugeBoard, GaugeKind};
+use compkit::monitor::Monitor;
+use compkit::rules::{Action, Expr, RuleSet, SwitchingRule};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gokernel::component::Rights;
+use gokernel::kernels::{ExtensibleKernel, GoKernel, Kernel, L4Kernel, MachKernel, MonolithicKernel};
+use gokernel::orb::Orb;
+use machine::cost::{CostModel, CycleCounter, Primitive};
+use machine::isa::{Instr, Program};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_overhead");
+
+    // Simulated-cycle comparison: a direct call (call + ret) vs the ORB
+    // thread-migration RPC.
+    let model = CostModel::pentium();
+    let mut direct = CycleCounter::new();
+    direct.charge(Primitive::Branch, &model);
+    direct.charge(Primitive::BranchIndirect, &model);
+    let mut orb = Orb::new(1 << 20, model.clone());
+    let null = Program::new(vec![Instr::Halt]).to_bytes();
+    let ty = orb.load_type("svc", &null).expect("verifies");
+    let caller = orb.instantiate(ty).expect("mem");
+    let callee = orb.instantiate(ty).expect("mem");
+    let iface = orb.publish(callee, 0, Rights::PUBLIC, 0).expect("publish");
+    let rpc = orb.invoke(caller, iface, &[]).expect("ok");
+    println!(
+        "simulated cycles: direct call {} vs ORB component call {} ({}x) — \
+         protected isolation for ~{}x a function call",
+        direct.total(),
+        rpc.cycles,
+        rpc.cycles / direct.total().max(1),
+        rpc.cycles / direct.total().max(1),
+    );
+
+    // The §1.1 architecture ladder in one line: each stage cuts the
+    // service-invocation cost.
+    let ladder = {
+        let m = CostModel::pentium();
+        let bsd = MonolithicKernel::new(m.clone()).null_rpc();
+        let mach = MachKernel::new(m.clone()).null_rpc();
+        let l4 = L4Kernel::new(m.clone()).null_rpc();
+        let ext = ExtensibleKernel::new(m.clone()).invoke_extension(1);
+        let go = GoKernel::new(m).null_rpc();
+        (bsd, mach, l4, ext, go)
+    };
+    println!(
+        "architecture ladder (cycles): monolithic {} -> microkernel {} -> L4 {} -> extensible {} -> Go! {}",
+        ladder.0, ladder.1, ladder.2, ladder.3, ladder.4
+    );
+
+    group.bench_function("orb_component_call", |b| {
+        b.iter(|| black_box(orb.invoke(caller, iface, &[]).expect("ok")));
+    });
+
+    // Monitoring overhead of an idle (non-firing) adaptation loop.
+    let mut board = GaugeBoard::new();
+    board.add_monitor(Monitor::new("cpu", 32));
+    board.add_gauge(Gauge { name: "util".into(), monitor: "cpu".into(), kind: GaugeKind::Ewma(0.2) });
+    for t in 0..32 {
+        board.record("cpu", t, 0.1);
+    }
+    let mut rules = RuleSet::new();
+    rules.add(SwitchingRule {
+        id: 1,
+        priority: 0,
+        constraint: Expr::gauge_gt("util", 0.9),
+        action: Action::Custom("never".into()),
+    });
+    group.bench_function("idle_adaptation_check", |b| {
+        b.iter(|| {
+            let snap = board.snapshot();
+            black_box(rules.decide(&snap))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

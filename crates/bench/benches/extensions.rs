@@ -1,0 +1,82 @@
+//! Benches for the reproduction's extension features (the paper's
+//! future-work threads): the zero-kernel library OS, intra-request stream
+//! adaptation, mid-query failover, and hierarchical ADL flattening.
+
+use adl::hierarchy::flatten_deep;
+use adl::parse::parse;
+use adm_core::scenario::failover;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gokernel::libos::{LibOs, ThreadId};
+use machine::CostModel;
+use patia::stream::{default_ladder, StreamSession, TickOutcome};
+use std::hint::black_box;
+use ubinet::link::BandwidthProfile;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(20);
+
+    // Zero-kernel service calls (scheduler yield through the ORB).
+    let mut os = LibOs::boot(CostModel::pentium(), 1 << 16);
+    for t in 0..8 {
+        os.sched_add(ThreadId(t)).expect("boot ok");
+    }
+    group.bench_function("libos_sched_yield", |b| {
+        let mut cur = ThreadId(0);
+        b.iter(|| {
+            let next = os.sched_yield(cur).expect("ok").expect("non-empty");
+            cur = black_box(next);
+        });
+    });
+    group.bench_function("libos_alloc_free", |b| {
+        b.iter(|| {
+            let a = os.alloc(black_box(128)).expect("fits");
+            os.free(a).expect("valid");
+        });
+    });
+
+    // Intra-request stream adaptation over a noisy wireless walk.
+    for adaptive in [true, false] {
+        let label = if adaptive { "adaptive" } else { "static" };
+        group.bench_function(BenchmarkId::new("stream_session_300s", label), |b| {
+            b.iter(|| {
+                let profile = BandwidthProfile::Walk { lo: 28.0, hi: 300.0, seed: 9 };
+                let mut s = StreamSession::new(default_ladder(), 300, adaptive);
+                let mut t = 0u64;
+                loop {
+                    t += 1;
+                    if t > 200_000 {
+                        break; // static sessions may be unable to finish
+                    }
+                    if s.tick(profile.at(t)) == TickOutcome::Finished {
+                        break;
+                    }
+                }
+                black_box((s.stalls(), s.mean_quality()))
+            });
+        });
+    }
+
+    // Mid-query failover: the query jumps devices and finishes.
+    let params = failover::FailoverParams { rows: 600, ..Default::default() };
+    group.bench_function("failover_mid_query", |b| {
+        b.iter(|| black_box(failover::run(&params)));
+    });
+
+    // Hierarchical flattening of a three-level composite.
+    let doc = parse(
+        "component Leaf { provide p; }
+         component Mid  { provide p; inst l : Leaf; bind p -- l.p; }
+         component Top  { provide p; inst m : Mid; bind p -- m.p; }
+         component Sys  { inst a : Top; b : Top; c : Top; }",
+    )
+    .expect("parses");
+    group.bench_function("flatten_deep_3_levels", |b| {
+        b.iter(|| black_box(flatten_deep(&doc, "Sys", &[]).expect("flattens")));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

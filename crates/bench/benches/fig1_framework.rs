@@ -1,0 +1,67 @@
+//! Figure 1: the adaptation framework's reaction path — "There is no point
+//! in a system reacting to a problem so slowly that system fails before it
+//! can do anything about it." Measures the full loop (gauge refresh → rule
+//! check → plan → transactional switch) and its pieces.
+
+use adl::figures::{docked_session, fig4_document, fig5_switchover};
+use compkit::adaptivity::AdaptivityManager;
+use compkit::gauge::{Gauge, GaugeBoard, GaugeKind};
+use compkit::monitor::Monitor;
+use compkit::rules::{Action, Expr, RuleSet, SwitchingRule};
+use compkit::runtime::{BasicFactory, Runtime};
+use compkit::state::StateManager;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_framework");
+
+    // Gauge evaluation over a loaded board.
+    let mut board = GaugeBoard::new();
+    for i in 0..16 {
+        board.add_monitor(Monitor::new(&format!("m{i}"), 64));
+        board.add_gauge(Gauge {
+            name: format!("g{i}"),
+            monitor: format!("m{i}"),
+            kind: GaugeKind::WindowMean(32),
+        });
+        for t in 0..64 {
+            board.record(&format!("m{i}"), t, t as f64 * 0.01);
+        }
+    }
+    group.bench_function("gauge_snapshot_16x64", |b| b.iter(|| black_box(board.snapshot())));
+
+    // Rule evaluation.
+    let mut rules = RuleSet::new();
+    for i in 0..16 {
+        rules.add(SwitchingRule {
+            id: i,
+            priority: (i % 4) as u8,
+            constraint: Expr::gauge_gt(&format!("g{}", i % 16), 0.5),
+            action: Action::Custom(format!("act{i}")),
+        });
+    }
+    let snapshot = board.snapshot();
+    group.bench_function("ruleset_decide_16", |b| b.iter(|| black_box(rules.decide(&snapshot))));
+
+    // The full transactional switchover (plan pre-computed, as the session
+    // manager would hand it over).
+    let doc = fig4_document();
+    let plan = fig5_switchover(&doc);
+    let inverse = plan.inverse();
+    let mut rt = Runtime::new();
+    let mut am = AdaptivityManager::new();
+    let mut st = StateManager::new();
+    let boot = adl::diff::diff(&rt.configuration(), &docked_session(&doc));
+    am.execute(&mut rt, &boot, &mut BasicFactory, &mut st, 0).expect("boot");
+    group.bench_function("transactional_switch_roundtrip", |b| {
+        b.iter(|| {
+            am.execute(&mut rt, &plan, &mut BasicFactory, &mut st, 1).expect("forward");
+            am.execute(&mut rt, &inverse, &mut BasicFactory, &mut st, 2).expect("back");
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Figure 2: version-list selection (`BEST`) across list sizes, and the
+//! codec trade-off behind "send a compressed version".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datacomp::codec::{Codec, LzCodec, RleCodec};
+use datacomp::version::{SelectionConstraints, Version, VersionKind, VersionList};
+use datacomp::xml::{sensor_reading, write_events};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_versions");
+
+    for n in [4u32, 16, 64, 256] {
+        let mut list = VersionList::new();
+        for i in 0..n {
+            list.add(Version {
+                id: i,
+                location: format!("node{}", i % 7),
+                kind: if i % 3 == 0 {
+                    VersionKind::Replica
+                } else if i % 3 == 1 {
+                    VersionKind::Compressed { codec: "lz".into() }
+                } else {
+                    VersionKind::Summary { fraction: 0.25 }
+                },
+                size_bytes: u64::from(1000 + i * 37),
+                age: u64::from(i % 5),
+                bytes: None,
+            });
+        }
+        let constraints = SelectionConstraints {
+            max_age: Some(3),
+            min_quality: 0.2,
+            bandwidth: 50.0,
+            decode_cost_per_byte: vec![("lz".into(), 0.01)],
+        };
+        group.bench_function(BenchmarkId::new("best", n), |b| {
+            b.iter(|| black_box(list.best(&constraints)));
+        });
+    }
+
+    // Codec throughput on a realistic sensor stream.
+    let stream: Vec<u8> = (0..500)
+        .flat_map(|t| write_events(&sensor_reading("temp", t, 20.5)).into_bytes())
+        .collect();
+    group.throughput(Throughput::Bytes(stream.len() as u64));
+    group.bench_function("lz_encode_sensor_stream", |b| {
+        b.iter(|| black_box(LzCodec.encode(&stream)));
+    });
+    group.bench_function("rle_encode_sensor_stream", |b| {
+        b.iter(|| black_box(RleCodec.encode(&stream)));
+    });
+    let enc = LzCodec.encode(&stream);
+    println!(
+        "lz ratio: {} -> {} bytes ({:.1}x)",
+        stream.len(),
+        enc.len(),
+        stream.len() as f64 / enc.len() as f64
+    );
+    group.bench_function("lz_decode_sensor_stream", |b| {
+        b.iter(|| black_box(LzCodec.decode(&enc).expect("valid")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

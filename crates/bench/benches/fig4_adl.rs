@@ -1,0 +1,26 @@
+//! Figure 4: parsing + analysing the Darwin-style model — the paper's
+//! complaint that "implementations reconfigure far too slowly" starts with
+//! ADL processing cost.
+
+use adl::analysis::analyze;
+use adl::config::flatten;
+use adl::figures::FIG4_SOURCE;
+use adl::parse::parse;
+use adl::printer::print_document;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_adl");
+    group.bench_function("parse_fig4", |b| b.iter(|| black_box(parse(FIG4_SOURCE).expect("parses"))));
+    let doc = parse(FIG4_SOURCE).expect("parses");
+    group.bench_function("analyze_fig4", |b| b.iter(|| black_box(analyze(&doc).is_ok())));
+    group.bench_function("flatten_docked", |b| {
+        b.iter(|| black_box(flatten(&doc, "MobileCBMS", &["docked"]).expect("flattens")));
+    });
+    group.bench_function("print_fig4", |b| b.iter(|| black_box(print_document(&doc))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

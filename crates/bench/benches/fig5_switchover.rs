@@ -1,0 +1,41 @@
+//! Figure 5: the docked↔wireless switchover — diff computation and
+//! transactional execution, plus diff scaling with configuration size
+//! (the answer to "ADLs ... reconfigure far too slowly").
+
+use adl::ast::{Binding, PortRef};
+use adl::config::Configuration;
+use adl::diff::diff;
+use adl::figures::{docked_session, fig4_document, wireless_session};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn synthetic(n: usize, offset: usize) -> Configuration {
+    let mut cfg = Configuration::default();
+    for i in 0..n {
+        cfg.instances.insert(format!("c{}", i + offset), format!("T{}", i % 7));
+        cfg.bindings.insert(Binding {
+            from: PortRef::on(&format!("c{}", i + offset), "req"),
+            to: PortRef::on(&format!("c{}", (i + 1) % n + offset), "prov"),
+        });
+    }
+    cfg
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_switchover");
+    let doc = fig4_document();
+    let docked = docked_session(&doc);
+    let wireless = wireless_session(&doc);
+    group.bench_function("diff_fig5", |b| b.iter(|| black_box(diff(&docked, &wireless))));
+    for n in [16usize, 64, 256, 1024] {
+        let a = synthetic(n, 0);
+        let b_cfg = synthetic(n, n / 2); // half overlap
+        group.bench_function(BenchmarkId::new("diff_synthetic", n), |b| {
+            b.iter(|| black_box(diff(&a, &b_cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 6: ORB invocation — cost of the thread-migration RPC, the SISR
+//! load-time scan, and how invocation scales with arguments and published
+//! interfaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gokernel::component::Rights;
+use gokernel::orb::Orb;
+use gokernel::sisr::SisrVerifier;
+use machine::isa::{Instr, Program};
+use machine::CostModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_orb");
+
+    // The invoke path.
+    let mut orb = Orb::new(1 << 20, CostModel::pentium());
+    let null = Program::new(vec![Instr::Halt]).to_bytes();
+    let adder = Program::new(vec![Instr::Add(0, 1), Instr::Halt]).to_bytes();
+    let ty_null = orb.load_type("null", &null).expect("verifies");
+    let ty_add = orb.load_type("adder", &adder).expect("verifies");
+    let caller = orb.instantiate(ty_null).expect("mem");
+    let callee = orb.instantiate(ty_add).expect("mem");
+    let server = orb.instantiate(ty_null).expect("mem");
+    let iface_add = orb.publish(callee, 0, Rights::PUBLIC, 2).expect("publish");
+    let iface_null = orb.publish(server, 0, Rights::PUBLIC, 0).expect("publish");
+
+    group.bench_function("invoke_null", |b| {
+        b.iter(|| black_box(orb.invoke(caller, iface_null, &[]).expect("ok")));
+    });
+    group.bench_function("invoke_adder_2args", |b| {
+        b.iter(|| black_box(orb.invoke(caller, iface_add, &[20, 22]).expect("ok")));
+    });
+
+    // SISR scan cost is linear in text size — the one-off price of
+    // removing per-call traps.
+    for n in [64usize, 1024, 16_384] {
+        let text = Program::new(vec![Instr::Nop; n]).to_bytes();
+        let v = SisrVerifier::new(CostModel::pentium());
+        group.bench_function(BenchmarkId::new("sisr_scan_instrs", n), |b| {
+            b.iter(|| black_box(v.verify(&text).expect("clean")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

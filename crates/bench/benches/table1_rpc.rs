@@ -1,0 +1,35 @@
+//! Table 1: null-RPC cost per kernel. The criterion numbers measure the
+//! *simulator's* wall time; the paper's quantity — simulated cycles — is
+//! printed alongside and asserted to preserve the table's ordering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gokernel::kernels::{GoKernel, Kernel, L4Kernel, MachKernel, MonolithicKernel};
+use machine::CostModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = CostModel::pentium();
+    let mut group = c.benchmark_group("table1_rpc");
+    let mut cycles = Vec::new();
+    let mut kernels: Vec<Box<dyn Kernel>> = vec![
+        Box::new(MonolithicKernel::new(model.clone())),
+        Box::new(MachKernel::new(model.clone())),
+        Box::new(L4Kernel::new(model.clone())),
+        Box::new(GoKernel::new(model.clone())),
+    ];
+    for k in &mut kernels {
+        cycles.push((k.kind().name(), k.null_rpc()));
+    }
+    println!("simulated cycles per null RPC: {cycles:?}");
+    assert!(cycles[0].1 > cycles[1].1 && cycles[1].1 > cycles[2].1 && cycles[2].1 > cycles[3].1);
+
+    for k in &mut kernels {
+        group.bench_function(BenchmarkId::from_parameter(k.kind().name()), |b| {
+            b.iter(|| black_box(k.null_rpc()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

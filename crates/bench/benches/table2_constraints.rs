@@ -1,0 +1,36 @@
+//! Table 2: cost of evaluating the atom constraints in a live server tick,
+//! adaptive vs static — "componentisation itself must not produce
+//! excessive overheads".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use patia::atom::AtomId;
+use patia::server::{PatiaServer, ServerConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_constraints");
+    for adaptive in [true, false] {
+        let label = if adaptive { "adaptive" } else { "static" };
+        let (net, atoms, constraints) = ServerConfig::paper_fleet();
+        let mut server = PatiaServer::new(
+            net,
+            atoms,
+            constraints,
+            ServerConfig { adaptive, work_per_request: 400 },
+        );
+        let reqs = vec![AtomId(123), AtomId(153), AtomId(123)];
+        group.bench_function(BenchmarkId::new("server_tick", label), |b| {
+            b.iter(|| black_box(server.tick(&reqs, 64.0)));
+        });
+    }
+    // Version selection alone (constraint 595).
+    let (net, atoms, constraints) = ServerConfig::paper_fleet();
+    let server = PatiaServer::new(net, atoms, constraints, ServerConfig::default());
+    group.bench_function("select_version_595", |b| {
+        b.iter(|| black_box(server.select_version(AtomId(153), black_box(64.0))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Regenerate the behavioural content of every figure:
+//!
+//! * Figure 1 — the adaptation framework loop: detect → decide → switch
+//!   latency and rollback safety;
+//! * Figure 2 — data component version selection under constraints;
+//! * Figure 3 — the sensor/PDA/laptop architecture (Scenario 1 series);
+//! * Figures 4 & 5 — the ADL model and the switchover plan;
+//! * Figure 6 — the ORB invocation anatomy;
+//! * Figure 7 — Patia under flash crowd (see also `--bin table2`).
+
+use adl::figures::{docked_session, fig4_document, fig5_switchover, wireless_session};
+use adm_core::scenario::{failover, inter_query, intra_query, system_adapt};
+use compkit::adaptivity::AdaptivityManager;
+use compkit::runtime::{BasicFactory, FlakyFactory, Runtime};
+use compkit::state::StateManager;
+use datacomp::version::SelectionConstraints;
+use gokernel::kernels::{GoKernel, Kernel};
+use machine::CostModel;
+
+fn fig1() {
+    println!("== Figure 1: adaptation framework ==");
+    let doc = fig4_document();
+    let mut rt = Runtime::new();
+    let mut am = AdaptivityManager::new();
+    let mut st = StateManager::new();
+    let boot = adl::diff::diff(&rt.configuration(), &docked_session(&doc));
+    am.execute(&mut rt, &boot, &mut BasicFactory, &mut st, 0).expect("boot");
+    let plan = fig5_switchover(&doc);
+    let report = am.execute(&mut rt, &plan, &mut BasicFactory, &mut st, 1).expect("switch");
+    println!("  monitored violation -> plan of {} steps executed transactionally", report.steps);
+    let back = plan.inverse();
+    let mut flaky = FlakyFactory::failing(["opt"]);
+    let before = rt.clone();
+    let _ = am.execute(&mut rt, &back, &mut flaky, &mut st, 2).unwrap_err();
+    assert_eq!(rt, before);
+    println!("  injected failure -> rolled back, runtime bit-for-bit restored");
+    println!("  committed={}, rolled_back={}", am.committed(), am.rolled_back());
+}
+
+fn fig2() {
+    println!("\n== Figure 2: data component structure (version selection) ==");
+    let (dc, _) = inter_query::personal_data();
+    println!("  component `{}`: payload {} bytes, {} versions, rules {:?}",
+        dc.name,
+        dc.payload.size_bytes(),
+        dc.versions.len(),
+        dc.rules.iter().map(|r| r.id).collect::<Vec<_>>()
+    );
+    for (label, max_age) in [("fresh required", Some(0)), ("staleness ok", Some(10))] {
+        let c = SelectionConstraints { max_age, bandwidth: 10.0, ..Default::default() };
+        match dc.best_version(&c) {
+            Ok(v) => println!("  {label:<16} -> version {} at {}", v.id, v.location),
+            Err(e) => println!("  {label:<16} -> {e}"),
+        }
+    }
+}
+
+fn fig3() {
+    println!("\n== Figure 3: component architecture (Scenario 1 crossover) ==");
+    println!("  laptop load -> chosen device:");
+    for load in [0.0, 0.5, 0.9, 0.99] {
+        let r = inter_query::run(&inter_query::InterQueryParams { laptop_load: load, ..Default::default() });
+        println!("    {load:>5.2} -> {}", r.chosen_device);
+    }
+}
+
+fn fig45() {
+    println!("\n== Figures 4 & 5: ADL model and switchover ==");
+    let doc = fig4_document();
+    let plan = fig5_switchover(&doc);
+    println!(
+        "  {} component types; docked {} / wireless {} instances; plan = {} steps ({} unbind, {} stop, {} start, {} bind)",
+        doc.components.len(),
+        docked_session(&doc).len(),
+        wireless_session(&doc).len(),
+        plan.len(),
+        plan.unbind.len(),
+        plan.stop.len(),
+        plan.start.len(),
+        plan.bind.len()
+    );
+}
+
+fn fig6() {
+    println!("\n== Figure 6: ORB thread-migration RPC anatomy ==");
+    let mut go = GoKernel::new(CostModel::pentium());
+    let bd = go.breakdown(0);
+    let total: u64 = bd.iter().map(|(_, v)| v).sum();
+    println!("  total {total} cycles:");
+    for (label, cycles) in bd {
+        println!("    {label:<16} {cycles:>4}");
+    }
+}
+
+fn scenarios() {
+    println!("\n== Section 4 scenarios (summary series) ==");
+    let r2 = system_adapt::run(&system_adapt::SystemAdaptParams::default());
+    let r2s = system_adapt::run(&system_adapt::SystemAdaptParams { adaptive: false, ..Default::default() });
+    println!(
+        "  scenario 2: adaptive {} ticks / static {} ticks ({}x faster); bytes {} vs {}",
+        r2.total_ticks,
+        r2s.total_ticks,
+        r2s.total_ticks / r2.total_ticks.max(1),
+        r2.bytes_sent,
+        r2s.bytes_sent
+    );
+    let r3 = intra_query::run(&intra_query::IntraQueryParams::default());
+    println!(
+        "  scenario 3: {} -> {} at row {:?}, speedup {:.1}x",
+        r3.initial_algo, r3.final_algo, r3.switched_at, r3.speedup
+    );
+}
+
+fn extensions() {
+    println!("\n== Extensions: failure mid-query & intra-request streaming ==");
+    let f = failover::run(&failover::FailoverParams::default());
+    println!(
+        "  failover: laptop died @{:?}; query jumped to {} from safe point {:?}; redid {} rows (restart would redo {}); answer intact ({} rows)",
+        f.failed_at, f.finished_on, f.resumed_from, f.rows_redone, f.rows_redone_restart, f.rows_out
+    );
+    use patia::stream::{default_ladder, StreamSession, TickOutcome};
+    use ubinet::link::BandwidthProfile;
+    let profile = BandwidthProfile::Steps(vec![(0, 500.0), (40, 40.0), (4000, 500.0)]);
+    for (label, adaptive) in [("adaptive", true), ("static  ", false)] {
+        let mut s = StreamSession::new(default_ladder(), 120, adaptive);
+        let mut t = 0;
+        loop {
+            t += 1;
+            if s.tick(profile.at(t)) == TickOutcome::Finished || t > 100_000 {
+                break;
+            }
+        }
+        println!(
+            "  stream ({label}): {} stalls, mean quality {:.2}, {} swaps",
+            s.stalls(),
+            s.mean_quality(),
+            s.swaps().len()
+        );
+    }
+}
+
+fn main() {
+    fig1();
+    fig2();
+    fig3();
+    fig45();
+    fig6();
+    scenarios();
+    extensions();
+    println!("\n(Figure 7 / Table 2: run `cargo run -p adm-bench --bin table2`.)");
+}

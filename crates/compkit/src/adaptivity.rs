@@ -1,0 +1,321 @@
+//! The Adaptivity Manager: transactional execution of reconfiguration plans.
+//!
+//! > "The Adaptivity Manager then carries out the unbinding and rebinding of
+//! > components (establishing any glue necessary to achieve the binding).
+//! > To do this it must ensure the instantiation adheres to transactional
+//! > style properties. That is, the switch can be backed off if something
+//! > goes wrong."
+//!
+//! [`AdaptivityManager::execute`] applies a plan step by step, journalling
+//! every completed step; on any failure it replays the journal backwards,
+//! restoring the exact prior runtime (including the stopped components'
+//! state, which was archived in the State Manager before removal).
+
+use crate::runtime::{ComponentFactory, LiveComponent, Runtime};
+use crate::state::StateManager;
+use adl::ast::Binding;
+use adl::diff::ReconfigurationPlan;
+use std::fmt;
+
+/// One journalled (completed) step, with what is needed to undo it.
+#[derive(Debug, Clone)]
+enum Done {
+    Unbound(Binding),
+    Stopped { name: String, comp: LiveComponent },
+    Started { name: String },
+    Bound(Binding),
+}
+
+/// Why a switch failed (and was rolled back).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwitchError {
+    /// A component could not be created.
+    Create {
+        /// Component name.
+        name: String,
+        /// Factory's reason.
+        reason: String,
+    },
+    /// A plan step was inconsistent with the runtime (e.g. unbinding a
+    /// binding that does not exist).
+    Inconsistent(String),
+}
+
+impl fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchError::Create { name, reason } => {
+                write!(f, "failed to create `{name}`: {reason} (switch rolled back)")
+            }
+            SwitchError::Inconsistent(s) => write!(f, "inconsistent plan: {s} (switch rolled back)"),
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+/// A successful switch report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchReport {
+    /// Steps executed (unbind + stop + start + bind).
+    pub steps: usize,
+    /// Components stopped (their state went to the State Manager archive).
+    pub stopped: Vec<String>,
+    /// Components started.
+    pub started: Vec<String>,
+    /// Tick at which the switch completed.
+    pub completed_at: u64,
+}
+
+/// The Adaptivity Manager.
+#[derive(Debug, Default)]
+pub struct AdaptivityManager {
+    switches_committed: u64,
+    switches_rolled_back: u64,
+}
+
+impl AdaptivityManager {
+    /// A fresh manager.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Switches that committed.
+    #[must_use]
+    pub fn committed(&self) -> u64 {
+        self.switches_committed
+    }
+
+    /// Switches that failed and were backed off.
+    #[must_use]
+    pub fn rolled_back(&self) -> u64 {
+        self.switches_rolled_back
+    }
+
+    /// Execute `plan` against `runtime` transactionally.
+    ///
+    /// On success the runtime has exactly the plan's target shape, stopped
+    /// components' state is archived in `states`, and a report is returned.
+    /// On failure the runtime is **bit-for-bit restored** and the error
+    /// describes the first failing step.
+    ///
+    /// # Errors
+    /// [`SwitchError`]; the runtime is unchanged when one is returned.
+    pub fn execute(
+        &mut self,
+        runtime: &mut Runtime,
+        plan: &ReconfigurationPlan,
+        factory: &mut dyn ComponentFactory,
+        states: &mut StateManager,
+        now: u64,
+    ) -> Result<SwitchReport, SwitchError> {
+        let mut journal: Vec<Done> = Vec::with_capacity(plan.len());
+
+        let result = self.try_execute(runtime, plan, factory, states, now, &mut journal);
+        match result {
+            Ok(report) => {
+                self.switches_committed += 1;
+                Ok(report)
+            }
+            Err(e) => {
+                // Back off: undo the journal in reverse.
+                for step in journal.into_iter().rev() {
+                    match step {
+                        Done::Unbound(b) => {
+                            runtime.bind(b).expect("rollback rebind cannot fail");
+                        }
+                        Done::Stopped { name, comp } => {
+                            // The archive entry was created on stop; remove it
+                            // again so rollback leaves no residue.
+                            let _ = states.unarchive(&name);
+                            runtime.start(&name, comp).expect("rollback restart cannot fail");
+                        }
+                        Done::Started { name } => {
+                            let _ = runtime.stop(&name).expect("rollback stop cannot fail");
+                        }
+                        Done::Bound(b) => {
+                            runtime.unbind(&b).expect("rollback unbind cannot fail");
+                        }
+                    }
+                }
+                self.switches_rolled_back += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn try_execute(
+        &mut self,
+        runtime: &mut Runtime,
+        plan: &ReconfigurationPlan,
+        factory: &mut dyn ComponentFactory,
+        states: &mut StateManager,
+        now: u64,
+        journal: &mut Vec<Done>,
+    ) -> Result<SwitchReport, SwitchError> {
+        // 1. Unbind first: never leave a live binding to a stopping component.
+        for b in &plan.unbind {
+            runtime
+                .unbind(b)
+                .map_err(|e| SwitchError::Inconsistent(e.to_string()))?;
+            journal.push(Done::Unbound(b.clone()));
+        }
+        // 2. Stop, archiving state.
+        let mut stopped = Vec::with_capacity(plan.stop.len());
+        for (name, _ty) in &plan.stop {
+            let comp = runtime
+                .stop(name)
+                .map_err(|e| SwitchError::Inconsistent(e.to_string()))?;
+            states.archive(name, comp.state.clone());
+            journal.push(Done::Stopped { name: name.clone(), comp });
+            stopped.push(name.clone());
+        }
+        // 3. Start new components (the step that can fail for real reasons).
+        let mut started = Vec::with_capacity(plan.start.len());
+        for (name, ty) in &plan.start {
+            let comp = factory
+                .create(name, ty, now)
+                .map_err(|e| SwitchError::Create { name: e.name, reason: e.reason })?;
+            runtime
+                .start(name, comp)
+                .map_err(|e| SwitchError::Inconsistent(e.to_string()))?;
+            journal.push(Done::Started { name: name.clone() });
+            started.push(name.clone());
+        }
+        // 4. Bind last: all endpoints now exist.
+        for b in &plan.bind {
+            runtime
+                .bind(b.clone())
+                .map_err(|e| SwitchError::Inconsistent(e.to_string()))?;
+            journal.push(Done::Bound(b.clone()));
+        }
+        Ok(SwitchReport { steps: plan.len(), stopped, started, completed_at: now })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{BasicFactory, FlakyFactory};
+    use adl::config::flatten;
+    use adl::diff::diff;
+    use adl::figures::{docked_session, fig4_document, wireless_session};
+    use adl::parse::parse;
+
+    /// Bring up the Figure 4 docked session from an empty runtime.
+    fn boot_docked() -> (Runtime, StateManager, AdaptivityManager) {
+        let doc = fig4_document();
+        let docked = docked_session(&doc);
+        let mut rt = Runtime::new();
+        let mut am = AdaptivityManager::new();
+        let mut sm = StateManager::new();
+        let plan = diff(&rt.configuration(), &docked);
+        am.execute(&mut rt, &plan, &mut BasicFactory, &mut sm, 0).unwrap();
+        assert_eq!(rt.configuration(), docked);
+        (rt, sm, am)
+    }
+
+    #[test]
+    fn boot_then_switchover_reaches_wireless() {
+        let (mut rt, mut sm, mut am) = boot_docked();
+        let doc = fig4_document();
+        let plan = diff(&rt.configuration(), &wireless_session(&doc));
+        let report = am.execute(&mut rt, &plan, &mut BasicFactory, &mut sm, 5).unwrap();
+        assert_eq!(rt.configuration(), wireless_session(&doc));
+        assert_eq!(report.stopped, vec!["eth", "opt"]);
+        assert_eq!(report.started, vec!["dec", "wifi", "wopt"]);
+        assert_eq!(am.committed(), 2);
+        assert_eq!(am.rolled_back(), 0);
+    }
+
+    #[test]
+    fn failed_start_rolls_back_exactly() {
+        let (mut rt, mut sm, mut am) = boot_docked();
+        let before = rt.clone();
+        let doc = fig4_document();
+        let plan = diff(&rt.configuration(), &wireless_session(&doc));
+        // The wireless optimiser cannot be fetched off the network.
+        let mut factory = FlakyFactory::failing(["wopt"]);
+        let err = am.execute(&mut rt, &plan, &mut factory, &mut sm, 9).unwrap_err();
+        assert!(matches!(err, SwitchError::Create { ref name, .. } if name == "wopt"));
+        assert_eq!(rt, before, "runtime must be bit-for-bit restored");
+        assert_eq!(am.rolled_back(), 1);
+        // Archived state from the aborted stop must not linger.
+        assert_eq!(sm.unarchive("opt"), None);
+        assert_eq!(sm.unarchive("eth"), None);
+    }
+
+    #[test]
+    fn stopped_component_state_is_archived_on_commit() {
+        let (mut rt, mut sm, mut am) = boot_docked();
+        rt.component_mut("opt").unwrap().state = b"half-built-plan".to_vec();
+        let doc = fig4_document();
+        let plan = diff(&rt.configuration(), &wireless_session(&doc));
+        am.execute(&mut rt, &plan, &mut BasicFactory, &mut sm, 3).unwrap();
+        assert_eq!(sm.unarchive("opt"), Some(b"half-built-plan".to_vec()));
+    }
+
+    #[test]
+    fn inconsistent_plan_is_rejected_and_rolled_back() {
+        let (mut rt, mut sm, mut am) = boot_docked();
+        let before = rt.clone();
+        // Hand-craft a plan that stops a component that does not exist.
+        let doc = fig4_document();
+        let mut plan = diff(&rt.configuration(), &wireless_session(&doc));
+        plan.stop.push(("phantom".into(), "Ghost".into()));
+        let err = am.execute(&mut rt, &plan, &mut BasicFactory, &mut sm, 1).unwrap_err();
+        assert!(matches!(err, SwitchError::Inconsistent(_)));
+        assert_eq!(rt, before);
+    }
+
+    #[test]
+    fn empty_plan_commits_trivially() {
+        let (mut rt, mut sm, mut am) = boot_docked();
+        let plan = adl::diff::ReconfigurationPlan::default();
+        let report = am.execute(&mut rt, &plan, &mut BasicFactory, &mut sm, 2).unwrap();
+        assert_eq!(report.steps, 0);
+    }
+
+    #[test]
+    fn repeated_flapping_switches_are_stable() {
+        // Docked → wireless → docked × 50: the runtime must end exactly
+        // where it started and counters must add up.
+        let (mut rt, mut sm, mut am) = boot_docked();
+        let doc = fig4_document();
+        let docked = docked_session(&doc);
+        let wireless = wireless_session(&doc);
+        for i in 0..50 {
+            let target = if i % 2 == 0 { &wireless } else { &docked };
+            let plan = diff(&rt.configuration(), target);
+            am.execute(&mut rt, &plan, &mut BasicFactory, &mut sm, i).unwrap();
+        }
+        assert_eq!(rt.configuration(), docked);
+        assert_eq!(am.committed(), 51);
+    }
+
+    #[test]
+    fn partial_progress_failure_mid_bind_restores() {
+        // A plan whose bind step fails after several successful steps: make
+        // the last bind reference an instance the plan never started.
+        let doc = parse(
+            "component T { provide p; }
+             component U { require q; }
+             component C { when on { inst t : T; u : U; bind u.q -- t.p; } }",
+        )
+        .unwrap();
+        let target = flatten(&doc, "C", &["on"]).unwrap();
+        let mut rt = Runtime::new();
+        let mut am = AdaptivityManager::new();
+        let mut sm = StateManager::new();
+        let mut plan = diff(&rt.configuration(), &target);
+        plan.bind.push(adl::ast::Binding {
+            from: adl::ast::PortRef::on("u", "q2"),
+            to: adl::ast::PortRef::on("missing", "p"),
+        });
+        let before = rt.clone();
+        let err = am.execute(&mut rt, &plan, &mut BasicFactory, &mut sm, 0).unwrap_err();
+        assert!(matches!(err, SwitchError::Inconsistent(_)));
+        assert_eq!(rt, before);
+    }
+}

@@ -1,0 +1,246 @@
+//! Gauges: lightweight aggregation over monitors.
+//!
+//! > "A session manager is fed information from monitors or gauges (which
+//! > aggregate raw monitor data for more lightweight processing)."
+//!
+//! A gauge names a monitor and an aggregation. [`GaugeKind::Slope`] is the
+//! "trend analysis" the paper uses to *anticipate* flash crowds: a positive
+//! slope on the request-rate monitor fires the spread-processing rule before
+//! the server saturates.
+
+use crate::monitor::Monitor;
+use std::collections::BTreeMap;
+
+/// How a gauge aggregates its monitor's readings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GaugeKind {
+    /// The most recent value.
+    Latest,
+    /// Arithmetic mean of the last `n` readings.
+    WindowMean(usize),
+    /// Exponentially weighted moving average with smoothing factor `alpha`
+    /// in (0, 1]; higher alpha follows the signal faster.
+    Ewma(f64),
+    /// Maximum of the last `n` readings.
+    WindowMax(usize),
+    /// Least-squares slope (value per tick) over the last `n` readings —
+    /// trend analysis.
+    Slope(usize),
+}
+
+/// A named gauge bound to a monitor.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    /// The gauge's name, referenced by rule expressions.
+    pub name: String,
+    /// The monitor it reads.
+    pub monitor: String,
+    /// The aggregation.
+    pub kind: GaugeKind,
+}
+
+impl Gauge {
+    /// Evaluate the gauge against its monitor. `None` when the monitor has
+    /// too few readings to aggregate.
+    #[must_use]
+    pub fn evaluate(&self, m: &Monitor) -> Option<f64> {
+        match self.kind {
+            GaugeKind::Latest => m.latest().map(|r| r.value),
+            GaugeKind::WindowMean(n) => {
+                let w = m.window(n);
+                if w.is_empty() {
+                    None
+                } else {
+                    Some(w.iter().map(|r| r.value).sum::<f64>() / w.len() as f64)
+                }
+            }
+            GaugeKind::Ewma(alpha) => {
+                let w = m.window(usize::MAX);
+                let mut acc: Option<f64> = None;
+                for r in w {
+                    acc = Some(match acc {
+                        None => r.value,
+                        Some(prev) => alpha * r.value + (1.0 - alpha) * prev,
+                    });
+                }
+                acc
+            }
+            GaugeKind::WindowMax(n) => {
+                m.window(n).iter().map(|r| r.value).fold(None, |acc, v| {
+                    Some(acc.map_or(v, |a: f64| a.max(v)))
+                })
+            }
+            GaugeKind::Slope(n) => {
+                let w = m.window(n);
+                if w.len() < 2 {
+                    return None;
+                }
+                let len = w.len() as f64;
+                let mean_x = w.iter().map(|r| r.tick as f64).sum::<f64>() / len;
+                let mean_y = w.iter().map(|r| r.value).sum::<f64>() / len;
+                let num: f64 =
+                    w.iter().map(|r| (r.tick as f64 - mean_x) * (r.value - mean_y)).sum();
+                let den: f64 = w.iter().map(|r| (r.tick as f64 - mean_x).powi(2)).sum();
+                if den == 0.0 {
+                    None
+                } else {
+                    Some(num / den)
+                }
+            }
+        }
+    }
+}
+
+/// A board of monitors and the gauges over them — the data source for rule
+/// evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct GaugeBoard {
+    monitors: BTreeMap<String, Monitor>,
+    gauges: Vec<Gauge>,
+}
+
+impl GaugeBoard {
+    /// An empty board.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add (or replace) a monitor.
+    pub fn add_monitor(&mut self, m: Monitor) {
+        self.monitors.insert(m.name().to_owned(), m);
+    }
+
+    /// Add a gauge. Later gauges with the same name shadow earlier ones.
+    pub fn add_gauge(&mut self, g: Gauge) {
+        self.gauges.retain(|e| e.name != g.name);
+        self.gauges.push(g);
+    }
+
+    /// Push a reading into a named monitor; ignored if absent.
+    pub fn record(&mut self, monitor: &str, tick: u64, value: f64) {
+        if let Some(m) = self.monitors.get_mut(monitor) {
+            m.push(tick, value);
+        }
+    }
+
+    /// Evaluate one gauge by name.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        let g = self.gauges.iter().find(|g| g.name == name)?;
+        let m = self.monitors.get(&g.monitor)?;
+        g.evaluate(m)
+    }
+
+    /// Evaluate all gauges.
+    #[must_use]
+    pub fn snapshot(&self) -> BTreeMap<String, f64> {
+        self.gauges
+            .iter()
+            .filter_map(|g| {
+                let v = self.monitors.get(&g.monitor).and_then(|m| g.evaluate(m))?;
+                Some((g.name.clone(), v))
+            })
+            .collect()
+    }
+
+    /// Direct access to a monitor (for tests and environments).
+    #[must_use]
+    pub fn monitor(&self, name: &str) -> Option<&Monitor> {
+        self.monitors.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mon(values: &[f64]) -> Monitor {
+        let mut m = Monitor::new("m", 64);
+        for (t, &v) in values.iter().enumerate() {
+            m.push(t as u64, v);
+        }
+        m
+    }
+
+    fn gauge(kind: GaugeKind) -> Gauge {
+        Gauge { name: "g".into(), monitor: "m".into(), kind }
+    }
+
+    #[test]
+    fn latest_and_mean() {
+        let m = mon(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(gauge(GaugeKind::Latest).evaluate(&m), Some(4.0));
+        assert_eq!(gauge(GaugeKind::WindowMean(2)).evaluate(&m), Some(3.5));
+        assert_eq!(gauge(GaugeKind::WindowMean(10)).evaluate(&m), Some(2.5));
+    }
+
+    #[test]
+    fn ewma_follows_signal() {
+        let m = mon(&[0.0, 0.0, 10.0]);
+        let v = gauge(GaugeKind::Ewma(0.5)).evaluate(&m).unwrap();
+        assert!((v - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_over_window() {
+        let m = mon(&[5.0, 9.0, 2.0]);
+        assert_eq!(gauge(GaugeKind::WindowMax(2)).evaluate(&m), Some(9.0));
+        assert_eq!(gauge(GaugeKind::WindowMax(1)).evaluate(&m), Some(2.0));
+    }
+
+    #[test]
+    fn slope_detects_trend() {
+        let up = mon(&[1.0, 2.0, 3.0, 4.0]);
+        let v = gauge(GaugeKind::Slope(4)).evaluate(&up).unwrap();
+        assert!((v - 1.0).abs() < 1e-9);
+        let flat = mon(&[3.0, 3.0, 3.0]);
+        assert_eq!(gauge(GaugeKind::Slope(3)).evaluate(&flat), Some(0.0));
+    }
+
+    #[test]
+    fn empty_monitor_yields_none() {
+        let m = Monitor::new("m", 4);
+        for kind in [
+            GaugeKind::Latest,
+            GaugeKind::WindowMean(3),
+            GaugeKind::Ewma(0.3),
+            GaugeKind::WindowMax(3),
+            GaugeKind::Slope(3),
+        ] {
+            assert_eq!(gauge(kind).evaluate(&m), None, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn slope_needs_two_points() {
+        let m = mon(&[5.0]);
+        assert_eq!(gauge(GaugeKind::Slope(5)).evaluate(&m), None);
+    }
+
+    #[test]
+    fn board_snapshot() {
+        let mut b = GaugeBoard::new();
+        b.add_monitor(Monitor::new("cpu", 8));
+        b.add_gauge(Gauge { name: "cpu_now".into(), monitor: "cpu".into(), kind: GaugeKind::Latest });
+        b.add_gauge(Gauge {
+            name: "cpu_avg".into(),
+            monitor: "cpu".into(),
+            kind: GaugeKind::WindowMean(4),
+        });
+        b.record("cpu", 0, 0.2);
+        b.record("cpu", 1, 0.8);
+        let snap = b.snapshot();
+        assert_eq!(snap["cpu_now"], 0.8);
+        assert_eq!(snap["cpu_avg"], 0.5);
+        assert_eq!(b.gauge_value("cpu_now"), Some(0.8));
+        assert_eq!(b.gauge_value("missing"), None);
+    }
+
+    #[test]
+    fn records_to_unknown_monitor_are_ignored() {
+        let mut b = GaugeBoard::new();
+        b.record("ghost", 0, 1.0);
+        assert!(b.snapshot().is_empty());
+    }
+}

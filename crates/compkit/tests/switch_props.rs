@@ -1,0 +1,88 @@
+//! Property: the Adaptivity Manager's switch is atomic under arbitrary
+//! injected creation failures — either the runtime reaches exactly the
+//! target configuration, or it is restored bit-for-bit.
+
+use adl::ast::{Binding, PortRef};
+use adl::config::Configuration;
+use adl::diff::diff;
+use compkit::adaptivity::AdaptivityManager;
+use compkit::runtime::{BasicFactory, FlakyFactory, Runtime};
+use compkit::state::StateManager;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn name() -> impl Strategy<Value = String> {
+    "[a-e]{1,2}".prop_map(|s| s)
+}
+
+fn configuration() -> impl Strategy<Value = Configuration> {
+    (
+        prop::collection::btree_map(name(), "[TUV]", 0..6),
+        prop::collection::btree_set((name(), "[pq]", name(), "[pq]"), 0..6),
+    )
+        .prop_map(|(instances, raw)| {
+            // Bindings may only reference instances that exist, so the
+            // runtime's bind() invariant holds for the *target*.
+            let keys: BTreeSet<&String> = instances.keys().collect();
+            let bindings = raw
+                .into_iter()
+                .filter(|(fi, _, ti, _)| keys.contains(fi) && keys.contains(ti))
+                .map(|(fi, fp, ti, tp)| Binding {
+                    from: PortRef::on(&fi, &fp),
+                    to: PortRef::on(&ti, &tp),
+                })
+                .collect();
+            Configuration { instances, bindings }
+        })
+}
+
+fn boot(cfg: &Configuration) -> Runtime {
+    let mut rt = Runtime::new();
+    let mut am = AdaptivityManager::new();
+    let mut st = StateManager::new();
+    let plan = diff(&Configuration::default(), cfg);
+    am.execute(&mut rt, &plan, &mut BasicFactory, &mut st, 0)
+        .expect("booting a self-consistent configuration succeeds");
+    rt
+}
+
+proptest! {
+    /// With a healthy factory, a switch always lands exactly on the target.
+    #[test]
+    fn switch_reaches_target(a in configuration(), b in configuration()) {
+        let mut rt = boot(&a);
+        let mut am = AdaptivityManager::new();
+        let mut st = StateManager::new();
+        let plan = diff(&rt.configuration(), &b);
+        am.execute(&mut rt, &plan, &mut BasicFactory, &mut st, 1).unwrap();
+        prop_assert_eq!(rt.configuration(), b);
+    }
+
+    /// With injected failures, the outcome is all-or-nothing.
+    #[test]
+    fn switch_is_atomic_under_failures(
+        a in configuration(),
+        b in configuration(),
+        fail in prop::collection::btree_set(name(), 0..4),
+    ) {
+        let mut rt = boot(&a);
+        let before = rt.clone();
+        let mut am = AdaptivityManager::new();
+        let mut st = StateManager::new();
+        let plan = diff(&rt.configuration(), &b);
+        let mut factory = FlakyFactory::failing(fail.clone());
+        match am.execute(&mut rt, &plan, &mut factory, &mut st, 1) {
+            Ok(_) => {
+                prop_assert_eq!(rt.configuration(), b.clone());
+                // Success implies no started component was on the fail list.
+                for (n, _) in &plan.start {
+                    prop_assert!(!fail.contains(n));
+                }
+            }
+            Err(_) => {
+                prop_assert_eq!(&rt, &before, "failed switch must restore the runtime");
+                prop_assert_eq!(am.rolled_back(), 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Scenario 3 — *intra-query adaptation*.
+//!
+//! > "the Laptop is issuing a relational query, which involves heavy join
+//! > processing ... Here the statistics provided by the metadata are not
+//! > quite accurate enough for the pre-optimisor to build the optimal plan.
+//! > ... The query plan is revised to perhaps change the join's inner-loop
+//! > to the outer-loop or add an index to one of the tables. ... The
+//! > adaptivity manager brings the query to a consistent state maintained
+//! > by the State Manager component. The query then continues from this
+//! > point."
+//!
+//! This wraps the `query` crate's adaptive executor in the architecture: at
+//! the re-optimisation safe point the consistent state is recorded in the
+//! `compkit` State Manager — the component the paper notes "is only called
+//! upon at this time".
+
+use compkit::state::{SafePoint, StateManager};
+use query::exec::AdaptiveJoinExec;
+use query::op::WorkCounter;
+use query::optimizer::Catalog;
+use query::workload::{gen_table, KeyDist};
+
+/// Scenario parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntraQueryParams {
+    /// Rows in each table.
+    pub rows: usize,
+    /// Join-key domain (controls result size).
+    pub key_domain: i64,
+    /// Multiplicative staleness error on the visible statistics
+    /// (1.0 = fresh; the paper's scenario wants ≪ 1 or ≫ 1).
+    pub stats_error: f64,
+    /// Outer rows between safe points.
+    pub safe_point_interval: u64,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for IntraQueryParams {
+    fn default() -> Self {
+        Self { rows: 2_000, key_domain: 50, stats_error: 0.0025, safe_point_interval: 64, seed: 7 }
+    }
+}
+
+/// The scenario's outcome: the same query run statically and adaptively.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntraQueryReport {
+    /// The (bad) plan the stale statistics produced.
+    pub initial_algo: String,
+    /// The plan that finished the adaptive run.
+    pub final_algo: String,
+    /// Outer position of the switch, if any.
+    pub switched_at: Option<u64>,
+    /// Result rows (identical for both runs — checked).
+    pub rows_out: u64,
+    /// Total work units of the static run.
+    pub static_work: u64,
+    /// Total work units of the adaptive run.
+    pub adaptive_work: u64,
+    /// static / adaptive — the paper's payoff.
+    pub speedup: f64,
+    /// Progress mark the State Manager holds after the switch.
+    pub state_manager_progress: Option<u64>,
+}
+
+/// Run the scenario.
+///
+/// # Panics
+/// If the two runs disagree on results — that would be an engine bug, and
+/// the property tests exist to keep it unreachable.
+#[must_use]
+pub fn run(p: &IntraQueryParams) -> IntraQueryReport {
+    let mut catalog = Catalog::new();
+    let dist = KeyDist::Uniform { domain: p.key_domain };
+    catalog.register_with_stale_stats("orders", gen_table(p.rows, dist, p.seed), p.stats_error);
+    catalog.register_with_stale_stats(
+        "customers",
+        gen_table(p.rows, dist, p.seed.wrapping_add(1)),
+        p.stats_error,
+    );
+    let exec = AdaptiveJoinExec { safe_point_interval: p.safe_point_interval, reopt_threshold: 4.0 };
+
+    let ws = WorkCounter::new();
+    let (static_rows, static_report) =
+        exec.run(&catalog, "orders", "customers", 0, 0, false, &ws).expect("tables registered");
+    let wa = WorkCounter::new();
+    let (adaptive_rows, adaptive_report) =
+        exec.run(&catalog, "orders", "customers", 0, 0, true, &wa).expect("tables registered");
+    assert_eq!(static_rows.len(), adaptive_rows.len(), "adaptation must not change results");
+
+    // The State Manager holds the consistent state of the switch.
+    let mut states = StateManager::new();
+    if let Some(at) = adaptive_report.switched_at {
+        states.record(SafePoint {
+            component: "join-pipeline".into(),
+            progress: at,
+            taken_at: at,
+            state: at.to_le_bytes().to_vec(),
+        });
+    }
+
+    let static_work = static_report.work.total_ops();
+    let adaptive_work = adaptive_report.work.total_ops();
+    IntraQueryReport {
+        initial_algo: adaptive_report.initial_algo.to_string(),
+        final_algo: adaptive_report.final_algo.to_string(),
+        switched_at: adaptive_report.switched_at,
+        rows_out: adaptive_report.rows_out,
+        static_work,
+        adaptive_work,
+        speedup: static_work as f64 / adaptive_work.max(1) as f64,
+        state_manager_progress: states.latest("join-pipeline").map(|sp| sp.progress),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_stats_trigger_a_winning_mid_query_switch() {
+        let r = run(&IntraQueryParams::default());
+        assert!(r.switched_at.is_some(), "{r:?}");
+        assert_ne!(r.initial_algo, r.final_algo);
+        assert!(r.speedup > 2.0, "speedup {}", r.speedup);
+        assert_eq!(r.state_manager_progress, r.switched_at);
+    }
+
+    #[test]
+    fn fresh_stats_need_no_switch_and_cost_the_same() {
+        let r = run(&IntraQueryParams { stats_error: 1.0, ..Default::default() });
+        assert_eq!(r.switched_at, None);
+        assert_eq!(r.initial_algo, r.final_algo);
+        assert!((r.speedup - 1.0).abs() < 0.05, "speedup {}", r.speedup);
+        assert_eq!(r.state_manager_progress, None);
+    }
+
+    #[test]
+    fn speedup_grows_with_staleness() {
+        let mild = run(&IntraQueryParams { stats_error: 0.02, rows: 1_000, ..Default::default() });
+        let severe =
+            run(&IntraQueryParams { stats_error: 0.002, rows: 1_000, ..Default::default() });
+        // Both misestimates trigger a switch; the severer one started from
+        // an even worse plan, so adaptation pays at least as much.
+        assert!(severe.speedup >= mild.speedup * 0.9, "{severe:?} vs {mild:?}");
+        assert!(severe.speedup > 1.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(&IntraQueryParams::default());
+        let b = run(&IntraQueryParams::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,173 @@
+//! The data-component constraint mini-language of Scenario 1:
+//!
+//! > `Personal data <id, name, address, age, metadata etc>,
+//! >  <Select BEST (PDA, Laptop)>, <Select NEAREST (PDA, Laptop)>;`
+//!
+//! A selector names a device-selection function (`BEST` or `NEAREST`) and
+//! its prioritised candidate list. Selectors are stored with the data
+//! component and evaluated against the live [`ubinet::Network`] when a
+//! query needs the data.
+
+use std::fmt;
+use ubinet::net::Network;
+use ubinet::select::{best, nearest};
+
+/// A parsed selector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selector {
+    /// `Select BEST (candidates...)` — capacity × idleness.
+    Best(Vec<String>),
+    /// `Select NEAREST (candidates...)` — fewest live hops from the
+    /// querying device.
+    Nearest(Vec<String>),
+}
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectorError {
+    /// The text is not of the form `Select FN (a, b, ...)`.
+    Malformed(String),
+    /// Unknown selection function.
+    UnknownFunction(String),
+    /// Empty candidate list.
+    NoCandidates,
+    /// Evaluation failed (no candidate usable).
+    NoneUsable,
+}
+
+impl fmt::Display for SelectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectorError::Malformed(s) => write!(f, "malformed selector `{s}`"),
+            SelectorError::UnknownFunction(s) => write!(f, "unknown selection function `{s}`"),
+            SelectorError::NoCandidates => write!(f, "selector has no candidates"),
+            SelectorError::NoneUsable => write!(f, "no candidate is usable"),
+        }
+    }
+}
+
+impl std::error::Error for SelectorError {}
+
+/// Parse `Select BEST (PDA, Laptop)`-style text (case-insensitive keyword,
+/// optional surrounding `<...>`).
+///
+/// # Errors
+/// [`SelectorError`] for malformed input.
+pub fn parse_selector(text: &str) -> Result<Selector, SelectorError> {
+    let t = text.trim().trim_start_matches('<').trim_end_matches('>').trim();
+    let rest = t
+        .strip_prefix("Select ")
+        .or_else(|| t.strip_prefix("select "))
+        .or_else(|| t.strip_prefix("SELECT "))
+        .ok_or_else(|| SelectorError::Malformed(text.to_owned()))?;
+    let open = rest.find('(').ok_or_else(|| SelectorError::Malformed(text.to_owned()))?;
+    let close = rest.rfind(')').ok_or_else(|| SelectorError::Malformed(text.to_owned()))?;
+    if close < open {
+        return Err(SelectorError::Malformed(text.to_owned()));
+    }
+    let func = rest[..open].trim();
+    let candidates: Vec<String> = rest[open + 1..close]
+        .split(',')
+        .map(|c| c.trim().to_owned())
+        .filter(|c| !c.is_empty())
+        .collect();
+    if candidates.is_empty() {
+        return Err(SelectorError::NoCandidates);
+    }
+    match func.to_ascii_uppercase().as_str() {
+        "BEST" => Ok(Selector::Best(candidates)),
+        "NEAREST" => Ok(Selector::Nearest(candidates)),
+        other => Err(SelectorError::UnknownFunction(other.to_owned())),
+    }
+}
+
+impl Selector {
+    /// Evaluate against the live network. `from` is the querying device
+    /// (used by `NEAREST`).
+    ///
+    /// # Errors
+    /// [`SelectorError::NoneUsable`] when no candidate qualifies.
+    pub fn evaluate<'a>(&'a self, net: &Network, from: &str) -> Result<&'a str, SelectorError> {
+        match self {
+            Selector::Best(cands) => {
+                let refs: Vec<&str> = cands.iter().map(String::as_str).collect();
+                best(net, &refs).ok_or(SelectorError::NoneUsable)
+            }
+            Selector::Nearest(cands) => {
+                let refs: Vec<&str> = cands.iter().map(String::as_str).collect();
+                nearest(net, from, &refs).map_err(|_| SelectorError::NoneUsable)
+            }
+        }
+    }
+
+    /// The candidate list.
+    #[must_use]
+    pub fn candidates(&self) -> &[String] {
+        match self {
+            Selector::Best(c) | Selector::Nearest(c) => c,
+        }
+    }
+}
+
+impl fmt::Display for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (name, cands) = match self {
+            Selector::Best(c) => ("BEST", c),
+            Selector::Nearest(c) => ("NEAREST", c),
+        };
+        write!(f, "Select {name} ({})", cands.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubinet::device::{Device, DeviceKind};
+    use ubinet::link::{BandwidthProfile, Link, LinkKind};
+
+    #[test]
+    fn parses_paper_forms() {
+        assert_eq!(
+            parse_selector("<Select BEST (PDA, Laptop)>").unwrap(),
+            Selector::Best(vec!["PDA".into(), "Laptop".into()])
+        );
+        assert_eq!(
+            parse_selector("Select NEAREST (PDA, Laptop)").unwrap(),
+            Selector::Nearest(vec!["PDA".into(), "Laptop".into()])
+        );
+        assert_eq!(
+            parse_selector("select best (a)").unwrap(),
+            Selector::Best(vec!["a".into()])
+        );
+    }
+
+    #[test]
+    fn rejects_bad_forms() {
+        assert!(matches!(parse_selector("BEST (a)"), Err(SelectorError::Malformed(_))));
+        assert!(matches!(parse_selector("Select BEST a, b"), Err(SelectorError::Malformed(_))));
+        assert!(matches!(
+            parse_selector("Select WORST (a)"),
+            Err(SelectorError::UnknownFunction(_))
+        ));
+        assert!(matches!(parse_selector("Select BEST ()"), Err(SelectorError::NoCandidates)));
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in ["Select BEST (PDA, Laptop)", "Select NEAREST (a, b, c)"] {
+            assert_eq!(parse_selector(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn evaluate_against_network() {
+        let mut net = ubinet::Network::new();
+        net.add_device(Device::new("PDA", DeviceKind::Pda));
+        net.add_device(Device::new("Laptop", DeviceKind::Laptop));
+        net.add_link(Link::new("PDA", "Laptop", LinkKind::Wireless, BandwidthProfile::Constant(50.0), 1));
+        let s = parse_selector("Select BEST (PDA, Laptop)").unwrap();
+        assert_eq!(s.evaluate(&net, "PDA").unwrap(), "Laptop");
+        let n = parse_selector("Select NEAREST (PDA, Laptop)").unwrap();
+        assert_eq!(n.evaluate(&net, "PDA").unwrap(), "PDA", "self is zero hops");
+    }
+}

@@ -1,0 +1,334 @@
+//! A small XML event model — the sensor's stream format.
+//!
+//! The scenarios stream sensor data "in XML format"; the Patia server
+//! delivers XML-described atoms. This module provides an event-based model
+//! (start element with attributes, text, end element), a serialiser, and a
+//! strict parser for the subset the system emits. Event-based rather than
+//! tree-based because streams must be processable incrementally and cut at
+//! safe points (whole-event boundaries).
+
+use std::fmt;
+
+/// One XML stream event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name attr="v" ...>`
+    Start {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<(String, String)>,
+    },
+    /// Character data (entity-escaped on the wire).
+    Text(String),
+    /// `</name>`
+    End {
+        /// Element name.
+        name: String,
+    },
+}
+
+/// XML parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Unexpected end of input.
+    Truncated,
+    /// Malformed syntax at byte offset.
+    Malformed {
+        /// Byte offset of the problem.
+        at: usize,
+        /// What went wrong.
+        what: &'static str,
+    },
+    /// An end tag did not match the open element.
+    Mismatched {
+        /// The open element.
+        open: String,
+        /// The closing tag found.
+        close: String,
+    },
+    /// Input ended with elements still open.
+    Unclosed(String),
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Truncated => write!(f, "truncated XML"),
+            XmlError::Malformed { at, what } => write!(f, "malformed XML at byte {at}: {what}"),
+            XmlError::Mismatched { open, close } => {
+                write!(f, "mismatched tags: <{open}> closed by </{close}>")
+            }
+            XmlError::Unclosed(n) => write!(f, "unclosed element <{n}>"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let mut matched = false;
+        for (ent, ch) in [("&amp;", '&'), ("&lt;", '<'), ("&gt;", '>'), ("&quot;", '"')] {
+            if let Some(stripped) = rest.strip_prefix(ent) {
+                out.push(ch);
+                rest = stripped;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            // Unknown entity: pass the ampersand through verbatim.
+            out.push('&');
+            rest = &rest[1..];
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Serialise a sequence of events.
+#[must_use]
+pub fn write_events(events: &[XmlEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        match e {
+            XmlEvent::Start { name, attrs } => {
+                out.push('<');
+                out.push_str(name);
+                for (k, v) in attrs {
+                    out.push(' ');
+                    out.push_str(k);
+                    out.push_str("=\"");
+                    escape(v, &mut out);
+                    out.push('"');
+                }
+                out.push('>');
+            }
+            XmlEvent::Text(t) => escape(t, &mut out),
+            XmlEvent::End { name } => {
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            }
+        }
+    }
+    out
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == ':'
+}
+
+/// Parse a document into events, checking well-formedness (balanced tags).
+///
+/// # Errors
+/// [`XmlError`] on malformed or unbalanced input.
+pub fn parse_events(src: &str) -> Result<Vec<XmlEvent>, XmlError> {
+    let bytes = src.as_bytes();
+    let mut events = Vec::new();
+    let mut stack: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            if i + 1 >= bytes.len() {
+                return Err(XmlError::Truncated);
+            }
+            if bytes[i + 1] == b'/' {
+                // end tag
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'>' {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return Err(XmlError::Truncated);
+                }
+                let name = src[start..j].trim().to_owned();
+                if name.is_empty() || !name.chars().all(is_name_char) {
+                    return Err(XmlError::Malformed { at: start, what: "bad end-tag name" });
+                }
+                match stack.pop() {
+                    Some(open) if open == name => {}
+                    Some(open) => return Err(XmlError::Mismatched { open, close: name }),
+                    None => {
+                        return Err(XmlError::Malformed { at: i, what: "end tag with no open element" })
+                    }
+                }
+                events.push(XmlEvent::End { name });
+                i = j + 1;
+            } else {
+                // start tag
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'>' {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return Err(XmlError::Truncated);
+                }
+                let inner = &src[start..j];
+                let self_closing = inner.ends_with('/');
+                let inner = inner.strip_suffix('/').unwrap_or(inner);
+                let mut parts = inner.trim().splitn(2, char::is_whitespace);
+                let name = parts.next().unwrap_or("").to_owned();
+                if name.is_empty() || !name.chars().all(is_name_char) {
+                    return Err(XmlError::Malformed { at: start, what: "bad start-tag name" });
+                }
+                let mut attrs = Vec::new();
+                if let Some(attr_src) = parts.next() {
+                    let mut rest = attr_src.trim();
+                    while !rest.is_empty() {
+                        let eq = rest.find('=').ok_or(XmlError::Malformed {
+                            at: start,
+                            what: "attribute without `=`",
+                        })?;
+                        let key = rest[..eq].trim().to_owned();
+                        let after = rest[eq + 1..].trim_start();
+                        if !after.starts_with('"') {
+                            return Err(XmlError::Malformed { at: start, what: "unquoted attribute" });
+                        }
+                        let close = after[1..].find('"').ok_or(XmlError::Truncated)?;
+                        let val = unescape(&after[1..=close]);
+                        attrs.push((key, val));
+                        rest = after[close + 2..].trim_start();
+                    }
+                }
+                events.push(XmlEvent::Start { name: name.clone(), attrs });
+                if self_closing {
+                    events.push(XmlEvent::End { name });
+                } else {
+                    stack.push(name);
+                }
+                i = j + 1;
+            }
+        } else {
+            let mut j = i;
+            while j < bytes.len() && bytes[j] != b'<' {
+                j += 1;
+            }
+            let text = unescape(&src[i..j]);
+            if !text.trim().is_empty() {
+                events.push(XmlEvent::Text(text));
+            }
+            i = j;
+        }
+    }
+    if let Some(open) = stack.pop() {
+        return Err(XmlError::Unclosed(open));
+    }
+    Ok(events)
+}
+
+/// Build a sensor reading event triple: `<reading sensor="..." t="...">v</reading>`.
+#[must_use]
+pub fn sensor_reading(sensor: &str, tick: u64, value: f64) -> Vec<XmlEvent> {
+    vec![
+        XmlEvent::Start {
+            name: "reading".into(),
+            attrs: vec![("sensor".into(), sensor.into()), ("t".into(), tick.to_string())],
+        },
+        XmlEvent::Text(value.to_string()),
+        XmlEvent::End { name: "reading".into() },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple_document() {
+        let src = r#"<stream id="s1"><reading t="0">1.5</reading></stream>"#;
+        let ev = parse_events(src).unwrap();
+        assert_eq!(write_events(&ev), src);
+        assert_eq!(ev.len(), 5);
+    }
+
+    #[test]
+    fn attributes_parse_in_order() {
+        let ev = parse_events(r#"<a x="1" y="two"/>"#).unwrap();
+        match &ev[0] {
+            XmlEvent::Start { name, attrs } => {
+                assert_eq!(name, "a");
+                assert_eq!(attrs, &[("x".into(), "1".into()), ("y".into(), "two".into())]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(ev[1], XmlEvent::End { name: "a".into() });
+    }
+
+    #[test]
+    fn escaping_roundtrips() {
+        let events = vec![
+            XmlEvent::Start {
+                name: "t".into(),
+                attrs: vec![("q".into(), "a\"b&c".into())],
+            },
+            XmlEvent::Text("1 < 2 & 3 > 2".into()),
+            XmlEvent::End { name: "t".into() },
+        ];
+        let s = write_events(&events);
+        assert_eq!(parse_events(&s).unwrap(), events);
+    }
+
+    #[test]
+    fn mismatched_tags_detected() {
+        assert!(matches!(
+            parse_events("<a><b></a></b>"),
+            Err(XmlError::Mismatched { .. })
+        ));
+    }
+
+    #[test]
+    fn unclosed_detected() {
+        assert!(matches!(parse_events("<a><b></b>"), Err(XmlError::Unclosed(_))));
+    }
+
+    #[test]
+    fn stray_end_tag_detected() {
+        assert!(matches!(parse_events("</a>"), Err(XmlError::Malformed { .. })));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        assert!(matches!(parse_events("<a"), Err(XmlError::Truncated)));
+        assert_eq!(parse_events("<"), Err(XmlError::Truncated));
+    }
+
+    #[test]
+    fn sensor_reading_helper_roundtrips() {
+        let ev = sensor_reading("temp", 42, 21.5);
+        let s = write_events(&ev);
+        assert_eq!(s, r#"<reading sensor="temp" t="42">21.5</reading>"#);
+        assert_eq!(parse_events(&s).unwrap(), ev);
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let ev = parse_events("<a>\n  <b></b>\n</a>").unwrap();
+        assert!(ev.iter().all(|e| !matches!(e, XmlEvent::Text(_))));
+    }
+
+    #[test]
+    fn unknown_entities_pass_through() {
+        let ev = parse_events("<a>&unknown;</a>").unwrap();
+        assert_eq!(ev[1], XmlEvent::Text("&unknown;".into()));
+    }
+}

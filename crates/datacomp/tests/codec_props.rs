@@ -1,0 +1,68 @@
+//! Property tests: codecs must round-trip arbitrary bytes, and the XML
+//! writer/parser must agree on arbitrary well-formed documents.
+
+use datacomp::codec::{Codec, LzCodec, RleCodec};
+use datacomp::xml::{parse_events, write_events, XmlEvent};
+use proptest::prelude::*;
+
+fn xml_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_-]{0,6}".prop_map(|s| s)
+}
+
+/// Generate a balanced event stream by recursive element construction.
+fn element(depth: u32) -> BoxedStrategy<Vec<XmlEvent>> {
+    let attrs = prop::collection::vec((xml_name(), "[ -~]{0,12}"), 0..3);
+    if depth == 0 {
+        (xml_name(), attrs, "[ -~]{1,20}")
+            .prop_map(|(name, attrs, text)| {
+                let mut ev = vec![XmlEvent::Start { name: name.clone(), attrs }];
+                if !text.trim().is_empty() {
+                    ev.push(XmlEvent::Text(text));
+                }
+                ev.push(XmlEvent::End { name });
+                ev
+            })
+            .boxed()
+    } else {
+        (xml_name(), attrs, prop::collection::vec(element(depth - 1), 0..3))
+            .prop_map(|(name, attrs, kids)| {
+                let mut ev = vec![XmlEvent::Start { name: name.clone(), attrs }];
+                for k in kids {
+                    ev.extend(k);
+                }
+                ev.push(XmlEvent::End { name });
+                ev
+            })
+            .boxed()
+    }
+}
+
+proptest! {
+    #[test]
+    fn rle_roundtrips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let c = RleCodec;
+        prop_assert_eq!(c.decode(&c.encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn lz_roundtrips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let c = LzCodec;
+        prop_assert_eq!(c.decode(&c.encode(&data)).unwrap(), data);
+    }
+
+    /// Low-entropy inputs (the realistic sensor case) must not grow by more
+    /// than the token framing overhead under LZ.
+    #[test]
+    fn lz_compresses_repetitive_input(byte in any::<u8>(), len in 64usize..2048) {
+        let data = vec![byte; len];
+        let enc = LzCodec.encode(&data);
+        prop_assert!(enc.len() < data.len() / 4);
+    }
+
+    #[test]
+    fn xml_write_parse_fixpoint(ev in element(2)) {
+        let s = write_events(&ev);
+        let parsed = parse_events(&s);
+        prop_assert_eq!(parsed.as_ref().ok(), Some(&ev), "doc: {}", s);
+    }
+}

@@ -1,0 +1,535 @@
+//! The ORB — Go!'s only privileged component (the paper's Figure 6).
+//!
+//! > "to invoke services on other components a privileged component known as
+//! > the ORB is used to load segment registers to 'switch a context' ...
+//! > if component A wishes to evoke a service on component B then it
+//! > indirects via the ORB component (which loads new code and data segments
+//! > to perform the protected intra-machine RPC). This is done by migrating
+//! > the thread from caller to callee on the call and back again on return."
+//!
+//! The invoke path below charges *named machine primitives* for every step —
+//! descriptor fetch, rights check, continuation save, the three
+//! segment-register loads, the indirect jump — and then really executes the
+//! callee's verified text on the simulated CPU. Summing the charges for a
+//! null call yields Go!'s Table 1 row (~73 cycles); the per-step anatomy is
+//! available via [`RpcOutcome::breakdown`] for the Figure 6 bench.
+
+use crate::component::{
+    ComponentId, ComponentInstance, ComponentType, InterfaceDescriptor, InterfaceId, Rights,
+    TypeId, DESCRIPTOR_BYTES,
+};
+use crate::sisr::{SisrError, SisrVerifier, VerifiedImage};
+use machine::cost::{CostModel, Cycles, Primitive};
+use machine::cpu::{Cpu, CpuError, Mode, Stop};
+use machine::seg::{SegReg, Segment, SegmentKind, SegmentTable};
+
+/// Errors the ORB can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrbError {
+    /// The image failed SISR verification — it will not be loaded.
+    Rejected(SisrError),
+    /// Unknown type id.
+    NoSuchType(TypeId),
+    /// Unknown component id.
+    NoSuchComponent(ComponentId),
+    /// Unknown interface id.
+    NoSuchInterface(InterfaceId),
+    /// Caller lacks rights on the interface (not bound).
+    AccessDenied {
+        /// The caller that was refused.
+        caller: ComponentId,
+        /// The interface it tried to invoke.
+        iface: InterfaceId,
+    },
+    /// Wrong number of argument words for the interface signature.
+    BadArity {
+        /// Words the interface expects.
+        expected: u16,
+        /// Words supplied.
+        got: usize,
+    },
+    /// The callee faulted; the fault was contained to its segments.
+    CalleeFault(CpuError),
+    /// The callee ran out of fuel (runaway) and was destroyed.
+    CalleeRunaway,
+    /// Physical memory arena exhausted.
+    OutOfMemory,
+}
+
+impl From<SisrError> for OrbError {
+    fn from(e: SisrError) -> Self {
+        OrbError::Rejected(e)
+    }
+}
+
+/// Result of a successful RPC.
+#[derive(Debug, Clone)]
+pub struct RpcOutcome {
+    /// Value left in register 0 by the callee.
+    pub result: u32,
+    /// Cycles the whole call/return consumed (overhead + callee body).
+    pub cycles: Cycles,
+    /// Per-primitive breakdown of those cycles.
+    pub breakdown: Vec<(&'static str, Cycles)>,
+}
+
+/// The ORB: descriptor tables, loaded types/instances, the segment table,
+/// and the CPU the migrated thread runs on.
+#[derive(Debug)]
+pub struct Orb {
+    segs: SegmentTable,
+    types: Vec<ComponentType>,
+    instances: Vec<ComponentInstance>,
+    descriptors: Vec<(InterfaceDescriptor, ComponentId)>,
+    bindings: Vec<(ComponentId, InterfaceId)>,
+    verifier: SisrVerifier,
+    cpu: Cpu,
+    next_base: u32,
+    mem_limit: u32,
+}
+
+/// Default per-instance data segment size.
+const DATA_SEG_BYTES: u32 = 4096;
+/// Default per-instance stack segment size.
+const STACK_SEG_BYTES: u32 = 4096;
+/// Execution fuel per invocation before a component is declared runaway.
+const CALL_FUEL: u32 = 1_000_000;
+
+impl Orb {
+    /// An ORB managing `mem_bytes` of simulated physical memory.
+    #[must_use]
+    pub fn new(mem_bytes: u32, model: CostModel) -> Self {
+        Self {
+            segs: SegmentTable::new(),
+            types: Vec::new(),
+            instances: Vec::new(),
+            descriptors: Vec::new(),
+            bindings: Vec::new(),
+            verifier: SisrVerifier::new(model.clone()),
+            // Go! has no kernel mode: everything, ORB included, runs in the
+            // single processor mode. Mode::Kernel here only means the
+            // simulated CPU permits segment loads, which the ORB alone issues.
+            cpu: Cpu::new(mem_bytes as usize, Mode::Kernel, model),
+            next_base: 0,
+            mem_limit: mem_bytes,
+        }
+    }
+
+    fn alloc(&mut self, bytes: u32) -> Result<u32, OrbError> {
+        let base = self.next_base;
+        let end = base.checked_add(bytes).ok_or(OrbError::OutOfMemory)?;
+        if end > self.mem_limit {
+            return Err(OrbError::OutOfMemory);
+        }
+        self.next_base = end;
+        Ok(base)
+    }
+
+    /// Load a component type from raw text bytes. The text is SISR-scanned;
+    /// rejection means the type never exists.
+    ///
+    /// # Errors
+    /// [`OrbError::Rejected`] on scan failure, [`OrbError::OutOfMemory`].
+    pub fn load_type(&mut self, name: &str, text: &[u8]) -> Result<TypeId, OrbError> {
+        let image = self.verifier.verify(text)?;
+        self.install_type(name, image)
+    }
+
+    /// Load a component type from an already-verified image.
+    ///
+    /// # Errors
+    /// [`OrbError::OutOfMemory`].
+    pub fn install_type(&mut self, name: &str, image: VerifiedImage) -> Result<TypeId, OrbError> {
+        let text_bytes = (image.program().len() * 8) as u32;
+        let base = self.alloc(text_bytes.max(8))?;
+        let code_sel = self
+            .segs
+            .install(Segment { base, limit: text_bytes.max(8), kind: SegmentKind::Code })
+            .map_err(|_| OrbError::OutOfMemory)?;
+        let id = TypeId(self.types.len() as u32);
+        self.types.push(ComponentType { id, name: name.to_owned(), image, code_sel });
+        Ok(id)
+    }
+
+    /// Instantiate a component of a loaded type, giving it fresh data and
+    /// stack segments.
+    ///
+    /// # Errors
+    /// [`OrbError::NoSuchType`], [`OrbError::OutOfMemory`].
+    pub fn instantiate(&mut self, type_id: TypeId) -> Result<ComponentId, OrbError> {
+        if self.types.get(type_id.0 as usize).is_none() {
+            return Err(OrbError::NoSuchType(type_id));
+        }
+        let data_base = self.alloc(DATA_SEG_BYTES)?;
+        let stack_base = self.alloc(STACK_SEG_BYTES)?;
+        let data_sel = self
+            .segs
+            .install(Segment { base: data_base, limit: DATA_SEG_BYTES, kind: SegmentKind::Data })
+            .map_err(|_| OrbError::OutOfMemory)?;
+        let stack_sel = self
+            .segs
+            .install(Segment {
+                base: stack_base,
+                limit: STACK_SEG_BYTES,
+                kind: SegmentKind::Stack,
+            })
+            .map_err(|_| OrbError::OutOfMemory)?;
+        let id = ComponentId(self.instances.len() as u32);
+        self.instances.push(ComponentInstance { id, type_id, data_sel, stack_sel });
+        Ok(id)
+    }
+
+    /// Publish an interface on an instance at `entry` (instruction index in
+    /// its type's text), returning the interface id.
+    ///
+    /// # Errors
+    /// [`OrbError::NoSuchComponent`].
+    pub fn publish(
+        &mut self,
+        on: ComponentId,
+        entry: u32,
+        rights: Rights,
+        arg_words: u16,
+    ) -> Result<InterfaceId, OrbError> {
+        let inst = self
+            .instances
+            .get(on.0 as usize)
+            .ok_or(OrbError::NoSuchComponent(on))?
+            .clone();
+        let ty = &self.types[inst.type_id.0 as usize];
+        let iface_id = InterfaceId(self.descriptors.len() as u32);
+        let desc = InterfaceDescriptor {
+            code_sel: ty.code_sel,
+            data_sel: inst.data_sel,
+            stack_sel: inst.stack_sel,
+            entry,
+            type_id: inst.type_id,
+            iface_id,
+            rights,
+            arg_words,
+        };
+        self.descriptors.push((desc, on));
+        Ok(iface_id)
+    }
+
+    /// Bind a caller to an interface, granting invoke rights when the
+    /// interface is [`Rights::BOUND_ONLY`].
+    ///
+    /// # Errors
+    /// [`OrbError::NoSuchComponent`], [`OrbError::NoSuchInterface`].
+    pub fn bind(&mut self, caller: ComponentId, iface: InterfaceId) -> Result<(), OrbError> {
+        if self.instances.get(caller.0 as usize).is_none() {
+            return Err(OrbError::NoSuchComponent(caller));
+        }
+        if self.descriptors.get(iface.0 as usize).is_none() {
+            return Err(OrbError::NoSuchInterface(iface));
+        }
+        if !self.bindings.contains(&(caller, iface)) {
+            self.bindings.push((caller, iface));
+        }
+        Ok(())
+    }
+
+    /// Remove a binding. Idempotent.
+    pub fn unbind(&mut self, caller: ComponentId, iface: InterfaceId) {
+        self.bindings.retain(|&b| b != (caller, iface));
+    }
+
+    /// The protected intra-machine RPC of Figure 6: migrate the calling
+    /// thread into the callee component and back.
+    ///
+    /// # Errors
+    /// Access/arity errors before the switch; [`OrbError::CalleeFault`] if
+    /// the callee violates its segments (the fault is contained — caller
+    /// state is restored).
+    pub fn invoke(
+        &mut self,
+        caller: ComponentId,
+        iface: InterfaceId,
+        args: &[u32],
+    ) -> Result<RpcOutcome, OrbError> {
+        let model = self.cpu.model().clone();
+        let start = self.cpu.cycles();
+        let start_bd: Vec<(&'static str, Cycles)> = self.cpu.counter().breakdown().to_vec();
+
+        // -- caller side: indirect into the ORB --------------------------
+        self.cpu.counter_mut().charge(Primitive::Branch, &model);
+
+        // Descriptor fetch: four loads (the descriptor is four words of
+        // protection state — selectors+entry, type, iface, rights).
+        self.cpu.counter_mut().charge_all(
+            &[Primitive::Load, Primitive::Load, Primitive::Load, Primitive::Load],
+            &model,
+        );
+        let (desc, _owner) = *self
+            .descriptors
+            .get(iface.0 as usize)
+            .ok_or(OrbError::NoSuchInterface(iface))?;
+
+        // Rights + type check: compares and a conditional branch.
+        self.cpu.counter_mut().charge_all(
+            &[Primitive::Alu, Primitive::Alu, Primitive::Alu, Primitive::Alu, Primitive::Branch],
+            &model,
+        );
+        let caller_inst = self
+            .instances
+            .get(caller.0 as usize)
+            .ok_or(OrbError::NoSuchComponent(caller))?
+            .clone();
+        let bound = self.bindings.contains(&(caller, iface));
+        if !desc.rights.permits(bound) {
+            return Err(OrbError::AccessDenied { caller, iface });
+        }
+        if usize::from(desc.arg_words) != args.len() {
+            return Err(OrbError::BadArity { expected: desc.arg_words, got: args.len() });
+        }
+
+        // Entry-point limit check against the callee's code segment.
+        self.cpu
+            .counter_mut()
+            .charge_all(&[Primitive::Load, Primitive::Load, Primitive::Alu], &model);
+
+        // Save the caller's continuation (return selectors + pc): 4 stores.
+        self.cpu.counter_mut().charge_all(
+            &[Primitive::Store, Primitive::Store, Primitive::Store, Primitive::Store],
+            &model,
+        );
+
+        // Arguments travel in registers; extra words are copied.
+        if args.len() > 2 {
+            self.cpu.counter_mut().charge(Primitive::CopyWords(args.len() as u32 - 2), &model);
+        }
+        for (i, &a) in args.iter().enumerate().take(machine::isa::NUM_REGS) {
+            self.cpu.regs[i] = a;
+        }
+
+        // THE context switch: three segment-register loads (~3 cycles).
+        self.cpu.load_selector(SegReg::Cs, desc.code_sel);
+        self.cpu.load_selector(SegReg::Ds, desc.data_sel);
+        self.cpu.load_selector(SegReg::Ss, desc.stack_sel);
+
+        // Thread-migration record: note which instance the thread is in,
+        // and record the borrowed stack's bounds for the return check.
+        self.cpu
+            .counter_mut()
+            .charge_all(&[Primitive::Store, Primitive::Store], &model);
+        self.cpu.counter_mut().charge_all(
+            &[Primitive::Load, Primitive::Load, Primitive::Store, Primitive::Store, Primitive::Alu],
+            &model,
+        );
+
+        // Indirect jump to the entry point.
+        self.cpu.counter_mut().charge(Primitive::BranchIndirect, &model);
+
+        // -- callee executes its verified text ----------------------------
+        let program = self.types[desc.type_id.0 as usize].image.program().clone();
+        let run = self.cpu.run_from(&program, &self.segs, desc.entry, CALL_FUEL);
+
+        // -- return path: migrate the thread back -------------------------
+        // Return validation: the migration record must match.
+        self.cpu
+            .counter_mut()
+            .charge_all(&[Primitive::Load, Primitive::Load, Primitive::Alu, Primitive::Alu], &model);
+        // Restore continuation: 4 loads.
+        self.cpu.counter_mut().charge_all(
+            &[Primitive::Load, Primitive::Load, Primitive::Load, Primitive::Load],
+            &model,
+        );
+        // Switch back: three segment loads + indirect return.
+        self.cpu.load_selector(SegReg::Cs, self.types[caller_inst.type_id.0 as usize].code_sel);
+        self.cpu.load_selector(SegReg::Ds, caller_inst.data_sel);
+        self.cpu.load_selector(SegReg::Ss, caller_inst.stack_sel);
+        self.cpu.counter_mut().charge(Primitive::BranchIndirect, &model);
+
+        let cycles = self.cpu.cycles() - start;
+        match run {
+            Ok(Stop::Halted) | Ok(Stop::Trap(_)) => {
+                let mut breakdown = Vec::new();
+                for &(label, total) in self.cpu.counter().breakdown() {
+                    let before =
+                        start_bd.iter().find(|(l, _)| *l == label).map_or(0, |(_, v)| *v);
+                    if total > before {
+                        breakdown.push((label, total - before));
+                    }
+                }
+                Ok(RpcOutcome { result: self.cpu.regs[0], cycles, breakdown })
+            }
+            Ok(Stop::OutOfFuel) => Err(OrbError::CalleeRunaway),
+            Err(e) => Err(OrbError::CalleeFault(e)),
+        }
+    }
+
+    /// Bytes of protection state the ORB holds: 32 per published interface
+    /// plus the segment descriptors. This is the quantity the paper compares
+    /// against page-table overheads.
+    #[must_use]
+    pub fn protection_bytes(&self) -> u64 {
+        self.descriptors.len() as u64 * DESCRIPTOR_BYTES as u64 + self.segs.protection_bytes()
+    }
+
+    /// Number of published interfaces.
+    #[must_use]
+    pub fn interfaces(&self) -> usize {
+        self.descriptors.len()
+    }
+
+    /// Number of live component instances.
+    #[must_use]
+    pub fn components(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Total cycles the ORB's CPU has charged since construction.
+    #[must_use]
+    pub fn cycles(&self) -> Cycles {
+        self.cpu.cycles()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::isa::Instr;
+
+    /// A null service: returns 7 in r0 immediately.
+    fn null_service() -> Vec<u8> {
+        machine::isa::Program::new(vec![Instr::MovImm(0, 7), Instr::Halt]).to_bytes()
+    }
+
+    /// An adder service: r0 <- r0 + r1.
+    fn adder_service() -> Vec<u8> {
+        machine::isa::Program::new(vec![Instr::Add(0, 1), Instr::Halt]).to_bytes()
+    }
+
+    fn orb_with_pair(service: Vec<u8>, arg_words: u16) -> (Orb, ComponentId, InterfaceId) {
+        let mut orb = Orb::new(1 << 20, CostModel::pentium());
+        let caller_ty = orb.load_type("caller", &null_service()).unwrap();
+        let callee_ty = orb.load_type("callee", &service).unwrap();
+        let caller = orb.instantiate(caller_ty).unwrap();
+        let callee = orb.instantiate(callee_ty).unwrap();
+        let iface = orb.publish(callee, 0, Rights::PUBLIC, arg_words).unwrap();
+        (orb, caller, iface)
+    }
+
+    #[test]
+    fn null_rpc_returns_result() {
+        let (mut orb, caller, iface) = orb_with_pair(null_service(), 0);
+        let out = orb.invoke(caller, iface, &[]).unwrap();
+        assert_eq!(out.result, 7);
+        assert!(out.cycles > 0);
+    }
+
+    #[test]
+    fn null_rpc_lands_in_paper_band() {
+        // Table 1: Go! RPC = 73 cycles. Accept the 55–95 band.
+        let (mut orb, caller, iface) = orb_with_pair(null_service(), 0);
+        let out = orb.invoke(caller, iface, &[]).unwrap();
+        assert!(
+            (55..=95).contains(&out.cycles),
+            "Go! null RPC was {} cycles, expected ~73",
+            out.cycles
+        );
+    }
+
+    #[test]
+    fn rpc_with_arguments_computes() {
+        let (mut orb, caller, iface) = orb_with_pair(adder_service(), 2);
+        let out = orb.invoke(caller, iface, &[20, 22]).unwrap();
+        assert_eq!(out.result, 42);
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let (mut orb, caller, iface) = orb_with_pair(adder_service(), 2);
+        assert_eq!(
+            orb.invoke(caller, iface, &[1]).unwrap_err(),
+            OrbError::BadArity { expected: 2, got: 1 }
+        );
+    }
+
+    #[test]
+    fn bound_only_interface_requires_binding() {
+        let mut orb = Orb::new(1 << 20, CostModel::pentium());
+        let ty = orb.load_type("svc", &null_service()).unwrap();
+        let caller = orb.instantiate(ty).unwrap();
+        let callee = orb.instantiate(ty).unwrap();
+        let iface = orb.publish(callee, 0, Rights::BOUND_ONLY, 0).unwrap();
+        assert!(matches!(
+            orb.invoke(caller, iface, &[]),
+            Err(OrbError::AccessDenied { .. })
+        ));
+        orb.bind(caller, iface).unwrap();
+        assert!(orb.invoke(caller, iface, &[]).is_ok());
+        orb.unbind(caller, iface);
+        assert!(orb.invoke(caller, iface, &[]).is_err());
+    }
+
+    #[test]
+    fn privileged_text_is_rejected_at_load() {
+        let mut orb = Orb::new(1 << 20, CostModel::pentium());
+        let evil =
+            machine::isa::Program::new(vec![Instr::Cli, Instr::Halt]).to_bytes();
+        assert!(matches!(orb.load_type("evil", &evil), Err(OrbError::Rejected(_))));
+        assert_eq!(orb.components(), 0);
+    }
+
+    #[test]
+    fn callee_segment_fault_is_contained() {
+        // Callee stores outside its 4 KiB data segment.
+        let wild = machine::isa::Program::new(vec![
+            Instr::MovImm(0, 100_000),
+            Instr::Store(0, 0),
+            Instr::Halt,
+        ])
+        .to_bytes();
+        let (mut orb, caller, iface) = orb_with_pair(wild, 0);
+        assert!(matches!(
+            orb.invoke(caller, iface, &[]),
+            Err(OrbError::CalleeFault(CpuError::Segment(_)))
+        ));
+        // The ORB survives and other services still work.
+        let ty = orb.load_type("ok", &null_service()).unwrap();
+        let c2 = orb.instantiate(ty).unwrap();
+        let if2 = orb.publish(c2, 0, Rights::PUBLIC, 0).unwrap();
+        assert_eq!(orb.invoke(caller, if2, &[]).unwrap().result, 7);
+    }
+
+    #[test]
+    fn runaway_callee_is_stopped() {
+        let spin = machine::isa::Program::new(vec![Instr::Jmp(0)]).to_bytes();
+        let (mut orb, caller, iface) = orb_with_pair(spin, 0);
+        assert_eq!(orb.invoke(caller, iface, &[]).unwrap_err(), OrbError::CalleeRunaway);
+    }
+
+    #[test]
+    fn protection_bytes_are_32_per_interface_plus_segments() {
+        let (orb, _, _) = orb_with_pair(null_service(), 0);
+        // 1 interface × 32 B + 6 segment descriptors × 8 B (2 types' code +
+        // 2 instances × data+stack).
+        assert_eq!(orb.protection_bytes(), 32 + 6 * 8);
+    }
+
+    #[test]
+    fn breakdown_sums_to_cycles() {
+        let (mut orb, caller, iface) = orb_with_pair(null_service(), 0);
+        let out = orb.invoke(caller, iface, &[]).unwrap();
+        let sum: Cycles = out.breakdown.iter().map(|(_, v)| v).sum();
+        assert_eq!(sum, out.cycles);
+        assert!(out.breakdown.iter().any(|(l, _)| *l == "seg-reg-load"));
+    }
+
+    #[test]
+    fn seg_load_cost_is_six_per_round_trip() {
+        // 3 loads in, 3 loads back — the paper's "3 cycles" context switch,
+        // twice.
+        let (mut orb, caller, iface) = orb_with_pair(null_service(), 0);
+        let out = orb.invoke(caller, iface, &[]).unwrap();
+        let seg: Cycles = out
+            .breakdown
+            .iter()
+            .filter(|(l, _)| *l == "seg-reg-load")
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(seg, 6);
+    }
+}

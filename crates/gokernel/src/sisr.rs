@@ -1,0 +1,202 @@
+//! SISR — Software-based Instruction-Set Reduction.
+//!
+//! > "on loading, code is scanned for illegal operations and if detected the
+//! > code is rejected insuring adequate process protection. That is, SISR
+//! > removes the need for two separate processing modes by making use of
+//! > code-scanning and segmentation memory protection."
+//!
+//! The verifier works from the **byte form** of a text section, exactly as a
+//! real loader must: it decodes every 8-byte word and rejects the image if
+//! any word is (a) undecodable or (b) a privileged instruction. Acceptance is
+//! witnessed by the [`VerifiedImage`] typestate — the ORB will only install
+//! component types from a `VerifiedImage`, so "unscanned code never runs" is
+//! enforced by construction, not by convention.
+//!
+//! The scan is a *load-time* cost. Go! trades a one-off linear pass per image
+//! for the removal of *every* per-call trap — the economics behind Table 1.
+
+use machine::cost::{CostModel, CycleCounter, Cycles, Primitive};
+use machine::isa::{Instr, Program};
+
+/// Why an image was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SisrError {
+    /// The text length is not a multiple of the instruction width.
+    MisalignedText {
+        /// Byte length of the offending image.
+        len: usize,
+    },
+    /// A word failed to decode — treated as hostile, never skipped.
+    UndecodableWord {
+        /// Index (in instructions) of the bad word.
+        index: usize,
+    },
+    /// A privileged instruction was found.
+    PrivilegedInstruction {
+        /// Index (in instructions) of the offending instruction.
+        index: usize,
+        /// The instruction.
+        instr: Instr,
+    },
+}
+
+impl std::fmt::Display for SisrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SisrError::MisalignedText { len } => {
+                write!(f, "text section of {len} bytes is not instruction-aligned")
+            }
+            SisrError::UndecodableWord { index } => {
+                write!(f, "undecodable word at instruction index {index}")
+            }
+            SisrError::PrivilegedInstruction { index, instr } => {
+                write!(f, "privileged instruction {instr:?} at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SisrError {}
+
+/// A text image that has passed the SISR scan. Can only be constructed by
+/// [`SisrVerifier::verify`]; holding one is proof the program contains no
+/// privileged instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifiedImage {
+    program: Program,
+    scan_cycles: Cycles,
+}
+
+impl VerifiedImage {
+    /// The verified program.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The one-off load-time cycles the scan cost.
+    #[must_use]
+    pub fn scan_cycles(&self) -> Cycles {
+        self.scan_cycles
+    }
+}
+
+/// The load-time code scanner.
+#[derive(Debug, Clone, Default)]
+pub struct SisrVerifier {
+    model: CostModel,
+}
+
+impl SisrVerifier {
+    /// A verifier charging scan work under the given cost model.
+    #[must_use]
+    pub fn new(model: CostModel) -> Self {
+        Self { model }
+    }
+
+    /// Scan a raw text section.
+    ///
+    /// Charges one load + one compare per instruction word (the scan is a
+    /// single linear pass) and returns a [`VerifiedImage`] on acceptance.
+    ///
+    /// # Errors
+    /// [`SisrError`] describing the first reason for rejection.
+    pub fn verify(&self, text: &[u8]) -> Result<VerifiedImage, SisrError> {
+        if !text.len().is_multiple_of(8) {
+            return Err(SisrError::MisalignedText { len: text.len() });
+        }
+        let mut counter = CycleCounter::new();
+        let mut instrs = Vec::with_capacity(text.len() / 8);
+        for (index, chunk) in text.chunks_exact(8).enumerate() {
+            counter.charge(Primitive::Load, &self.model);
+            counter.charge(Primitive::Alu, &self.model);
+            let mut w = [0u8; 8];
+            w.copy_from_slice(chunk);
+            let instr =
+                Instr::decode(w).ok_or(SisrError::UndecodableWord { index })?;
+            if instr.is_privileged() {
+                return Err(SisrError::PrivilegedInstruction { index, instr });
+            }
+            instrs.push(instr);
+        }
+        Ok(VerifiedImage { program: Program::new(instrs), scan_cycles: counter.total() })
+    }
+
+    /// Convenience: verify an already-decoded program by scanning its bytes.
+    ///
+    /// # Errors
+    /// See [`Self::verify`].
+    pub fn verify_program(&self, program: &Program) -> Result<VerifiedImage, SisrError> {
+        self.verify(&program.to_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::seg::SegReg;
+
+    fn verifier() -> SisrVerifier {
+        SisrVerifier::new(CostModel::pentium())
+    }
+
+    #[test]
+    fn accepts_clean_program() {
+        let p = Program::new(vec![
+            Instr::MovImm(0, 1),
+            Instr::Add(0, 0),
+            Instr::Trap(0x30), // traps are fine: they cannot subvert protection
+            Instr::Halt,
+        ]);
+        let img = verifier().verify_program(&p).unwrap();
+        assert_eq!(img.program(), &p);
+        assert!(img.scan_cycles() > 0);
+    }
+
+    #[test]
+    fn rejects_each_privileged_instruction() {
+        let privileged = [
+            Instr::LoadSegReg(SegReg::Ds, 0),
+            Instr::Cli,
+            Instr::Sti,
+            Instr::LoadPageTable(0),
+            Instr::IoIn(0, 0x60),
+            Instr::IoOut(0, 0x60),
+            Instr::Iret,
+        ];
+        for bad in privileged {
+            let p = Program::new(vec![Instr::Nop, bad, Instr::Halt]);
+            let err = verifier().verify_program(&p).unwrap_err();
+            assert_eq!(
+                err,
+                SisrError::PrivilegedInstruction { index: 1, instr: bad },
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_misaligned_and_undecodable_text() {
+        assert_eq!(verifier().verify(&[0u8; 9]), Err(SisrError::MisalignedText { len: 9 }));
+        let mut bytes = Program::new(vec![Instr::Nop]).to_bytes();
+        bytes.extend_from_slice(&[0xff, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(verifier().verify(&bytes), Err(SisrError::UndecodableWord { index: 1 }));
+    }
+
+    #[test]
+    fn scan_cost_is_linear_in_text_length() {
+        let short = Program::new(vec![Instr::Nop; 10]);
+        let long = Program::new(vec![Instr::Nop; 1000]);
+        let v = verifier();
+        let c_short = v.verify_program(&short).unwrap().scan_cycles();
+        let c_long = v.verify_program(&long).unwrap().scan_cycles();
+        assert_eq!(c_long, c_short * 100);
+    }
+
+    #[test]
+    fn empty_image_is_valid() {
+        let img = verifier().verify(&[]).unwrap();
+        assert!(img.program().is_empty());
+        assert_eq!(img.scan_cycles(), 0);
+    }
+}

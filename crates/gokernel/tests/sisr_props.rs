@@ -1,0 +1,111 @@
+//! The SISR soundness property: load-time scanning and runtime privilege
+//! faulting must agree. This is the safety argument of Section 5.1 — SISR
+//! may remove the user/kernel mode split *because* anything the scanner
+//! accepts can never execute a privileged instruction.
+
+use gokernel::sisr::{SisrError, SisrVerifier};
+use machine::cost::CostModel;
+use machine::cpu::{Cpu, CpuError, Mode};
+use machine::isa::{Instr, Program};
+use machine::seg::{SegReg, Segment, SegmentKind, SegmentTable};
+use proptest::prelude::*;
+
+/// Straight-line programs only (no jumps), so that every instruction is
+/// reachable and the runtime oracle is decisive.
+fn straight_line_instr() -> impl Strategy<Value = Instr> {
+    let reg = 0u8..8;
+    prop_oneof![
+        Just(Instr::Nop),
+        (reg.clone(), 0u32..64).prop_map(|(r, i)| Instr::MovImm(r, i)),
+        (reg.clone(), reg.clone()).prop_map(|(a, b)| Instr::MovReg(a, b)),
+        (reg.clone(), reg.clone()).prop_map(|(a, b)| Instr::Add(a, b)),
+        (reg.clone(), reg.clone()).prop_map(|(a, b)| Instr::Xor(a, b)),
+        // Loads/stores at small immediate addresses stay inside the segment.
+        (reg.clone(), reg.clone()).prop_map(|(a, b)| Instr::Load(a, b)),
+        (reg.clone(), reg.clone()).prop_map(|(a, b)| Instr::Store(a, b)),
+        // Privileged candidates the scanner must catch:
+        Just(Instr::Cli),
+        Just(Instr::Sti),
+        Just(Instr::Iret),
+        (0u8..3, reg.clone()).prop_map(|(s, r)| Instr::LoadSegReg(SegReg::from_u8(s).unwrap(), r)),
+        reg.clone().prop_map(Instr::LoadPageTable),
+        (reg, any::<u16>()).prop_map(|(r, p)| Instr::IoOut(r, p)),
+    ]
+}
+
+fn user_cpu() -> (Cpu, SegmentTable) {
+    let mut segs = SegmentTable::new();
+    let data = segs
+        .install(Segment { base: 0, limit: 1024, kind: SegmentKind::Data })
+        .unwrap();
+    let stack = segs
+        .install(Segment { base: 1024, limit: 1024, kind: SegmentKind::Stack })
+        .unwrap();
+    let mut cpu = Cpu::new(1 << 16, Mode::User, CostModel::pentium());
+    cpu.load_selector(SegReg::Ds, data);
+    cpu.load_selector(SegReg::Ss, stack);
+    (cpu, segs)
+}
+
+proptest! {
+    /// Scanner accepts ⇒ execution in the single (user) mode never raises a
+    /// privilege violation. Scanner rejects with `PrivilegedInstruction` ⇒
+    /// executing the straight-line program *does* fault at that instruction.
+    #[test]
+    fn scanner_and_hardware_agree(body in prop::collection::vec(straight_line_instr(), 0..40)) {
+        let mut text = body;
+        text.push(Instr::Halt);
+        let program = Program::new(text);
+        let verdict = SisrVerifier::new(CostModel::pentium()).verify_program(&program);
+        let (mut cpu, segs) = user_cpu();
+        // Registers start at 0 so loads/stores hit offset 0: always legal.
+        let run = cpu.run(&program, &segs, 10_000);
+        match verdict {
+            Ok(_) => {
+                let priv_fault = matches!(run, Err(CpuError::PrivilegeViolation { .. }));
+                prop_assert!(!priv_fault, "accepted program privilege-faulted: {:?}", run);
+            }
+            Err(SisrError::PrivilegedInstruction { index, .. }) => {
+                match run {
+                    Err(CpuError::PrivilegeViolation { pc, .. }) => {
+                        prop_assert!(
+                            pc as usize <= index,
+                            "hardware faulted later ({}) than first scan hit ({})", pc, index
+                        );
+                    }
+                    other => {
+                        prop_assert!(
+                            false,
+                            "rejected program ran without privilege fault: {:?}", other
+                        );
+                    }
+                }
+            }
+            Err(e) => prop_assert!(false, "unexpected scan error {:?}", e),
+        }
+    }
+
+    /// Verified images never fault the ORB's protection even with
+    /// adversarial (but in-range) register contents.
+    #[test]
+    fn verified_programs_cannot_escape_their_segments(
+        body in prop::collection::vec(straight_line_instr(), 0..30),
+        seed in 0u32..1024,
+    ) {
+        let clean: Vec<Instr> = body.into_iter().filter(|i| !i.is_privileged()).collect();
+        let mut text = vec![Instr::MovImm(0, seed % 1020)];
+        text.extend(clean);
+        text.push(Instr::Halt);
+        let program = Program::new(text);
+        let img = SisrVerifier::new(CostModel::pentium()).verify_program(&program);
+        prop_assert!(img.is_ok());
+        let (mut cpu, segs) = user_cpu();
+        let run = cpu.run(&program, &segs, 10_000);
+        // The program may fault on a segment limit (that's protection
+        // working), but must never privilege-fault, and any store it makes
+        // lands inside [0, 1024) — enforced by the segment translation
+        // itself, which proptest exercises with random addresses.
+        let priv_fault = matches!(run, Err(CpuError::PrivilegeViolation { .. }));
+        prop_assert!(!priv_fault);
+    }
+}

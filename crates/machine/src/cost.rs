@@ -1,0 +1,339 @@
+//! Cycle cost model.
+//!
+//! Every primitive operation the simulated machine (and the kernels built on
+//! it) can perform has a cycle cost. The defaults are calibrated against
+//! published Pentium-era numbers — the hardware generation the paper's Go!
+//! prototype ran on — because Table 1 is denominated in cycles of that era:
+//!
+//! * `int n` / `iret` pair ≈ 100+ cycles on a Pentium (Liedtke's L4 papers
+//!   put the bare hardware trap cost at ~107 cycles round trip);
+//! * a segment-register load is a handful of cycles — the paper itself says a
+//!   full Go! context switch (three segment loads) "amounts to only 3 cycles
+//!   on a Pentium", i.e. ~1 cycle per load;
+//! * `mov %cr3` (page-table switch) is ~36 cycles, but its real cost is the
+//!   TLB refill that follows: tens of entries × ~30 cycles a walk;
+//! * cache-hit loads/stores are 1–2 cycles; a scheduler pass on a 1990s BSD
+//!   is hundreds of instructions.
+//!
+//! Kernels never add raw numbers to the counter; they *charge* named
+//! primitives. That keeps the accounting auditable: the per-kernel totals in
+//! Table 1 can be decomposed primitive-by-primitive (see
+//! `gokernel::breakdown`).
+
+/// A quantity of CPU cycles.
+pub type Cycles = u64;
+
+/// Per-primitive cycle costs. All fields are public so experiments can
+/// re-calibrate (e.g. to model a machine with costlier traps).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// One ALU operation (add/sub/xor/compare) on registers.
+    pub alu: Cycles,
+    /// A load that hits the L1 cache.
+    pub load: Cycles,
+    /// A store that hits the L1 cache.
+    pub store: Cycles,
+    /// A taken branch, call or return (predicted).
+    pub branch: Cycles,
+    /// A mispredicted or indirect branch.
+    pub branch_indirect: Cycles,
+    /// Copying one 32-bit word between buffers (load+store+loop overhead).
+    pub copy_word: Cycles,
+    /// Hardware trap entry: `int n` — pipeline flush, privilege check,
+    /// stack switch, vector fetch.
+    pub trap_enter: Cycles,
+    /// Hardware trap exit: `iret`.
+    pub trap_exit: Cycles,
+    /// Loading one segment register (descriptor fetch + protection check).
+    pub seg_reg_load: Cycles,
+    /// Loading the page-table base register (`mov %cr3`), *excluding* refill.
+    pub page_table_switch: Cycles,
+    /// Refilling one TLB entry after a flush (page-table walk).
+    pub tlb_refill_entry: Cycles,
+    /// Saving or restoring a full integer register file to/from memory.
+    pub regfile_save: Cycles,
+    /// Saving or restoring FPU state (traditional kernels do this lazily at
+    /// best; BSD-era RPC paths frequently paid it).
+    pub fpu_save: Cycles,
+    /// One run-queue / scheduler bookkeeping step (dequeue, priority
+    /// recompute, accounting).
+    pub sched_step: Cycles,
+    /// One cache-line miss. Crossing into a large kernel evicts and reloads
+    /// its text/data working set; the L4 literature identifies this — not the
+    /// trap itself — as the dominant cost of big-kernel IPC.
+    pub cache_miss: Cycles,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::pentium()
+    }
+}
+
+impl CostModel {
+    /// The default calibration: a ~200 MHz Pentium-class machine, the
+    /// hardware generation behind the paper's Table 1.
+    #[must_use]
+    pub fn pentium() -> Self {
+        Self {
+            alu: 1,
+            load: 2,
+            store: 2,
+            branch: 1,
+            branch_indirect: 5,
+            copy_word: 3,
+            trap_enter: 70,
+            trap_exit: 36,
+            seg_reg_load: 1,
+            page_table_switch: 36,
+            tlb_refill_entry: 30,
+            regfile_save: 40,
+            fpu_save: 150,
+            sched_step: 25,
+            cache_miss: 20,
+        }
+    }
+
+    /// A calibration for a hypothetical modern deep-pipeline machine where
+    /// traps and TLB refills are relatively *more* expensive — used by the
+    /// ablation benches to show Table 1's gap widens, not narrows.
+    #[must_use]
+    pub fn deep_pipeline() -> Self {
+        Self {
+            alu: 1,
+            load: 4,
+            store: 4,
+            branch: 1,
+            branch_indirect: 20,
+            copy_word: 4,
+            trap_enter: 400,
+            trap_exit: 200,
+            seg_reg_load: 2,
+            page_table_switch: 100,
+            tlb_refill_entry: 80,
+            regfile_save: 60,
+            fpu_save: 250,
+            sched_step: 40,
+            cache_miss: 100,
+        }
+    }
+}
+
+/// A named primitive the machine can charge for. Kernels account in these
+/// units so every cycle in a Table 1 row is attributable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Primitive {
+    /// See [`CostModel::alu`].
+    Alu,
+    /// See [`CostModel::load`].
+    Load,
+    /// See [`CostModel::store`].
+    Store,
+    /// See [`CostModel::branch`].
+    Branch,
+    /// See [`CostModel::branch_indirect`].
+    BranchIndirect,
+    /// Copy `n` 32-bit words.
+    CopyWords(u32),
+    /// See [`CostModel::trap_enter`].
+    TrapEnter,
+    /// See [`CostModel::trap_exit`].
+    TrapExit,
+    /// See [`CostModel::seg_reg_load`].
+    SegRegLoad,
+    /// See [`CostModel::page_table_switch`].
+    PageTableSwitch,
+    /// Refill `n` TLB entries.
+    TlbRefill(u32),
+    /// See [`CostModel::regfile_save`].
+    RegfileSave,
+    /// See [`CostModel::fpu_save`].
+    FpuSave,
+    /// `n` scheduler bookkeeping steps.
+    SchedSteps(u32),
+    /// `n` cache-line misses (cold kernel working set after a domain switch).
+    CacheMisses(u32),
+}
+
+impl Primitive {
+    /// The cost of this primitive under a model.
+    #[must_use]
+    pub fn cost(self, m: &CostModel) -> Cycles {
+        match self {
+            Primitive::Alu => m.alu,
+            Primitive::Load => m.load,
+            Primitive::Store => m.store,
+            Primitive::Branch => m.branch,
+            Primitive::BranchIndirect => m.branch_indirect,
+            Primitive::CopyWords(n) => m.copy_word * Cycles::from(n),
+            Primitive::TrapEnter => m.trap_enter,
+            Primitive::TrapExit => m.trap_exit,
+            Primitive::SegRegLoad => m.seg_reg_load,
+            Primitive::PageTableSwitch => m.page_table_switch,
+            Primitive::TlbRefill(n) => m.tlb_refill_entry * Cycles::from(n),
+            Primitive::RegfileSave => m.regfile_save,
+            Primitive::FpuSave => m.fpu_save,
+            Primitive::SchedSteps(n) => m.sched_step * Cycles::from(n),
+            Primitive::CacheMisses(n) => m.cache_miss * Cycles::from(n),
+        }
+    }
+
+    /// A short label for breakdown reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Primitive::Alu => "alu",
+            Primitive::Load => "load",
+            Primitive::Store => "store",
+            Primitive::Branch => "branch",
+            Primitive::BranchIndirect => "branch-indirect",
+            Primitive::CopyWords(_) => "copy",
+            Primitive::TrapEnter => "trap-enter",
+            Primitive::TrapExit => "trap-exit",
+            Primitive::SegRegLoad => "seg-reg-load",
+            Primitive::PageTableSwitch => "page-table-switch",
+            Primitive::TlbRefill(_) => "tlb-refill",
+            Primitive::RegfileSave => "regfile-save",
+            Primitive::FpuSave => "fpu-save",
+            Primitive::SchedSteps(_) => "sched",
+            Primitive::CacheMisses(_) => "cache-miss",
+        }
+    }
+}
+
+/// A cycle counter that records both the running total and a per-primitive
+/// breakdown, so a Table 1 row can be decomposed and audited.
+#[derive(Debug, Clone, Default)]
+pub struct CycleCounter {
+    total: Cycles,
+    breakdown: Vec<(&'static str, Cycles)>,
+}
+
+impl CycleCounter {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge one primitive under the given model.
+    pub fn charge(&mut self, p: Primitive, model: &CostModel) {
+        let c = p.cost(model);
+        self.total += c;
+        let label = p.label();
+        if let Some(slot) = self.breakdown.iter_mut().find(|(l, _)| *l == label) {
+            slot.1 += c;
+        } else {
+            self.breakdown.push((label, c));
+        }
+    }
+
+    /// Charge many primitives.
+    pub fn charge_all(&mut self, ps: &[Primitive], model: &CostModel) {
+        for &p in ps {
+            self.charge(p, model);
+        }
+    }
+
+    /// Total cycles charged so far.
+    #[must_use]
+    pub fn total(&self) -> Cycles {
+        self.total
+    }
+
+    /// Per-primitive breakdown, in first-charge order.
+    #[must_use]
+    pub fn breakdown(&self) -> &[(&'static str, Cycles)] {
+        &self.breakdown
+    }
+
+    /// Reset to zero, keeping capacity.
+    pub fn reset(&mut self) {
+        self.total = 0;
+        self.breakdown.clear();
+    }
+
+    /// Cycles elapsed since a snapshot taken with [`Self::total`].
+    #[must_use]
+    pub fn since(&self, snapshot: Cycles) -> Cycles {
+        self.total - snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_pentium() {
+        assert_eq!(CostModel::default(), CostModel::pentium());
+    }
+
+    #[test]
+    fn paper_claim_three_cycle_context_switch() {
+        // "loading new values into code, data, and stack segment registers
+        // implements a context switch (which amounts to only 3 cycles)".
+        let m = CostModel::pentium();
+        let switch = 3 * Primitive::SegRegLoad.cost(&m);
+        assert_eq!(switch, 3);
+    }
+
+    #[test]
+    fn counter_accumulates_and_breaks_down() {
+        let m = CostModel::pentium();
+        let mut c = CycleCounter::new();
+        c.charge(Primitive::TrapEnter, &m);
+        c.charge(Primitive::TrapExit, &m);
+        c.charge(Primitive::TrapEnter, &m);
+        assert_eq!(c.total(), 70 + 36 + 70);
+        let bd = c.breakdown();
+        assert_eq!(bd.iter().find(|(l, _)| *l == "trap-enter").unwrap().1, 140);
+        assert_eq!(bd.iter().find(|(l, _)| *l == "trap-exit").unwrap().1, 36);
+    }
+
+    #[test]
+    fn parameterised_primitives_scale() {
+        let m = CostModel::pentium();
+        assert_eq!(Primitive::CopyWords(10).cost(&m), 30);
+        assert_eq!(Primitive::TlbRefill(20).cost(&m), 600);
+        assert_eq!(Primitive::SchedSteps(4).cost(&m), 100);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let m = CostModel::deep_pipeline();
+        let mut c = CycleCounter::new();
+        c.charge_all(
+            &[
+                Primitive::TrapEnter,
+                Primitive::CopyWords(8),
+                Primitive::SchedSteps(3),
+                Primitive::TrapExit,
+                Primitive::RegfileSave,
+            ],
+            &m,
+        );
+        let sum: Cycles = c.breakdown().iter().map(|(_, v)| v).sum();
+        assert_eq!(sum, c.total());
+    }
+
+    #[test]
+    fn since_measures_deltas() {
+        let m = CostModel::pentium();
+        let mut c = CycleCounter::new();
+        c.charge(Primitive::Alu, &m);
+        let snap = c.total();
+        c.charge(Primitive::TrapEnter, &m);
+        assert_eq!(c.since(snap), 70);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = CostModel::pentium();
+        let mut c = CycleCounter::new();
+        c.charge(Primitive::FpuSave, &m);
+        c.reset();
+        assert_eq!(c.total(), 0);
+        assert!(c.breakdown().is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Service agents: the components that receive requests, find the
+//! appropriate atom, and serve it — and that **migrate whole** under
+//! constraint 455.
+//!
+//! > "The action SWITCH indicates to the session manager that not only
+//! > should the Adaptivity Manager save the data state, but also the
+//! > processing state, as it is this that is about to migrate. That is,
+//! > essentially the whole service-agent is mobile."
+
+use crate::atom::AtomId;
+use std::collections::VecDeque;
+
+/// A queued request being processed by an agent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InFlight {
+    /// The atom requested.
+    pub atom: AtomId,
+    /// Tick the request arrived.
+    pub arrived_at: u64,
+    /// Remaining work units to serve it.
+    pub remaining_work: u64,
+}
+
+/// A service agent: serves one atom's requests on its current node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceAgent {
+    /// The atom this agent serves.
+    pub atom: AtomId,
+    /// Node the agent currently runs on.
+    pub node: String,
+    /// Request queue (processing state — migrates with the agent).
+    pub queue: VecDeque<InFlight>,
+    /// Requests served over the agent's lifetime (data state).
+    pub served: u64,
+    /// How many times the agent has migrated.
+    pub migrations: u32,
+}
+
+impl ServiceAgent {
+    /// A fresh agent on `node`.
+    #[must_use]
+    pub fn new(atom: AtomId, node: &str) -> Self {
+        Self { atom, node: node.to_owned(), queue: VecDeque::new(), served: 0, migrations: 0 }
+    }
+
+    /// Accept a request at `tick` costing `work` units.
+    pub fn accept(&mut self, tick: u64, work: u64) {
+        self.queue.push_back(InFlight { atom: self.atom, arrived_at: tick, remaining_work: work });
+    }
+
+    /// Spend up to `budget` work units serving queued requests; returns the
+    /// (arrival, completion) ticks of requests completed this tick.
+    pub fn step(&mut self, now: u64, mut budget: u64) -> Vec<(u64, u64)> {
+        let mut completed = Vec::new();
+        while budget > 0 {
+            let Some(front) = self.queue.front_mut() else { break };
+            let spend = front.remaining_work.min(budget);
+            front.remaining_work -= spend;
+            budget -= spend;
+            if front.remaining_work == 0 {
+                let done = self.queue.pop_front().expect("front exists");
+                self.served += 1;
+                completed.push((done.arrived_at, now));
+            }
+        }
+        completed
+    }
+
+    /// Work units currently queued (the demand this agent places on its
+    /// node).
+    #[must_use]
+    pub fn queued_work(&self) -> u64 {
+        self.queue.iter().map(|r| r.remaining_work).sum()
+    }
+
+    /// SWITCH: migrate to `dest`, carrying queue (processing state) and
+    /// counters (data state). Returns the serialised state size in bytes —
+    /// what the Adaptivity Manager must ship across the network.
+    pub fn migrate(&mut self, dest: &str) -> u64 {
+        let state_bytes = 64 + self.queue.len() as u64 * 24;
+        self.node = dest.to_owned();
+        self.migrations += 1;
+        state_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_in_fifo_order_within_budget() {
+        let mut a = ServiceAgent::new(AtomId(1), "node1");
+        a.accept(0, 10);
+        a.accept(0, 10);
+        a.accept(1, 10);
+        let done = a.step(2, 25);
+        assert_eq!(done.len(), 2, "25 units finish two 10-unit requests");
+        assert_eq!(a.queue.len(), 1);
+        assert_eq!(a.queue[0].remaining_work, 5, "third is half-served");
+        let done = a.step(3, 100);
+        assert_eq!(done, vec![(1, 3)]);
+        assert_eq!(a.served, 3);
+    }
+
+    #[test]
+    fn queued_work_reflects_partial_progress() {
+        let mut a = ServiceAgent::new(AtomId(1), "n");
+        a.accept(0, 8);
+        a.accept(0, 8);
+        assert_eq!(a.queued_work(), 16);
+        a.step(1, 4);
+        assert_eq!(a.queued_work(), 12);
+    }
+
+    #[test]
+    fn migration_preserves_processing_state() {
+        let mut a = ServiceAgent::new(AtomId(1), "node1");
+        a.accept(0, 10);
+        a.accept(0, 10);
+        a.step(1, 10);
+        let before_queue = a.queue.clone();
+        let before_served = a.served;
+        let bytes = a.migrate("node2");
+        assert_eq!(a.node, "node2");
+        assert_eq!(a.queue, before_queue, "in-flight requests travel with the agent");
+        assert_eq!(a.served, before_served);
+        assert_eq!(a.migrations, 1);
+        assert!(bytes >= 64);
+        // Serving continues seamlessly on the new node.
+        let done = a.step(2, 100);
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn idle_agent_steps_to_nothing() {
+        let mut a = ServiceAgent::new(AtomId(1), "n");
+        assert!(a.step(5, 100).is_empty());
+        assert_eq!(a.queued_work(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Atoms: `Atom = <a_id, name, type, <constraint>>`, replicated over nodes.
+
+use datacomp::version::{SelectionConstraints, Version, VersionKind, VersionList};
+use std::collections::BTreeMap;
+
+/// An atom identifier (the paper's `a_id`: 123, 153, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AtomId(pub u32);
+
+/// What kind of web object the atom is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomType {
+    /// A whole HTML page.
+    Html,
+    /// A graphic.
+    Graphic,
+    /// A text frame.
+    Text,
+    /// A navigation button.
+    Button,
+    /// A video stream (`.ram` in the paper's Table 2).
+    VideoStream,
+    /// An audio stream (the Kendra lineage).
+    AudioStream,
+}
+
+/// An atom: the smallest web object that cannot be subdivided.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// Identifier.
+    pub id: AtomId,
+    /// Name (`Page1.html`, `videohalf.ram`, ...).
+    pub name: String,
+    /// Type.
+    pub ty: AtomType,
+    /// Base size in bytes (the full-quality version).
+    pub size_bytes: u64,
+    /// Constraint ids attached to this atom (bodies live in the server's
+    /// constraint table, mirroring Table 2's separate metadata table).
+    pub constraint_ids: Vec<u32>,
+    /// Versions of this atom: replicas on nodes, lower-quality renditions.
+    pub versions: VersionList,
+}
+
+impl Atom {
+    /// A new atom with no versions yet.
+    #[must_use]
+    pub fn new(id: AtomId, name: &str, ty: AtomType, size_bytes: u64) -> Self {
+        Self {
+            id,
+            name: name.to_owned(),
+            ty,
+            size_bytes,
+            constraint_ids: Vec::new(),
+            versions: VersionList::new(),
+        }
+    }
+
+    /// Register a full-quality replica on `node`.
+    pub fn add_replica(&mut self, version_id: u32, node: &str) {
+        self.versions.add(Version {
+            id: version_id,
+            location: node.to_owned(),
+            kind: VersionKind::Replica,
+            size_bytes: self.size_bytes,
+            age: 0,
+            bytes: None,
+        });
+    }
+
+    /// Register a lower-quality rendition (e.g. `videohalf` at 0.5 quality
+    /// and half the bytes) on `node`.
+    pub fn add_rendition(&mut self, version_id: u32, node: &str, quality: f64, size_bytes: u64) {
+        self.versions.add(Version {
+            id: version_id,
+            location: node.to_owned(),
+            kind: VersionKind::LowerQuality { quality },
+            size_bytes,
+            age: 0,
+            bytes: None,
+        });
+    }
+
+    /// Nodes holding any version of this atom.
+    #[must_use]
+    pub fn holders(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.versions.all().iter().map(|v| v.location.as_str()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// `BEST` version under the given constraints.
+    ///
+    /// # Errors
+    /// [`datacomp::version::SelectError`] when nothing satisfies.
+    pub fn best_version(
+        &self,
+        c: &SelectionConstraints,
+    ) -> Result<&Version, datacomp::version::SelectError> {
+        self.versions.best(c)
+    }
+}
+
+/// The distributed atom store.
+#[derive(Debug, Clone, Default)]
+pub struct AtomStore {
+    atoms: BTreeMap<AtomId, Atom>,
+}
+
+impl AtomStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) an atom.
+    pub fn insert(&mut self, atom: Atom) {
+        self.atoms.insert(atom.id, atom);
+    }
+
+    /// Look up an atom.
+    #[must_use]
+    pub fn get(&self, id: AtomId) -> Option<&Atom> {
+        self.atoms.get(&id)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, id: AtomId) -> Option<&mut Atom> {
+        self.atoms.get_mut(&id)
+    }
+
+    /// All atom ids.
+    pub fn ids(&self) -> impl Iterator<Item = AtomId> + '_ {
+        self.atoms.keys().copied()
+    }
+
+    /// Number of atoms.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> Atom {
+        let mut a = Atom::new(AtomId(123), "Page1.html", AtomType::Html, 40_000);
+        a.add_replica(1, "node1");
+        a.add_replica(2, "node2");
+        a
+    }
+
+    #[test]
+    fn holders_deduplicate_and_sort() {
+        let mut a = page();
+        a.add_rendition(3, "node1", 0.5, 20_000);
+        assert_eq!(a.holders(), vec!["node1", "node2"]);
+    }
+
+    #[test]
+    fn best_version_prefers_small_rendition_when_quality_allows() {
+        let mut video = Atom::new(AtomId(153), "video.ram", AtomType::VideoStream, 1_000_000);
+        video.add_replica(1, "node1");
+        video.add_rendition(2, "node2", 0.5, 500_000);
+        video.add_rendition(3, "node3", 0.2, 150_000);
+        let slow = SelectionConstraints { min_quality: 0.4, bandwidth: 10.0, ..Default::default() };
+        assert_eq!(video.best_version(&slow).unwrap().id, 2, "videohalf");
+        let strict = SelectionConstraints { min_quality: 1.0, bandwidth: 10.0, ..Default::default() };
+        assert_eq!(video.best_version(&strict).unwrap().id, 1, "full only");
+        let any = SelectionConstraints { min_quality: 0.0, bandwidth: 10.0, ..Default::default() };
+        assert_eq!(video.best_version(&any).unwrap().id, 3, "videosmall");
+    }
+
+    #[test]
+    fn store_roundtrip() {
+        let mut s = AtomStore::new();
+        assert!(s.is_empty());
+        s.insert(page());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(AtomId(123)).unwrap().name, "Page1.html");
+        s.get_mut(AtomId(123)).unwrap().constraint_ids.push(450);
+        assert_eq!(s.get(AtomId(123)).unwrap().constraint_ids, vec![450]);
+        assert!(s.get(AtomId(999)).is_none());
+    }
+}

@@ -1,0 +1,138 @@
+//! Table 2: the atom-constraint metadata.
+//!
+//! > | Constraint | Atom | Constraint logic |
+//! > |------------|------|------------------|
+//! > | 450 | 123 | `Select BEST (node1.Page1.html, node2.Page1.html)` |
+//! > | 455 | 123 | `If processor-util > 90% then SWITCH ((node1.Page1.html, node2.Page1.html)` |
+//! > | 595 | 153 | `If bandwidth > 30 < 100 Kbps then BEST(node1.videohalf..., node2..., node3...) else node3.videosmall.ram` |
+
+use crate::atom::AtomId;
+
+/// The constraint logic forms Table 2 uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstraintLogic {
+    /// `Select BEST(candidates)`: serve from the best-capacity node among
+    /// the candidate replicas.
+    SelectBest {
+        /// Candidate `node.object` locations (node names).
+        candidates: Vec<String>,
+    },
+    /// `If processor-util > threshold then SWITCH(candidates)`: migrate the
+    /// serving agent (data + processing state) to the best candidate.
+    SwitchOnCpu {
+        /// Utilisation threshold in \[0, 1\] (the paper's 90 %).
+        threshold: f64,
+        /// Candidate destination nodes.
+        candidates: Vec<String>,
+    },
+    /// `If lo < bandwidth < hi then BEST(preferred) else fallback`:
+    /// bandwidth-conditional version selection.
+    BandwidthVersion {
+        /// Exclusive lower bandwidth bound (kbps).
+        lo: f64,
+        /// Exclusive upper bandwidth bound (kbps).
+        hi: f64,
+        /// Version ids preferred inside the band (e.g. the `videohalf`s).
+        preferred: Vec<u32>,
+        /// Version id served outside the band (e.g. `videosmall`).
+        fallback: u32,
+    },
+}
+
+/// One row of the atom-constraint table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomConstraint {
+    /// Constraint id (450, 455, 595...).
+    pub id: u32,
+    /// The atom it governs.
+    pub atom: AtomId,
+    /// The logic.
+    pub logic: ConstraintLogic,
+}
+
+impl AtomConstraint {
+    /// Render in the paper's Table 2 syntax.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match &self.logic {
+            ConstraintLogic::SelectBest { candidates } => {
+                format!("Select BEST ({})", candidates.join(", "))
+            }
+            ConstraintLogic::SwitchOnCpu { threshold, candidates } => format!(
+                "If processor-util > {:.0}% then SWITCH (({}))",
+                threshold * 100.0,
+                candidates.join(", ")
+            ),
+            ConstraintLogic::BandwidthVersion { lo, hi, preferred, fallback } => format!(
+                "If bandwidth > {lo:.0} < {hi:.0} Kbps then BEST(versions {preferred:?}) else version {fallback}"
+            ),
+        }
+    }
+}
+
+/// The exact constraint rows of the paper's Table 2. Version ids follow the
+/// construction in [`crate::server::ServerConfig::paper_fleet`]: atom 153's
+/// `videohalf` renditions are versions 1–3 on node1..node3 and
+/// `videosmall` is version 4 on node3.
+#[must_use]
+pub fn paper_table2() -> Vec<AtomConstraint> {
+    vec![
+        AtomConstraint {
+            id: 450,
+            atom: AtomId(123),
+            logic: ConstraintLogic::SelectBest {
+                candidates: vec!["node1".into(), "node2".into()],
+            },
+        },
+        AtomConstraint {
+            id: 455,
+            atom: AtomId(123),
+            logic: ConstraintLogic::SwitchOnCpu {
+                threshold: 0.9,
+                candidates: vec!["node1".into(), "node2".into()],
+            },
+        },
+        AtomConstraint {
+            id: 595,
+            atom: AtomId(153),
+            logic: ConstraintLogic::BandwidthVersion {
+                lo: 30.0,
+                hi: 100.0,
+                preferred: vec![1, 2, 3],
+                fallback: 4,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rows_match_table2() {
+        let t2 = paper_table2();
+        assert_eq!(t2.len(), 3);
+        assert_eq!(t2[0].id, 450);
+        assert_eq!(t2[0].atom, AtomId(123));
+        assert_eq!(t2[1].id, 455);
+        assert!(matches!(
+            t2[1].logic,
+            ConstraintLogic::SwitchOnCpu { threshold, .. } if (threshold - 0.9).abs() < 1e-12
+        ));
+        assert_eq!(t2[2].id, 595);
+        assert!(matches!(
+            t2[2].logic,
+            ConstraintLogic::BandwidthVersion { lo, hi, .. }
+                if (lo - 30.0).abs() < 1e-12 && (hi - 100.0).abs() < 1e-12
+        ));
+    }
+
+    #[test]
+    fn rendering_matches_paper_syntax() {
+        let t2 = paper_table2();
+        assert_eq!(t2[0].render(), "Select BEST (node1, node2)");
+        assert!(t2[1].render().starts_with("If processor-util > 90% then SWITCH"));
+        assert!(t2[2].render().starts_with("If bandwidth > 30 < 100 Kbps"));
+    }
+}

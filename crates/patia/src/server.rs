@@ -1,0 +1,504 @@
+//! The Patia server loop (Figure 7): service agents over a node fleet,
+//! monitors feeding gauges, and the Table 2 constraints driving adaptation.
+
+use crate::agent::ServiceAgent;
+use crate::atom::{Atom, AtomId, AtomStore, AtomType};
+use crate::constraint::{paper_table2, AtomConstraint, ConstraintLogic};
+use compkit::gauge::{Gauge, GaugeBoard, GaugeKind};
+use compkit::monitor::Monitor;
+use std::collections::BTreeMap;
+use ubinet::device::{Device, DeviceKind};
+use ubinet::link::{BandwidthProfile, Link, LinkKind};
+use ubinet::net::Network;
+use ubinet::select::best;
+
+/// Server construction parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Whether adaptivity (constraints 455/595) is enabled. With `false`
+    /// the server is the static baseline: agents never move and the full
+    /// version is always served.
+    pub adaptive: bool,
+    /// Work units one request costs.
+    pub work_per_request: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { adaptive: true, work_per_request: 400 }
+    }
+}
+
+impl ServerConfig {
+    /// The paper's fleet: `node1`/`node2` are webservers hosting
+    /// `Page1.html` (atom 123); `node3` plus two "typing-pool" workstations
+    /// host video renditions (atom 153: `videohalf` on node1–3 as versions
+    /// 1–3, `videosmall` on node3 as version 4) and replicas of the hot
+    /// page for SWITCH targets.
+    #[must_use]
+    pub fn paper_fleet() -> (Network, AtomStore, Vec<AtomConstraint>) {
+        let mut net = Network::new();
+        net.add_device(Device::new("node1", DeviceKind::Server));
+        net.add_device(Device::new("node2", DeviceKind::Server));
+        net.add_device(Device::new("node3", DeviceKind::Server));
+        net.add_device(Device::new("wp1", DeviceKind::Workstation));
+        net.add_device(Device::new("wp2", DeviceKind::Workstation));
+        let names = ["node1", "node2", "node3", "wp1", "wp2"];
+        for (i, a) in names.iter().enumerate() {
+            for b in names.iter().skip(i + 1) {
+                net.add_link(Link::new(a, b, LinkKind::Wired, BandwidthProfile::Constant(10_000.0), 1));
+            }
+        }
+        let mut atoms = AtomStore::new();
+        let mut page = Atom::new(AtomId(123), "Page1.html", AtomType::Html, 40_000);
+        page.add_replica(1, "node1");
+        page.add_replica(2, "node2");
+        // The typing pool holds replicas too — the SWITCH destinations.
+        page.add_replica(3, "wp1");
+        page.add_replica(4, "wp2");
+        page.constraint_ids = vec![450, 455];
+        atoms.insert(page);
+        let mut video = Atom::new(AtomId(153), "video.ram", AtomType::VideoStream, 1_000_000);
+        video.add_rendition(1, "node1", 0.5, 500_000);
+        video.add_rendition(2, "node2", 0.5, 500_000);
+        video.add_rendition(3, "node3", 0.5, 500_000);
+        video.add_rendition(4, "node3", 0.2, 150_000);
+        video.constraint_ids = vec![595];
+        atoms.insert(video);
+        // Give the SWITCH constraint the typing pool as candidates, as the
+        // paper describes ("a under-utilised machine in the typing pool
+        // that contains a replica").
+        let mut constraints = paper_table2();
+        for c in &mut constraints {
+            if let ConstraintLogic::SwitchOnCpu { candidates, .. } = &mut c.logic {
+                candidates.extend(["wp1".into(), "wp2".into()]);
+            }
+        }
+        (net, atoms, constraints)
+    }
+}
+
+/// Per-tick observable results.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TickStats {
+    /// The tick.
+    pub tick: u64,
+    /// Requests that arrived.
+    pub arrivals: usize,
+    /// Requests completed, with their latencies in ticks.
+    pub latencies: Vec<u64>,
+    /// Agent migrations performed this tick (atom, from, to).
+    pub migrations: Vec<(AtomId, String, String)>,
+    /// Per-node utilisation after processing.
+    pub utilisation: BTreeMap<String, f64>,
+    /// Version ids served this tick, per atom.
+    pub versions_served: BTreeMap<AtomId, BTreeMap<u32, u64>>,
+}
+
+impl TickStats {
+    /// The p-th latency percentile of this tick's completions.
+    #[must_use]
+    pub fn latency_percentile(&self, p: f64) -> Option<u64> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut v = self.latencies.clone();
+        v.sort_unstable();
+        let idx = ((v.len() - 1) as f64 * p).round() as usize;
+        Some(v[idx])
+    }
+}
+
+/// The Patia server.
+#[derive(Debug)]
+pub struct PatiaServer {
+    net: Network,
+    atoms: AtomStore,
+    constraints: Vec<AtomConstraint>,
+    /// Agents per atom: one initially; SWITCH may *spread* the service
+    /// over more nodes during a flash crowd ("dynamically spread its
+    /// processing (e.g. to non-Webserver machines like a typing-pools'
+    /// word processing computers)").
+    agents: BTreeMap<AtomId, Vec<ServiceAgent>>,
+    /// The gauge board (public so experiments can attach extra gauges).
+    pub board: GaugeBoard,
+    config: ServerConfig,
+    now: u64,
+}
+
+impl PatiaServer {
+    /// Build a server. One agent is created per atom, placed by constraint
+    /// 450 (`BEST`) where present, else on the atom's first holder.
+    ///
+    /// # Panics
+    /// If an atom has no holders.
+    #[must_use]
+    pub fn new(
+        net: Network,
+        atoms: AtomStore,
+        constraints: Vec<AtomConstraint>,
+        config: ServerConfig,
+    ) -> Self {
+        let mut board = GaugeBoard::new();
+        let names: Vec<String> = net.devices().map(|d| d.name.clone()).collect();
+        for n in &names {
+            board.add_monitor(Monitor::new(&format!("cpu:{n}"), 16));
+            board.add_gauge(Gauge {
+                name: format!("util:{n}"),
+                monitor: format!("cpu:{n}"),
+                kind: GaugeKind::Latest,
+            });
+            // The paper's trend analysis: a rising slope anticipates
+            // saturation before it happens.
+            board.add_gauge(Gauge {
+                name: format!("util_trend:{n}"),
+                monitor: format!("cpu:{n}"),
+                kind: GaugeKind::Slope(8),
+            });
+        }
+        let mut agents = BTreeMap::new();
+        for id in atoms.ids().collect::<Vec<_>>() {
+            let atom = atoms.get(id).expect("id from iterator");
+            let home = constraints
+                .iter()
+                .find_map(|c| match (&c.logic, c.atom == id) {
+                    (ConstraintLogic::SelectBest { candidates }, true) => {
+                        let refs: Vec<&str> = candidates.iter().map(String::as_str).collect();
+                        best(&net, &refs).map(str::to_owned)
+                    }
+                    _ => None,
+                })
+                .or_else(|| atom.holders().first().map(|s| (*s).to_owned()))
+                .expect("atom must have a holder");
+            agents.insert(id, vec![ServiceAgent::new(id, &home)]);
+        }
+        Self { net, atoms, constraints, agents, board, config, now: 0 }
+    }
+
+    /// The agents currently serving an atom (one unless the service has
+    /// spread).
+    #[must_use]
+    pub fn agents(&self, atom: AtomId) -> &[ServiceAgent] {
+        self.agents.get(&atom).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total SWITCH events (migrations + spreads) performed for an atom.
+    #[must_use]
+    pub fn switches(&self, atom: AtomId) -> u32 {
+        self.agents(atom).iter().map(|a| a.migrations).sum::<u32>()
+            + self.agents(atom).len().saturating_sub(1) as u32
+    }
+
+    /// The node fleet.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Select which version of an atom to serve a client seeing
+    /// `bandwidth_kbps` — constraint 595's logic. Falls back to the first
+    /// version when no bandwidth constraint governs the atom.
+    #[must_use]
+    pub fn select_version(&self, atom: AtomId, bandwidth_kbps: f64) -> Option<u32> {
+        let a = self.atoms.get(atom)?;
+        if self.config.adaptive {
+            for c in &self.constraints {
+                if c.atom != atom {
+                    continue;
+                }
+                if let ConstraintLogic::BandwidthVersion { lo, hi, preferred, fallback } = &c.logic
+                {
+                    if bandwidth_kbps > *lo && bandwidth_kbps < *hi {
+                        // BEST among the preferred versions' hosts.
+                        let hosts: Vec<(&str, u32)> = a
+                            .versions
+                            .all()
+                            .iter()
+                            .filter(|v| preferred.contains(&v.id))
+                            .map(|v| (v.location.as_str(), v.id))
+                            .collect();
+                        let names: Vec<&str> = hosts.iter().map(|(n, _)| *n).collect();
+                        let chosen = best(&self.net, &names)?;
+                        return hosts.iter().find(|(n, _)| *n == chosen).map(|(_, id)| *id);
+                    }
+                    return Some(*fallback);
+                }
+            }
+        }
+        a.versions.all().first().map(|v| v.id)
+    }
+
+    /// One serving tick: accept `requests`, process, monitor, adapt.
+    pub fn tick(&mut self, requests: &[AtomId], client_bandwidth_kbps: f64) -> TickStats {
+        self.now += 1;
+        let now = self.now;
+        let mut stats = TickStats { tick: now, arrivals: requests.len(), ..TickStats::default() };
+
+        // 1. Route arrivals to agents, selecting versions per constraint 595.
+        for &atom in requests {
+            if let Some(version) = self.select_version(atom, client_bandwidth_kbps) {
+                *stats
+                    .versions_served
+                    .entry(atom)
+                    .or_default()
+                    .entry(version)
+                    .or_default() += 1;
+            }
+            // Route to the agent whose node has the least pending work per
+            // unit of capacity (capacity-weighted join-shortest-queue) —
+            // a typing-pool workstation must not receive a webserver-sized
+            // share of a flash crowd.
+            let choice = self
+                .agents
+                .get(&atom)
+                .into_iter()
+                .flatten()
+                .enumerate()
+                .map(|(i, a)| {
+                    let cap = self
+                        .net
+                        .device(&a.node)
+                        .map_or(1.0, |d| d.kind.nominal_capacity())
+                        .max(1.0);
+                    (i, a.queued_work() as f64 / cap)
+                })
+                .min_by(|(_, x), (_, y)| x.total_cmp(y))
+                .map(|(i, _)| i);
+            if let (Some(idx), Some(agents)) = (choice, self.agents.get_mut(&atom)) {
+                agents[idx].accept(now, self.config.work_per_request);
+            }
+        }
+
+        // 2. Process: each node's capacity is shared among its agents.
+        let node_names: Vec<String> = self.net.devices().map(|d| d.name.clone()).collect();
+        for node in &node_names {
+            let capacity = self
+                .net
+                .device(node)
+                .map_or(0.0, |d| d.kind.nominal_capacity())
+                .max(0.0) as u64;
+            let mut local: Vec<(AtomId, usize)> = self
+                .agents
+                .iter()
+                .flat_map(|(id, v)| {
+                    v.iter()
+                        .enumerate()
+                        .filter(|(_, a)| &a.node == node)
+                        .map(|(i, _)| (*id, i))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            local.sort_unstable();
+            if local.is_empty() {
+                self.record_util(node, 0.0, now);
+                continue;
+            }
+            let demand: u64 = local
+                .iter()
+                .map(|(id, i)| self.agents[id][*i].queued_work())
+                .sum();
+            // Capacity is shared among the agents that actually have work;
+            // an idle co-resident agent does not waste a share.
+            let active: Vec<(AtomId, usize)> = local
+                .iter()
+                .copied()
+                .filter(|(id, i)| self.agents[id][*i].queued_work() > 0)
+                .collect();
+            let share = if active.is_empty() { 0 } else { capacity / active.len() as u64 };
+            for (id, i) in &active {
+                let agent = &mut self.agents.get_mut(id).expect("local agent")[*i];
+                for (arrived, done) in agent.step(now, share) {
+                    stats.latencies.push(done - arrived);
+                }
+            }
+            let util = if capacity == 0 { 1.0 } else { (demand as f64 / capacity as f64).min(1.0) };
+            self.record_util(node, util, now);
+            stats.utilisation.insert(node.clone(), util);
+            if let Some(d) = self.net.device_mut(node) {
+                d.load = util;
+            }
+        }
+
+        // 3. Adapt: constraint 455 — SWITCH agents off saturated nodes.
+        if self.config.adaptive {
+            let gauges = self.board.snapshot();
+            let constraints = self.constraints.clone();
+            for c in &constraints {
+                let ConstraintLogic::SwitchOnCpu { threshold, candidates } = &c.logic else {
+                    continue;
+                };
+                let Some(agents) = self.agents.get(&c.atom) else { continue };
+                // Find the most saturated agent of this atom.
+                let Some((worst_idx, worst_util)) = agents
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| {
+                        (i, gauges.get(&format!("util:{}", a.node)).copied().unwrap_or(0.0))
+                    })
+                    .max_by(|(_, x), (_, y)| x.total_cmp(y))
+                else {
+                    continue;
+                };
+                if worst_util <= *threshold {
+                    continue;
+                }
+                let occupied: Vec<String> = agents.iter().map(|a| a.node.clone()).collect();
+                let refs: Vec<&str> = candidates
+                    .iter()
+                    .map(String::as_str)
+                    .filter(|n| !occupied.iter().any(|o| o == *n))
+                    .collect();
+                let Some(dest) = best(&self.net, &refs) else { continue };
+                let dest_load = self.net.device(dest).map_or(1.0, |d| d.load);
+                // Only act if the destination is meaningfully less loaded.
+                if dest_load >= worst_util - 0.2 {
+                    continue;
+                }
+                let agents = self.agents.get_mut(&c.atom).expect("checked");
+                let from = agents[worst_idx].node.clone();
+                // A lightly-queued agent is a bystander on a busy node:
+                // SWITCH moves it whole. A heavily-queued agent *is* the
+                // load: SWITCH spreads the service — clone the agent onto
+                // the destination and split the queue (the data AND
+                // processing state shipping the paper describes).
+                let queue_len = agents[worst_idx].queue.len();
+                if queue_len <= 2 {
+                    let _state_bytes = agents[worst_idx].migrate(dest);
+                } else {
+                    let mut clone = ServiceAgent::new(c.atom, dest);
+                    let split = queue_len / 2;
+                    for _ in 0..split {
+                        if let Some(req) = agents[worst_idx].queue.pop_back() {
+                            clone.queue.push_front(req);
+                        }
+                    }
+                    agents.push(clone);
+                }
+                stats.migrations.push((c.atom, from, dest.to_owned()));
+            }
+        }
+
+        stats
+    }
+
+    fn record_util(&mut self, node: &str, util: f64, now: u64) {
+        self.board.record(&format!("cpu:{node}"), now, util);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{FlashCrowd, RequestGen};
+
+    fn server(adaptive: bool) -> PatiaServer {
+        let (net, atoms, constraints) = ServerConfig::paper_fleet();
+        PatiaServer::new(net, atoms, constraints, ServerConfig { adaptive, work_per_request: 400 })
+    }
+
+    #[test]
+    fn agents_start_on_best_constraint_450_node() {
+        let s = server(true);
+        let page_agents = s.agents(AtomId(123));
+        assert_eq!(page_agents.len(), 1);
+        assert!(["node1", "node2"].contains(&page_agents[0].node.as_str()));
+    }
+
+    #[test]
+    fn steady_load_is_served_with_low_latency_and_no_migration() {
+        let mut s = server(true);
+        let mut gen = RequestGen::new(vec![AtomId(123)], 1.0, 5.0, 1);
+        let mut total_migrations = 0;
+        for t in 1..=200 {
+            let reqs = gen.tick(t);
+            let st = s.tick(&reqs, 500.0);
+            total_migrations += st.migrations.len();
+            if let Some(p99) = st.latency_percentile(0.99) {
+                assert!(p99 <= 2, "tick {t}: p99 {p99} too high under light load");
+            }
+        }
+        assert_eq!(total_migrations, 0);
+    }
+
+    #[test]
+    fn flash_crowd_triggers_switch_when_adaptive() {
+        let crowd = FlashCrowd { from: 50, to: 250, target: AtomId(123), multiplier: 40.0 };
+        let mut gen = RequestGen::new(vec![AtomId(123)], 1.0, 4.0, 2).with_crowd(crowd);
+        let mut s = server(true);
+        let mut switch_events = 0;
+        for t in 1..=300 {
+            let reqs = gen.tick(t);
+            switch_events += s.tick(&reqs, 500.0).migrations.len();
+        }
+        assert!(switch_events >= 1, "constraint 455 must fire during the crowd");
+        assert_eq!(s.switches(AtomId(123)) as usize, switch_events);
+        assert!(
+            s.agents(AtomId(123)).len() > 1,
+            "a crowd this size must spread the service over several nodes"
+        );
+    }
+
+    #[test]
+    fn adaptive_server_keeps_latency_lower_than_static_under_crowd() {
+        let run = |adaptive: bool| -> f64 {
+            let crowd = FlashCrowd { from: 50, to: 400, target: AtomId(123), multiplier: 15.0 };
+            let mut gen = RequestGen::new(vec![AtomId(123)], 1.0, 4.0, 7).with_crowd(crowd);
+            let mut s = server(adaptive);
+            let mut lat: Vec<u64> = Vec::new();
+            // Run well past the crowd so queued requests drain and their
+            // latencies count (otherwise a drowning server looks *better*
+            // because its victims never complete).
+            for t in 1..=1500 {
+                let reqs = gen.tick(t);
+                lat.extend(s.tick(&reqs, 500.0).latencies);
+            }
+            lat.sort_unstable();
+            if lat.is_empty() {
+                f64::INFINITY
+            } else {
+                lat[(lat.len() - 1) * 99 / 100] as f64
+            }
+        };
+        let adaptive_p99 = run(true);
+        let static_p99 = run(false);
+        assert!(
+            adaptive_p99 * 1.5 < static_p99,
+            "adaptive p99 {adaptive_p99} vs static {static_p99}"
+        );
+    }
+
+    #[test]
+    fn bandwidth_band_selects_videohalf_inside_and_videosmall_outside() {
+        let s = server(true);
+        // Inside (30, 100): a videohalf version (1–3).
+        let v = s.select_version(AtomId(153), 64.0).unwrap();
+        assert!((1..=3).contains(&v), "got version {v}");
+        // Below the band: fallback videosmall.
+        assert_eq!(s.select_version(AtomId(153), 10.0), Some(4));
+        // Above the band: the paper's rule still says fallback (else-branch).
+        assert_eq!(s.select_version(AtomId(153), 500.0), Some(4));
+    }
+
+    #[test]
+    fn static_server_always_serves_first_version() {
+        let s = server(false);
+        assert_eq!(s.select_version(AtomId(153), 64.0), Some(1));
+        assert_eq!(s.select_version(AtomId(153), 10.0), Some(1));
+    }
+
+    #[test]
+    fn versions_served_are_counted() {
+        let mut s = server(true);
+        let st = s.tick(&[AtomId(153), AtomId(153)], 64.0);
+        let per_atom = st.versions_served.get(&AtomId(153)).unwrap();
+        assert_eq!(per_atom.values().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn unknown_atom_requests_are_ignored() {
+        let mut s = server(true);
+        let st = s.tick(&[AtomId(999)], 100.0);
+        assert_eq!(st.arrivals, 1);
+        assert!(st.versions_served.is_empty());
+    }
+}

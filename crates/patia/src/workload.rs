@@ -1,0 +1,155 @@
+//! Request workload: Zipf atom popularity with deterministic flash crowds.
+//!
+//! Production web traces are not available; the substitution is the
+//! standard synthetic equivalent — Zipf-distributed object popularity
+//! (web-cache literature's consistent finding) plus a flash-crowd window
+//! during which the arrival rate on one hot atom multiplies. Everything is
+//! seeded, so adaptive and non-adaptive runs see byte-identical workloads.
+
+use crate::atom::AtomId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A flash-crowd spike.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashCrowd {
+    /// First tick of the spike.
+    pub from: u64,
+    /// Last tick (inclusive).
+    pub to: u64,
+    /// The atom everyone suddenly wants.
+    pub target: AtomId,
+    /// Rate multiplier during the spike.
+    pub multiplier: f64,
+}
+
+/// The request generator.
+#[derive(Debug, Clone)]
+pub struct RequestGen {
+    atoms: Vec<AtomId>,
+    /// Zipf CDF over `atoms`.
+    cdf: Vec<f64>,
+    /// Mean requests per tick in steady state.
+    pub base_rate: f64,
+    /// Optional flash crowd.
+    pub crowd: Option<FlashCrowd>,
+    rng: StdRng,
+}
+
+impl RequestGen {
+    /// A generator over `atoms` with Zipf exponent `s` and `base_rate`
+    /// mean requests/tick, seeded deterministically.
+    ///
+    /// # Panics
+    /// If `atoms` is empty.
+    #[must_use]
+    pub fn new(atoms: Vec<AtomId>, s: f64, base_rate: f64, seed: u64) -> Self {
+        assert!(!atoms.is_empty(), "need at least one atom");
+        let weights: Vec<f64> =
+            (1..=atoms.len()).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        Self { atoms, cdf, base_rate, crowd: None, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Attach a flash crowd (builder style).
+    #[must_use]
+    pub fn with_crowd(mut self, crowd: FlashCrowd) -> Self {
+        self.crowd = Some(crowd);
+        self
+    }
+
+    fn in_crowd(&self, tick: u64) -> Option<FlashCrowd> {
+        self.crowd.filter(|c| (c.from..=c.to).contains(&tick))
+    }
+
+    /// Requests arriving at `tick`. Counts are drawn from a deterministic
+    /// Poisson-like process (rounded rate + Bernoulli remainder); during a
+    /// flash crowd the extra arrivals all target the hot atom.
+    pub fn tick(&mut self, tick: u64) -> Vec<AtomId> {
+        let mut out = Vec::new();
+        let emit_rate = |rate: f64, rng: &mut StdRng, out: &mut Vec<AtomId>, fixed: Option<AtomId>, cdf: &[f64], atoms: &[AtomId]| {
+            let whole = rate.floor() as usize;
+            let frac = rate - rate.floor();
+            let n = whole + usize::from(rng.gen::<f64>() < frac);
+            for _ in 0..n {
+                match fixed {
+                    Some(a) => out.push(a),
+                    None => {
+                        let u: f64 = rng.gen();
+                        let idx = cdf.partition_point(|&c| c < u).min(atoms.len() - 1);
+                        out.push(atoms[idx]);
+                    }
+                }
+            }
+        };
+        emit_rate(self.base_rate, &mut self.rng, &mut out, None, &self.cdf, &self.atoms);
+        if let Some(c) = self.in_crowd(tick) {
+            let extra = self.base_rate * (c.multiplier - 1.0);
+            emit_rate(extra.max(0.0), &mut self.rng, &mut out, Some(c.target), &self.cdf, &self.atoms);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn atoms(n: u32) -> Vec<AtomId> {
+        (0..n).map(AtomId).collect()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = RequestGen::new(atoms(5), 1.0, 3.0, 9);
+        let mut b = RequestGen::new(atoms(5), 1.0, 3.0, 9);
+        for t in 0..50 {
+            assert_eq!(a.tick(t), b.tick(t));
+        }
+    }
+
+    #[test]
+    fn popularity_is_zipf_skewed() {
+        let mut g = RequestGen::new(atoms(10), 1.2, 10.0, 3);
+        let mut counts: BTreeMap<AtomId, usize> = BTreeMap::new();
+        for t in 0..1000 {
+            for a in g.tick(t) {
+                *counts.entry(a).or_default() += 1;
+            }
+        }
+        let hot = counts.get(&AtomId(0)).copied().unwrap_or(0);
+        let cold = counts.get(&AtomId(9)).copied().unwrap_or(0);
+        assert!(hot > cold * 3, "hot {hot} vs cold {cold}");
+    }
+
+    #[test]
+    fn flash_crowd_multiplies_rate_on_target() {
+        let crowd = FlashCrowd { from: 100, to: 200, target: AtomId(2), multiplier: 10.0 };
+        let mut g = RequestGen::new(atoms(5), 1.0, 4.0, 11).with_crowd(crowd);
+        let mut steady = 0usize;
+        let mut spike = 0usize;
+        for t in 0..100 {
+            steady += g.tick(t).len();
+        }
+        for t in 100..200 {
+            spike += g.tick(t).len();
+        }
+        assert!(
+            spike as f64 > steady as f64 * 5.0,
+            "spike {spike} should dwarf steady {steady}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one atom")]
+    fn empty_atom_set_rejected() {
+        let _ = RequestGen::new(vec![], 1.0, 1.0, 0);
+    }
+}

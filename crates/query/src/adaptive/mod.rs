@@ -1,0 +1,20 @@
+//! Adaptive operators — the Section 2 lineage the paper builds on.
+//!
+//! * [`shj`] — the pipelined (symmetric) hash join of Wilschut & Apers \[31\];
+//! * [`ripple`] — the (block) ripple join of Haas & Hellerstein \[14\], with
+//!   online-aggregation running estimates \[15\];
+//! * [`xjoin`] — Urhan & Franklin's XJoin \[29\]: symmetric hashing with
+//!   memory overflow to disk partitions and a *reactive* stage that joins
+//!   spilled partitions while both inputs stall;
+//! * [`eddy`] — Avnur & Hellerstein's eddies \[1\]: per-tuple routing through
+//!   a predicate pool with lottery scheduling.
+
+pub mod eddy;
+pub mod ripple;
+pub mod shj;
+pub mod xjoin;
+
+pub use eddy::Eddy;
+pub use ripple::RippleJoin;
+pub use shj::SymmetricHashJoin;
+pub use xjoin::XJoin;

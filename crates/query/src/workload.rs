@@ -1,0 +1,106 @@
+//! Synthetic workload generation for the benches — the substitute for the
+//! "real relational datasets" the paper's scenarios assume.
+
+use datacomp::{ColumnType, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Key distribution for generated tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Keys uniform over `0..domain`.
+    Uniform {
+        /// Key domain size.
+        domain: i64,
+    },
+    /// Zipf-like over `0..domain` with exponent `s` (heavier skew for
+    /// larger `s`); implemented by inverse-CDF over precomputed weights.
+    Zipf {
+        /// Key domain size.
+        domain: i64,
+        /// Skew exponent.
+        s: f64,
+    },
+}
+
+/// Generate a two-column `(k, v)` table with `rows` rows and the given key
+/// distribution, deterministically from `seed`.
+///
+/// # Panics
+/// If the distribution domain is not positive.
+#[must_use]
+pub fn gen_table(rows: usize, dist: KeyDist, seed: u64) -> Table {
+    let schema =
+        Schema::new(&[("k", ColumnType::Int), ("v", ColumnType::Int)]).expect("static schema");
+    let mut t = Table::new(schema);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampler: Box<dyn FnMut(&mut StdRng) -> i64> = match dist {
+        KeyDist::Uniform { domain } => {
+            assert!(domain > 0);
+            Box::new(move |r| r.gen_range(0..domain))
+        }
+        KeyDist::Zipf { domain, s } => {
+            assert!(domain > 0);
+            let weights: Vec<f64> =
+                (1..=domain).map(|k| 1.0 / (k as f64).powf(s)).collect();
+            let total: f64 = weights.iter().sum();
+            let mut cdf = Vec::with_capacity(weights.len());
+            let mut acc = 0.0;
+            for w in &weights {
+                acc += w / total;
+                cdf.push(acc);
+            }
+            Box::new(move |r| {
+                let u: f64 = r.gen();
+                cdf.partition_point(|&c| c < u) as i64
+            })
+        }
+    };
+    let mut sampler = sampler;
+    for i in 0..rows {
+        let k = sampler(&mut rng);
+        t.insert(vec![Value::Int(k), Value::Int(i as i64)]).expect("schema matches");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = gen_table(100, KeyDist::Uniform { domain: 10 }, 42);
+        let b = gen_table(100, KeyDist::Uniform { domain: 10 }, 42);
+        let c = gen_table(100, KeyDist::Uniform { domain: 10 }, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_covers_domain() {
+        let t = gen_table(1000, KeyDist::Uniform { domain: 5 }, 7);
+        let mut seen: BTreeMap<i64, usize> = BTreeMap::new();
+        for r in t.rows() {
+            *seen.entry(r[0].as_i64().unwrap()).or_default() += 1;
+        }
+        assert_eq!(seen.len(), 5);
+        for (&k, &n) in &seen {
+            assert!((0..5).contains(&k));
+            assert!(n > 100, "key {k} underrepresented: {n}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let t = gen_table(5000, KeyDist::Zipf { domain: 100, s: 1.2 }, 7);
+        let mut counts: BTreeMap<i64, usize> = BTreeMap::new();
+        for r in t.rows() {
+            *counts.entry(r[0].as_i64().unwrap()).or_default() += 1;
+        }
+        let head = counts.get(&0).copied().unwrap_or(0);
+        let tail: usize = counts.iter().filter(|(&k, _)| k >= 50).map(|(_, &n)| n).sum();
+        assert!(head > tail, "head {head} should outweigh the whole tail {tail}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Property: every join operator — static or adaptive, stalled or not,
+//! memory-starved or not — produces exactly the same multiset of results
+//! as the naive nested-loop oracle.
+
+use datacomp::{ColumnType, Row, Schema, Table, Value};
+use proptest::prelude::*;
+use query::adaptive::ripple::AggKind;
+use query::adaptive::{RippleJoin, SymmetricHashJoin, XJoin};
+use query::basic::{HashJoin, IndexNestedLoopJoin, NestedLoopJoin};
+use query::op::{drain, Operator, WorkCounter};
+use query::source::{ArrivalPattern, DelayedScan, TableScan};
+
+fn table(keys: Vec<i64>) -> Table {
+    let schema = Schema::new(&[("k", ColumnType::Int), ("v", ColumnType::Int)]).unwrap();
+    let mut t = Table::new(schema);
+    for (i, k) in keys.into_iter().enumerate() {
+        t.insert(vec![Value::Int(k), Value::Int(i as i64)]).unwrap();
+    }
+    t
+}
+
+fn oracle(l: &Table, r: &Table) -> Vec<Row> {
+    let mut out = Vec::new();
+    for lr in l.rows() {
+        for rr in r.rows() {
+            if lr[0] == rr[0] {
+                let mut row = lr.clone();
+                row.extend_from_slice(rr);
+                out.push(row);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn keys() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(0i64..8, 0..40)
+}
+
+fn pattern() -> impl Strategy<Value = ArrivalPattern> {
+    (0u64..20, 1u64..8, 0u64..10)
+        .prop_map(|(initial_delay, burst, gap)| ArrivalPattern { initial_delay, burst, gap })
+}
+
+fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #[test]
+    fn all_joins_agree_with_oracle(lk in keys(), rk in keys()) {
+        let (l, r) = (table(lk), table(rk));
+        let expected = oracle(&l, &r);
+        let w = WorkCounter::new();
+        let scan = |t: &Table| -> Box<dyn Operator> { Box::new(TableScan::new(t.clone(), w.clone())) };
+
+        let mut nl = NestedLoopJoin::new(scan(&l), scan(&r), vec![0], vec![0], w.clone());
+        prop_assert_eq!(sorted(drain(&mut nl, 10)), expected.clone());
+
+        let mut hj = HashJoin::new(scan(&l), scan(&r), vec![0], vec![0], true, w.clone());
+        prop_assert_eq!(sorted(drain(&mut hj, 10)), expected.clone());
+
+        let mut ij = IndexNestedLoopJoin::new(scan(&l), &r, vec![0], &[0], w.clone());
+        prop_assert_eq!(sorted(drain(&mut ij, 10)), expected.clone());
+
+        let mut shj = SymmetricHashJoin::new(scan(&l), scan(&r), vec![0], vec![0], w.clone());
+        prop_assert_eq!(sorted(drain(&mut shj, 10)), expected.clone());
+
+        let mut rj = RippleJoin::new(scan(&l), scan(&r), vec![0], vec![0], 3, AggKind::Count, w.clone());
+        prop_assert_eq!(sorted(drain(&mut rj, 10)), expected.clone());
+
+        let mut xj = XJoin::new(scan(&l), scan(&r), vec![0], vec![0], 4, w.clone());
+        prop_assert_eq!(sorted(drain(&mut xj, 100_000)), expected);
+    }
+
+    /// Adaptive joins stay correct when both sources stall arbitrarily and
+    /// XJoin is memory-starved.
+    #[test]
+    fn adaptive_joins_survive_stalls(
+        lk in keys(),
+        rk in keys(),
+        lpat in pattern(),
+        rpat in pattern(),
+        budget in 1usize..16,
+    ) {
+        let (l, r) = (table(lk), table(rk));
+        let expected = oracle(&l, &r);
+        let w = WorkCounter::new();
+        let dl = || -> Box<dyn Operator> { Box::new(DelayedScan::new(l.clone(), lpat, w.clone())) };
+        let dr = || -> Box<dyn Operator> { Box::new(DelayedScan::new(r.clone(), rpat, w.clone())) };
+
+        let mut shj = SymmetricHashJoin::new(dl(), dr(), vec![0], vec![0], w.clone());
+        prop_assert_eq!(sorted(drain(&mut shj, 100_000)), expected.clone());
+
+        let mut xj = XJoin::new(dl(), dr(), vec![0], vec![0], budget, w.clone());
+        prop_assert_eq!(sorted(drain(&mut xj, 100_000)), expected.clone());
+
+        let mut rj = RippleJoin::new(dl(), dr(), vec![0], vec![0], 2, AggKind::Count, w.clone());
+        prop_assert_eq!(sorted(drain(&mut rj, 100_000)), expected);
+    }
+
+    /// The adaptive executor produces oracle results for any staleness
+    /// error, adapting or not.
+    #[test]
+    fn adaptive_exec_is_correct_for_any_staleness(
+        lk in prop::collection::vec(0i64..12, 1..60),
+        rk in prop::collection::vec(0i64..12, 1..60),
+        error in 0.001f64..100.0,
+        adapt in any::<bool>(),
+    ) {
+        let (l, r) = (table(lk), table(rk));
+        let expected = oracle(&l, &r);
+        let mut catalog = query::optimizer::Catalog::new();
+        catalog.register_with_stale_stats("l", l, error);
+        catalog.register_with_stale_stats("r", r, error);
+        let w = WorkCounter::new();
+        let exec = query::exec::AdaptiveJoinExec { safe_point_interval: 8, reopt_threshold: 3.0 };
+        let (rows, report) = exec.run(&catalog, "l", "r", 0, 0, adapt, &w).unwrap();
+        prop_assert_eq!(rows.len() as u64, report.rows_out);
+        prop_assert_eq!(sorted(rows), expected);
+    }
+}

@@ -1,0 +1,267 @@
+//! The network: devices + links, hop distances, transfer times.
+
+use crate::device::Device;
+use crate::link::Link;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Topology errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Unknown device name.
+    UnknownDevice(String),
+    /// No live path between the endpoints.
+    Unreachable {
+        /// Source.
+        from: String,
+        /// Destination.
+        to: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownDevice(d) => write!(f, "unknown device `{d}`"),
+            NetError::Unreachable { from, to } => write!(f, "no live path {from} → {to}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// The environment's topology.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    devices: BTreeMap<String, Device>,
+    links: Vec<Link>,
+}
+
+impl Network {
+    /// An empty network.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a device (replacing any with the same name).
+    pub fn add_device(&mut self, d: Device) {
+        self.devices.insert(d.name.clone(), d);
+    }
+
+    /// Add a link.
+    pub fn add_link(&mut self, l: Link) {
+        self.links.push(l);
+    }
+
+    /// Look up a device.
+    #[must_use]
+    pub fn device(&self, name: &str) -> Option<&Device> {
+        self.devices.get(name)
+    }
+
+    /// Mutable device access.
+    pub fn device_mut(&mut self, name: &str) -> Option<&mut Device> {
+        self.devices.get_mut(name)
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> impl Iterator<Item = &Device> {
+        self.devices.values()
+    }
+
+    /// Mutable access to all links (e.g. to take a dock link down).
+    pub fn links_mut(&mut self) -> &mut Vec<Link> {
+        &mut self.links
+    }
+
+    /// All links.
+    #[must_use]
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Live neighbours of a device (links up, endpoint alive).
+    fn neighbours<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.links
+            .iter()
+            .filter(move |l| l.up && l.touches(name))
+            .map(move |l| if l.a == name { l.b.as_str() } else { l.a.as_str() })
+            .filter(|n| self.devices.get(*n).is_some_and(|d| d.alive))
+    }
+
+    /// BFS hop distance over live links and devices.
+    ///
+    /// # Errors
+    /// [`NetError`] on unknown names or unreachable endpoints.
+    pub fn hop_distance(&self, from: &str, to: &str) -> Result<u32, NetError> {
+        for n in [from, to] {
+            if !self.devices.contains_key(n) {
+                return Err(NetError::UnknownDevice(n.to_owned()));
+            }
+        }
+        if from == to {
+            return Ok(0);
+        }
+        let mut dist: BTreeMap<&str, u32> = BTreeMap::new();
+        dist.insert(from, 0);
+        let mut q = VecDeque::from([from]);
+        while let Some(cur) = q.pop_front() {
+            let d = dist[cur];
+            for n in self.neighbours(cur) {
+                if !dist.contains_key(n) {
+                    if n == to {
+                        return Ok(d + 1);
+                    }
+                    dist.insert(n, d + 1);
+                    q.push_back(n);
+                }
+            }
+        }
+        Err(NetError::Unreachable { from: from.to_owned(), to: to.to_owned() })
+    }
+
+    /// The live path (as link indices) with the fewest hops, and its
+    /// bottleneck bandwidth and total latency at `tick`.
+    ///
+    /// # Errors
+    /// [`NetError`] on unknown/unreachable endpoints.
+    pub fn path_metrics(&self, from: &str, to: &str, tick: u64) -> Result<(f64, u64), NetError> {
+        for n in [from, to] {
+            if !self.devices.contains_key(n) {
+                return Err(NetError::UnknownDevice(n.to_owned()));
+            }
+        }
+        if from == to {
+            return Ok((f64::INFINITY, 0));
+        }
+        // BFS storing parents.
+        let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut q = VecDeque::from([from]);
+        parent.insert(from, from);
+        'bfs: while let Some(cur) = q.pop_front() {
+            for n in self.neighbours(cur) {
+                if !parent.contains_key(n) {
+                    parent.insert(n, cur);
+                    if n == to {
+                        break 'bfs;
+                    }
+                    q.push_back(n);
+                }
+            }
+        }
+        if !parent.contains_key(to) {
+            return Err(NetError::Unreachable { from: from.to_owned(), to: to.to_owned() });
+        }
+        let mut bw = f64::INFINITY;
+        let mut lat = 0u64;
+        let mut cur = to;
+        while cur != from {
+            let prev = parent[cur];
+            let link = self
+                .links
+                .iter()
+                .find(|l| l.up && l.connects(prev, cur))
+                .expect("parent edge exists");
+            bw = bw.min(link.bandwidth_at(tick));
+            lat += link.latency;
+            cur = prev;
+        }
+        Ok((bw, lat))
+    }
+
+    /// Ticks to transfer `bytes` from `from` to `to` starting at `tick`:
+    /// latency + size/bottleneck (bandwidth sampled at start — links are
+    /// piecewise-steady at scenario timescales).
+    ///
+    /// # Errors
+    /// [`NetError`]; also `Unreachable` when the bottleneck is zero.
+    pub fn transfer_ticks(
+        &self,
+        from: &str,
+        to: &str,
+        bytes: u64,
+        tick: u64,
+    ) -> Result<u64, NetError> {
+        let (bw, lat) = self.path_metrics(from, to, tick)?;
+        if bw <= 0.0 {
+            return Err(NetError::Unreachable { from: from.to_owned(), to: to.to_owned() });
+        }
+        if bw.is_infinite() {
+            return Ok(lat);
+        }
+        Ok(lat + (bytes as f64 / bw).ceil() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceKind;
+    use crate::link::{BandwidthProfile, LinkKind};
+
+    /// sensor — laptop — pda, laptop — server.
+    fn net() -> Network {
+        let mut n = Network::new();
+        n.add_device(Device::new("sensor", DeviceKind::Sensor));
+        n.add_device(Device::new("laptop", DeviceKind::Laptop));
+        n.add_device(Device::new("pda", DeviceKind::Pda));
+        n.add_device(Device::new("server", DeviceKind::Server));
+        n.add_link(Link::new("sensor", "laptop", LinkKind::Wireless, BandwidthProfile::Constant(50.0), 2));
+        n.add_link(Link::new("laptop", "pda", LinkKind::Wireless, BandwidthProfile::Constant(100.0), 1));
+        n.add_link(Link::new("laptop", "server", LinkKind::Wired, BandwidthProfile::Constant(1000.0), 1));
+        n
+    }
+
+    #[test]
+    fn hop_distances() {
+        let n = net();
+        assert_eq!(n.hop_distance("sensor", "laptop").unwrap(), 1);
+        assert_eq!(n.hop_distance("sensor", "pda").unwrap(), 2);
+        assert_eq!(n.hop_distance("pda", "pda").unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_and_unreachable() {
+        let mut n = net();
+        assert!(matches!(n.hop_distance("ghost", "pda"), Err(NetError::UnknownDevice(_))));
+        n.links_mut()[0].up = false;
+        assert!(matches!(
+            n.hop_distance("sensor", "pda"),
+            Err(NetError::Unreachable { .. })
+        ));
+    }
+
+    #[test]
+    fn dead_device_breaks_paths() {
+        let mut n = net();
+        n.device_mut("laptop").unwrap().alive = false;
+        assert!(n.hop_distance("sensor", "pda").is_err());
+    }
+
+    #[test]
+    fn path_metrics_bottleneck_and_latency() {
+        let n = net();
+        let (bw, lat) = n.path_metrics("sensor", "pda", 0).unwrap();
+        assert_eq!(bw, 50.0, "sensor link is the bottleneck");
+        assert_eq!(lat, 3);
+    }
+
+    #[test]
+    fn transfer_time_accounts_size_and_latency() {
+        let n = net();
+        // 500 bytes over bottleneck 50 B/tick + 3 latency = 13.
+        assert_eq!(n.transfer_ticks("sensor", "pda", 500, 0).unwrap(), 13);
+        // Local transfer is free.
+        assert_eq!(n.transfer_ticks("pda", "pda", 10_000, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn transfer_over_stepped_link_uses_tick() {
+        let mut n = net();
+        n.links_mut()[1].profile = BandwidthProfile::Steps(vec![(0, 100.0), (10, 10.0)]);
+        let fast = n.transfer_ticks("laptop", "pda", 1000, 0).unwrap();
+        let slow = n.transfer_ticks("laptop", "pda", 1000, 10).unwrap();
+        assert!(slow > fast);
+    }
+}

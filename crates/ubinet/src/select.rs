@@ -1,0 +1,127 @@
+//! The paper's device-selection functions.
+//!
+//! > "The DBMS understands the function BEST to mean the best device in
+//! > terms of capacity and current load. ... Functions like NEAREST could
+//! > indicate the closest data resource and the constraint rules themselves
+//! > can be prioritised. That is BEST, like NEAREST, is parameterised with
+//! > representations of the two computing nodes to be compared."
+
+use crate::net::{NetError, Network};
+
+/// `BEST(candidates)`: the candidate with the most available capacity
+/// (nominal capacity × idleness, zero for dead or battery-flat devices).
+/// Ties break toward the earlier candidate, matching the paper's
+/// prioritised argument lists. Returns `None` when no candidate has any
+/// capacity.
+#[must_use]
+pub fn best<'a>(net: &Network, candidates: &[&'a str]) -> Option<&'a str> {
+    let mut winner: Option<(&str, f64)> = None;
+    for &c in candidates {
+        let cap = net.device(c).map_or(0.0, |d| d.available_capacity());
+        if cap <= 0.0 {
+            continue;
+        }
+        if winner.is_none_or(|(_, w)| cap > w) {
+            winner = Some((c, cap));
+        }
+    }
+    winner.map(|(c, _)| c)
+}
+
+/// `NEAREST(from, candidates)`: the candidate with the fewest live hops
+/// from `from`. Unreachable candidates are skipped; ties break toward the
+/// earlier candidate.
+///
+/// # Errors
+/// [`NetError::UnknownDevice`] if `from` is unknown;
+/// [`NetError::Unreachable`] if no candidate is reachable.
+pub fn nearest<'a>(
+    net: &Network,
+    from: &str,
+    candidates: &[&'a str],
+) -> Result<&'a str, NetError> {
+    if net.device(from).is_none() {
+        return Err(NetError::UnknownDevice(from.to_owned()));
+    }
+    let mut winner: Option<(&str, u32)> = None;
+    for &c in candidates {
+        match net.hop_distance(from, c) {
+            Ok(d) => {
+                if winner.is_none_or(|(_, w)| d < w) {
+                    winner = Some((c, d));
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+    winner.map(|(c, _)| c).ok_or(NetError::Unreachable {
+        from: from.to_owned(),
+        to: candidates.join("|"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{Device, DeviceKind};
+    use crate::link::{BandwidthProfile, Link, LinkKind};
+
+    fn net() -> Network {
+        let mut n = Network::new();
+        n.add_device(Device::new("pda", DeviceKind::Pda));
+        n.add_device(Device::new("laptop", DeviceKind::Laptop));
+        n.add_device(Device::new("server", DeviceKind::Server).with_load(0.99));
+        n.add_link(Link::new("pda", "laptop", LinkKind::Wireless, BandwidthProfile::Constant(100.0), 1));
+        n.add_link(Link::new("laptop", "server", LinkKind::Wired, BandwidthProfile::Constant(1000.0), 1));
+        n
+    }
+
+    #[test]
+    fn best_prefers_idle_laptop_over_busy_server() {
+        // Scenario 1: "the Laptop is better as it is not being used and has
+        // much more capacity compared with the PDA".
+        let n = net();
+        assert_eq!(best(&n, &["pda", "laptop"]), Some("laptop"));
+        // A 99%-loaded server has 100 available; idle laptop has 1000.
+        assert_eq!(best(&n, &["server", "laptop"]), Some("laptop"));
+    }
+
+    #[test]
+    fn best_skips_dead_and_flat_devices() {
+        let mut n = net();
+        n.device_mut("laptop").unwrap().alive = false;
+        assert_eq!(best(&n, &["pda", "laptop"]), Some("pda"));
+        n.device_mut("pda").unwrap().alive = false;
+        assert_eq!(best(&n, &["pda", "laptop"]), None);
+    }
+
+    #[test]
+    fn best_tie_breaks_toward_priority_order() {
+        let mut n = net();
+        n.add_device(Device::new("laptop2", DeviceKind::Laptop));
+        assert_eq!(best(&n, &["laptop", "laptop2"]), Some("laptop"));
+        assert_eq!(best(&n, &["laptop2", "laptop"]), Some("laptop2"));
+    }
+
+    #[test]
+    fn nearest_picks_fewest_hops() {
+        let n = net();
+        assert_eq!(nearest(&n, "pda", &["server", "laptop"]).unwrap(), "laptop");
+        assert_eq!(nearest(&n, "pda", &["server"]).unwrap(), "server");
+    }
+
+    #[test]
+    fn nearest_skips_unreachable() {
+        let mut n = net();
+        n.add_device(Device::new("island", DeviceKind::Pda));
+        assert_eq!(nearest(&n, "pda", &["island", "laptop"]).unwrap(), "laptop");
+        assert!(matches!(
+            nearest(&n, "pda", &["island"]),
+            Err(NetError::Unreachable { .. })
+        ));
+        assert!(matches!(
+            nearest(&n, "ghost", &["laptop"]),
+            Err(NetError::UnknownDevice(_))
+        ));
+    }
+}

@@ -1,0 +1,255 @@
+//! The discrete-event simulator driving the environment.
+//!
+//! Events model exactly the disruptions the paper's scenarios need: undock
+//! (Scenario 2: "in the meantime it has been unplugged"), load changes
+//! (Scenario 1's `BEST`), bandwidth steps (constraint 595), and device
+//! failure ("units failing — perhaps mid way through answering a query").
+//! After each applied event the simulator emits monitor readings so the
+//! `compkit` gauge board sees the same world the network does.
+
+use crate::link::BandwidthProfile;
+use crate::net::Network;
+use std::collections::BTreeMap;
+
+/// An environmental event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnvEvent {
+    /// A device docks (`true`) or undocks (`false`); its wired links follow.
+    SetDocked {
+        /// Device name.
+        device: String,
+        /// New dock state.
+        docked: bool,
+    },
+    /// A device's load changes.
+    SetLoad {
+        /// Device name.
+        device: String,
+        /// New load in \[0, 1\].
+        load: f64,
+    },
+    /// A device fails or recovers.
+    SetAlive {
+        /// Device name.
+        device: String,
+        /// New liveness.
+        alive: bool,
+    },
+    /// Replace a link's bandwidth profile (the link is named by endpoints).
+    SetBandwidth {
+        /// One endpoint.
+        a: String,
+        /// Other endpoint.
+        b: String,
+        /// New profile.
+        profile: BandwidthProfile,
+    },
+}
+
+/// The simulator: a network plus a schedule of events.
+#[derive(Debug, Clone, Default)]
+pub struct Simulator {
+    /// The environment's topology and device states.
+    pub net: Network,
+    schedule: Vec<(u64, EnvEvent)>,
+    now: u64,
+    battery_drain_per_tick: f64,
+}
+
+impl Simulator {
+    /// A simulator over a network with the given per-tick battery drain for
+    /// fully-loaded mobile devices.
+    #[must_use]
+    pub fn new(net: Network, battery_drain_per_tick: f64) -> Self {
+        Self { net, schedule: Vec::new(), now: 0, battery_drain_per_tick }
+    }
+
+    /// Current tick.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Schedule an event. Events at the same tick apply in scheduling order.
+    pub fn schedule(&mut self, tick: u64, ev: EnvEvent) {
+        let pos = self.schedule.partition_point(|(t, _)| *t <= tick);
+        self.schedule.insert(pos, (tick, ev));
+    }
+
+    fn apply(&mut self, ev: &EnvEvent) {
+        match ev {
+            EnvEvent::SetDocked { device, docked } => {
+                if let Some(d) = self.net.device_mut(device) {
+                    d.docked = *docked;
+                }
+                // Wired links to an undocked device go down (Ethernet
+                // unplugged); they come back when redocked.
+                for l in self.net.links_mut() {
+                    if l.kind == crate::link::LinkKind::Wired && l.touches(device) {
+                        l.up = *docked;
+                    }
+                }
+            }
+            EnvEvent::SetLoad { device, load } => {
+                if let Some(d) = self.net.device_mut(device) {
+                    d.load = load.clamp(0.0, 1.0);
+                }
+            }
+            EnvEvent::SetAlive { device, alive } => {
+                if let Some(d) = self.net.device_mut(device) {
+                    d.alive = *alive;
+                }
+            }
+            EnvEvent::SetBandwidth { a, b, profile } => {
+                for l in self.net.links_mut() {
+                    if l.connects(a, b) {
+                        l.profile = profile.clone();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advance to `to_tick` (inclusive), applying due events and draining
+    /// batteries each tick. Returns the events applied, in order.
+    pub fn advance(&mut self, to_tick: u64) -> Vec<(u64, EnvEvent)> {
+        let mut applied = Vec::new();
+        while self.now < to_tick {
+            self.now += 1;
+            let due: Vec<(u64, EnvEvent)> = {
+                let split = self.schedule.partition_point(|(t, _)| *t <= self.now);
+                self.schedule.drain(..split).collect()
+            };
+            for (t, ev) in due {
+                self.apply(&ev);
+                applied.push((t, ev));
+            }
+            let drain = self.battery_drain_per_tick;
+            let names: Vec<String> =
+                self.net.devices().map(|d| d.name.clone()).collect();
+            for n in names {
+                if let Some(d) = self.net.device_mut(&n) {
+                    d.step_power(drain);
+                }
+            }
+        }
+        applied
+    }
+
+    /// Monitor readings describing the world at `now`: per device
+    /// `load:<name>`, `battery:<name>`, `alive:<name>`, `docked:<name>`;
+    /// per link `bw:<a>:<b>`.
+    #[must_use]
+    pub fn readings(&self) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        for d in self.net.devices() {
+            out.insert(format!("load:{}", d.name), d.load);
+            out.insert(format!("battery:{}", d.name), d.battery);
+            out.insert(format!("alive:{}", d.name), f64::from(u8::from(d.alive)));
+            out.insert(format!("docked:{}", d.name), f64::from(u8::from(d.docked)));
+        }
+        for l in self.net.links() {
+            out.insert(format!("bw:{}:{}", l.a, l.b), l.bandwidth_at(self.now));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{Device, DeviceKind};
+    use crate::link::{BandwidthProfile, Link, LinkKind};
+
+    fn sim() -> Simulator {
+        let mut n = Network::new();
+        n.add_device(Device::new("laptop", DeviceKind::Laptop));
+        n.add_device(Device::new("sensor", DeviceKind::Sensor));
+        n.add_link(Link::new(
+            "laptop",
+            "sensor",
+            LinkKind::Wired,
+            BandwidthProfile::Constant(1000.0),
+            1,
+        ));
+        n.add_link(Link::new(
+            "laptop",
+            "sensor",
+            LinkKind::Wireless,
+            BandwidthProfile::Constant(50.0),
+            2,
+        ));
+        Simulator::new(n, 0.001)
+    }
+
+    #[test]
+    fn undock_takes_wired_link_down_only() {
+        let mut s = sim();
+        s.schedule(5, EnvEvent::SetDocked { device: "laptop".into(), docked: false });
+        let applied = s.advance(10);
+        assert_eq!(applied.len(), 1);
+        assert_eq!(s.now(), 10);
+        let wired = &s.net.links()[0];
+        let wireless = &s.net.links()[1];
+        assert!(!wired.up);
+        assert!(wireless.up);
+        // Redock restores.
+        s.schedule(12, EnvEvent::SetDocked { device: "laptop".into(), docked: true });
+        s.advance(12);
+        assert!(s.net.links()[0].up);
+    }
+
+    #[test]
+    fn battery_drains_while_undocked() {
+        let mut s = sim();
+        s.schedule(1, EnvEvent::SetDocked { device: "laptop".into(), docked: false });
+        s.advance(101);
+        let b = s.net.device("laptop").unwrap().battery;
+        assert!(b < 1.0, "battery should drain, got {b}");
+    }
+
+    #[test]
+    fn events_apply_in_tick_order() {
+        let mut s = sim();
+        s.schedule(3, EnvEvent::SetLoad { device: "laptop".into(), load: 0.3 });
+        s.schedule(2, EnvEvent::SetLoad { device: "laptop".into(), load: 0.2 });
+        s.schedule(3, EnvEvent::SetLoad { device: "laptop".into(), load: 0.9 });
+        let applied = s.advance(5);
+        assert_eq!(applied.iter().map(|(t, _)| *t).collect::<Vec<_>>(), vec![2, 3, 3]);
+        assert_eq!(s.net.device("laptop").unwrap().load, 0.9);
+    }
+
+    #[test]
+    fn bandwidth_event_rewrites_profile() {
+        let mut s = sim();
+        s.schedule(
+            1,
+            EnvEvent::SetBandwidth {
+                a: "laptop".into(),
+                b: "sensor".into(),
+                profile: BandwidthProfile::Constant(10.0),
+            },
+        );
+        s.advance(1);
+        assert_eq!(s.net.links()[0].bandwidth_at(1), 10.0);
+        assert_eq!(s.net.links()[1].bandwidth_at(1), 10.0, "both matching links rewritten");
+    }
+
+    #[test]
+    fn failure_event_kills_device() {
+        let mut s = sim();
+        s.schedule(1, EnvEvent::SetAlive { device: "sensor".into(), alive: false });
+        s.advance(1);
+        assert!(!s.net.device("sensor").unwrap().alive);
+    }
+
+    #[test]
+    fn readings_cover_devices_and_links() {
+        let s = sim();
+        let r = s.readings();
+        assert_eq!(r["load:laptop"], 0.0);
+        assert_eq!(r["alive:sensor"], 1.0);
+        assert_eq!(r["docked:laptop"], 1.0);
+        assert_eq!(r["bw:laptop:sensor"], 50.0, "later link wins the map key");
+    }
+}

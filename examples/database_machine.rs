@@ -1,0 +1,56 @@
+//! The Database Machine assembled — the paper's closing claim:
+//!
+//! > "at *that instant* the system becomes effectively a Database Machine
+//! > but potentially without the problems of standardisation and
+//! > portability of the past."
+//!
+//! Query operators run as SISR-verified Go! components; every activation
+//! crosses the ORB; the overhead of full isolation is measured against
+//! what trap-based boundaries would cost.
+//!
+//! Run with: `cargo run -p adm-core --example database_machine`
+
+use adm_core::dbm::DatabaseMachine;
+use datacomp::{ColumnType, Schema, Table, Value};
+use machine::CostModel;
+use query::expr::Pred;
+
+fn table(n: i64, dup: i64) -> Table {
+    let schema = Schema::new(&[("k", ColumnType::Int), ("v", ColumnType::Int)]).expect("schema");
+    let mut t = Table::new(schema);
+    for i in 0..n {
+        t.insert(vec![Value::Int(i % dup), Value::Int(i)]).expect("row fits");
+    }
+    t
+}
+
+fn main() {
+    println!("== The Database Machine ==\n");
+    let mut dbm = DatabaseMachine::boot(CostModel::pentium());
+    println!(
+        "booted: scan/filter/join operators + client as Go! components ({} bytes protection state)\n",
+        dbm.protection_bytes()
+    );
+    dbm.register("orders", table(2_000, 40));
+    dbm.register("customers", table(800, 40));
+
+    let pred = Pred::lt(1, Value::Int(1_000));
+    println!("query: SELECT * FROM orders JOIN customers ON k WHERE orders.v < 1000\n");
+    println!("  batch | rows out | activations | boundary cyc | work cyc | overhead | trap-equivalent");
+    println!("  ------+----------+-------------+--------------+----------+----------+----------------");
+    for batch in [1024u64, 256, 64, 16] {
+        let (_, cost) = dbm.run_spj("orders", "customers", &pred, batch).expect("tables registered");
+        println!(
+            "  {batch:>5} | {:>8} | {:>11} | {:>12} | {:>8} | {:>7.1}% | {:>14}",
+            cost.rows_out,
+            cost.activations,
+            cost.boundary_cycles,
+            cost.work_cycles,
+            cost.overhead_fraction() * 100.0,
+            cost.trap_equivalent_cycles
+        );
+    }
+    println!("\nSISR-shaped boundaries cost percents of the query's own work;");
+    println!("trap-shaped boundaries (rightmost column) would cost multiples of it.");
+    println!("That asymmetry is the paper's whole argument in one table.");
+}

@@ -1,0 +1,72 @@
+//! The zero-kernel OS in action: SISR verification, the ORB, and kernel
+//! services (scheduler, memory manager, interrupt dispatch) running as
+//! ordinary protected components — "just components and hardware and some
+//! 'intelligence'".
+//!
+//! Run with: `cargo run -p adm-core --example zero_kernel`
+
+use gokernel::libos::{LibOs, ThreadId};
+use gokernel::sisr::SisrVerifier;
+use machine::isa::{Instr, Program};
+use machine::seg::SegReg;
+use machine::CostModel;
+
+fn main() {
+    println!("== Go! zero-kernel system ==\n");
+
+    // 1. SISR: the load-time scan that replaces the kernel-mode split.
+    let verifier = SisrVerifier::new(CostModel::pentium());
+    let good = Program::new(vec![Instr::MovImm(0, 1), Instr::Add(0, 0), Instr::Halt]);
+    let img = verifier.verify_program(&good).expect("clean code verifies");
+    println!(
+        "SISR accepted a {}-instruction component (scan cost {} cycles, one-off)",
+        good.len(),
+        img.scan_cycles()
+    );
+    let evil = Program::new(vec![Instr::Nop, Instr::LoadSegReg(SegReg::Ds, 0), Instr::Halt]);
+    let err = verifier.verify_program(&evil).unwrap_err();
+    println!("SISR rejected hostile code: {err}");
+
+    // 2. Boot the library OS: every kernel service is a component.
+    let mut os = LibOs::boot(CostModel::pentium(), 64 * 1024);
+    println!(
+        "\nbooted: {} components, {} interfaces, {} bytes of protection state",
+        os.orb().components(),
+        os.orb().interfaces(),
+        os.orb().protection_bytes()
+    );
+
+    // 3. The scheduler component.
+    for t in 0..3 {
+        os.sched_add(ThreadId(t)).expect("ok");
+    }
+    print!("round-robin: ");
+    let mut cur = ThreadId(0);
+    for _ in 0..6 {
+        cur = os.sched_yield(cur).expect("ok").expect("threads exist");
+        print!("T{} ", cur.0);
+    }
+    println!();
+
+    // 4. The memory-manager component.
+    let a = os.alloc(1024).expect("fits");
+    let b = os.alloc(2048).expect("fits");
+    println!("alloc'd regions at {a} and {b}; {} bytes free", os.free_bytes());
+    os.free(a).expect("valid");
+    os.free(b).expect("valid");
+    println!("freed and coalesced; {} bytes free", os.free_bytes());
+
+    // 5. Interrupt dispatch — to driver *components*, no traps anywhere.
+    let eth = os.install_driver("eth-driver", 0xE7).expect("verifies");
+    os.irq_register(0x21, eth).expect("ok");
+    let result = os.irq_deliver(0x21).expect("handler registered");
+    println!("IRQ 0x21 dispatched to eth-driver component -> {result:#x}");
+
+    println!(
+        "\ntotal service-invocation cost so far: {} simulated cycles — every\n\
+         call was an ORB thread migration (~70 cycles), never a trap (~{}+).",
+        os.service_cycles(),
+        CostModel::pentium().trap_enter + CostModel::pentium().trap_exit
+    );
+    println!("\n\"at that instant the system becomes effectively a Database Machine\" — §6");
+}

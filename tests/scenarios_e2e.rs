@@ -1,0 +1,75 @@
+//! End-to-end integration: the three Section 4 scenarios, run through the
+//! whole stack (ADL model → component runtime → environment simulator →
+//! data components → query engine).
+
+use adm_core::scenario::{inter_query, intra_query, system_adapt};
+
+#[test]
+fn scenario1_best_tracks_load_and_nearest_tracks_topology() {
+    // Idle laptop: BEST picks it, exactly the paper's narration.
+    let idle = inter_query::run(&inter_query::InterQueryParams::default());
+    assert_eq!(idle.chosen_device, "laptop");
+    assert!(idle.selector_used.contains("BEST"));
+
+    // Loaded laptop: BEST falls to the second PDA.
+    let busy = inter_query::run(&inter_query::InterQueryParams {
+        laptop_load: 0.99,
+        ..Default::default()
+    });
+    assert_eq!(busy.chosen_device, "pda2");
+
+    // NEAREST prioritised: topology decides instead.
+    let near = inter_query::run(&inter_query::InterQueryParams {
+        prefer_nearest: true,
+        ..Default::default()
+    });
+    assert!(near.selector_used.contains("NEAREST"));
+}
+
+#[test]
+fn scenario2_full_switchover_with_safe_point_and_compression() {
+    let r = system_adapt::run(&system_adapt::SystemAdaptParams::default());
+    // The Figure 1 loop fired shortly after the undock...
+    let switch = r.switch_tick.expect("switchover must happen");
+    assert!(switch >= r.undock_tick && switch <= r.undock_tick + 5);
+    // ...the session ended wireless...
+    assert_eq!(r.final_mode, "wireless");
+    // ...the stream cut at a declared safe point...
+    let sp = r.safe_point_reading.expect("safe point");
+    assert_eq!(sp % 100, 0);
+    // ...compression traded CPU for bandwidth...
+    assert!(r.bytes_sent < r.raw_bytes / 2, "{} of {}", r.bytes_sent, r.raw_bytes);
+    assert!(r.codec_cpu_ticks > 0);
+    // ...and beat the stubborn baseline by a wide margin.
+    let stat = system_adapt::run(&system_adapt::SystemAdaptParams {
+        adaptive: false,
+        ..Default::default()
+    });
+    assert!(r.total_ticks * 2 < stat.total_ticks);
+}
+
+#[test]
+fn scenario3_replans_at_safe_point_and_state_manager_holds_progress() {
+    let r = intra_query::run(&intra_query::IntraQueryParams::default());
+    let at = r.switched_at.expect("switch");
+    assert_eq!(at % 64, 0, "switch only at safe points");
+    assert_eq!(r.state_manager_progress, Some(at));
+    assert!(r.speedup > 2.0);
+    assert_ne!(r.initial_algo, r.final_algo);
+}
+
+#[test]
+fn scenarios_are_deterministic() {
+    assert_eq!(
+        inter_query::run(&inter_query::InterQueryParams::default()),
+        inter_query::run(&inter_query::InterQueryParams::default())
+    );
+    assert_eq!(
+        system_adapt::run(&system_adapt::SystemAdaptParams::default()),
+        system_adapt::run(&system_adapt::SystemAdaptParams::default())
+    );
+    assert_eq!(
+        intra_query::run(&intra_query::IntraQueryParams::default()),
+        intra_query::run(&intra_query::IntraQueryParams::default())
+    );
+}

@@ -1,0 +1,60 @@
+//! Integration: the regenerated Table 1 preserves the paper's shape under
+//! both cost-model calibrations, and the SISR safety story holds across
+//! the machine/gokernel boundary.
+
+use gokernel::kernels::{all_kernels, KernelKind};
+use gokernel::table1::{memory_comparison, table1_rows};
+use machine::CostModel;
+
+#[test]
+fn table1_shape_holds_on_pentium_calibration() {
+    let rows = table1_rows(&CostModel::pentium(), 3);
+    assert_eq!(rows.len(), 4);
+    for r in &rows {
+        assert!(
+            (0.5..=1.5).contains(&r.ratio_to_paper),
+            "{}: measured {} vs paper {}",
+            r.kind.name(),
+            r.measured_cycles,
+            r.paper_cycles
+        );
+    }
+    // Strict ordering, matching the table.
+    assert!(rows[0].measured_cycles > rows[1].measured_cycles);
+    assert!(rows[1].measured_cycles > rows[2].measured_cycles);
+    assert!(rows[2].measured_cycles > rows[3].measured_cycles);
+}
+
+#[test]
+fn table1_ordering_survives_a_different_machine() {
+    // On a deep-pipeline calibration the absolute numbers move but the
+    // ordering — the paper's claim — must not.
+    let mut costs: Vec<(KernelKind, u64)> = all_kernels(&CostModel::deep_pipeline())
+        .iter_mut()
+        .map(|k| (k.kind(), k.null_rpc()))
+        .collect();
+    costs.sort_by_key(|&(_, c)| c);
+    assert_eq!(
+        costs.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+        vec![KernelKind::Go, KernelKind::L4, KernelKind::Mach, KernelKind::Monolithic]
+    );
+}
+
+#[test]
+fn go_memory_claim_two_orders_of_magnitude() {
+    for (c, i) in [(8, 1), (64, 4), (512, 8)] {
+        let m = memory_comparison(c, i);
+        assert!(
+            m.improvement > 50.0 && m.improvement < 1000.0,
+            "{c}x{i}: improvement {:.0}",
+            m.improvement
+        );
+    }
+}
+
+#[test]
+fn per_interface_cost_is_exactly_32_bytes_marginal() {
+    let base = memory_comparison(100, 1).go_bytes;
+    let more = memory_comparison(100, 3).go_bytes;
+    assert_eq!(more - base, 100 * 2 * 32);
+}
