@@ -65,6 +65,15 @@ pub enum AnalysisError {
         /// Which end is wrong.
         detail: &'static str,
     },
+    /// Sub-instance bindings form a service-dependency cycle: each instance
+    /// in the cycle requires a service the next one provides, so no valid
+    /// start-up (or reconfiguration) order exists.
+    BindingCycle {
+        /// Component whose body contains the cycle.
+        component: String,
+        /// The cycle, rendered `a -> b -> a`.
+        cycle: String,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -88,6 +97,9 @@ impl fmt::Display for AnalysisError {
             }
             AnalysisError::Direction { component, binding, detail } => {
                 write!(f, "binding `{binding}` in `{component}`: {detail}")
+            }
+            AnalysisError::BindingCycle { component, cycle } => {
+                write!(f, "binding cycle in `{component}`: {cycle}")
             }
         }
     }
@@ -226,6 +238,83 @@ fn check_binding(
     }
 }
 
+/// Collect, per configuration (base declarations, then base plus each
+/// `when` block, cumulatively through nesting), the instance-to-instance
+/// dependency edges its bindings induce: `a.req -- b.prov` means `a`
+/// depends on `b`.
+fn binding_edges(
+    decls: &[Decl],
+    inherited: &[(String, String)],
+    out: &mut Vec<Vec<(String, String)>>,
+) {
+    let mut own: Vec<(String, String)> = inherited.to_vec();
+    for d in decls {
+        if let Decl::Bind(binds) = d {
+            for b in binds {
+                if let (Some(from), Some(to)) = (&b.from.instance, &b.to.instance) {
+                    own.push((from.clone(), to.clone()));
+                }
+            }
+        }
+    }
+    out.push(own.clone());
+    for d in decls {
+        if let Decl::When { body, .. } = d {
+            binding_edges(body, &own, out);
+        }
+    }
+}
+
+/// Find one dependency cycle in `edges`, rendered starting from its
+/// lexicographically smallest member so reports are deterministic.
+fn find_cycle(edges: &[(String, String)]) -> Option<String> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges {
+        adj.entry(a).or_default().push(b);
+    }
+    #[derive(PartialEq)]
+    enum Mark {
+        Active,
+        Done,
+    }
+    fn dfs<'a>(
+        node: &'a str,
+        adj: &BTreeMap<&'a str, Vec<&'a str>>,
+        marks: &mut BTreeMap<&'a str, Mark>,
+        stack: &mut Vec<&'a str>,
+    ) -> Option<Vec<String>> {
+        match marks.get(node) {
+            Some(Mark::Done) => return None,
+            Some(Mark::Active) => {
+                let start = stack.iter().position(|&n| n == node).unwrap();
+                return Some(stack[start..].iter().map(|s| (*s).to_owned()).collect());
+            }
+            None => {}
+        }
+        marks.insert(node, Mark::Active);
+        stack.push(node);
+        for &next in adj.get(node).into_iter().flatten() {
+            if let Some(cycle) = dfs(next, adj, marks, stack) {
+                return Some(cycle);
+            }
+        }
+        stack.pop();
+        marks.insert(node, Mark::Done);
+        None
+    }
+    let mut marks = BTreeMap::new();
+    let mut stack = Vec::new();
+    for &node in adj.keys() {
+        if let Some(mut cycle) = dfs(node, &adj, &mut marks, &mut stack) {
+            let min = cycle.iter().enumerate().min_by_key(|&(_, n)| n).map(|(i, _)| i)?;
+            cycle.rotate_left(min);
+            cycle.push(cycle[0].clone());
+            return Some(cycle.join(" -> "));
+        }
+    }
+    None
+}
+
 /// Analyse a document; returns all errors found (empty means well-formed).
 ///
 /// # Errors
@@ -253,6 +342,21 @@ pub fn analyze(doc: &Document) -> Result<(), Vec<AnalysisError>> {
         }
         let mut scope = BTreeMap::new();
         check_decls(doc, comp, &comp.body, &mut scope, &mut errors);
+        // Service-dependency cycles, per configuration. The same base-level
+        // cycle surfaces from every configuration containing it, so dedup by
+        // the rendered cycle.
+        let mut edge_sets = Vec::new();
+        binding_edges(&comp.body, &[], &mut edge_sets);
+        let mut reported: Vec<String> = Vec::new();
+        for edges in &edge_sets {
+            if let Some(cycle) = find_cycle(edges) {
+                if !reported.contains(&cycle) {
+                    reported.push(cycle.clone());
+                    errors
+                        .push(AnalysisError::BindingCycle { component: comp.name.clone(), cycle });
+                }
+            }
+        }
     }
     if errors.is_empty() {
         Ok(())
@@ -363,6 +467,72 @@ mod tests {
             component C {
                 inst t : T;
                 when m { inst u : U; bind u.q -- t.p; }
+            }
+        ";
+        assert!(analyze(&parse(src).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn binding_cycle_detected() {
+        // a requires from b, b requires from a: no valid start-up order.
+        let e = errs(
+            "component A { provide pa; require ra; }
+             component B { provide pb; require rb; }
+             component C {
+                 inst a : A; b : B;
+                 bind a.ra -- b.pb;
+                      b.rb -- a.pa;
+             }",
+        );
+        assert_eq!(
+            e,
+            vec![AnalysisError::BindingCycle {
+                component: "C".into(),
+                cycle: "a -> b -> a".into(),
+            }]
+        );
+    }
+
+    #[test]
+    fn self_binding_cycle_detected() {
+        let e = errs(
+            "component A { provide p; require r; }
+             component C { inst a : A; bind a.r -- a.p; }",
+        );
+        assert!(e.iter().any(|x| matches!(
+            x,
+            AnalysisError::BindingCycle { cycle, .. } if cycle == "a -> a"
+        )));
+    }
+
+    #[test]
+    fn cycle_spanning_base_and_when_block_detected_once() {
+        // The cycle only closes in mode m; the base configuration is acyclic.
+        let e = errs(
+            "component A { provide pa; require ra; }
+             component B { provide pb; require rb; }
+             component C {
+                 inst a : A; b : B;
+                 bind a.ra -- b.pb;
+                 when m { bind b.rb -- a.pa; }
+             }",
+        );
+        let cycles: Vec<_> =
+            e.iter().filter(|x| matches!(x, AnalysisError::BindingCycle { .. })).collect();
+        assert_eq!(cycles.len(), 1, "{e:?}");
+    }
+
+    #[test]
+    fn acyclic_chain_has_no_cycle() {
+        assert!(analyze(&parse(OK).unwrap()).is_ok());
+        // A diamond is fine too: shared dependency is not a cycle.
+        let src = "
+            component L { provide p; }
+            component M { provide p; require r; }
+            component C {
+                inst leaf : L; m1 : M; m2 : M;
+                bind m1.r -- leaf.p;
+                     m2.r -- leaf.p;
             }
         ";
         assert!(analyze(&parse(src).unwrap()).is_ok());

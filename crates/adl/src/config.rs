@@ -187,10 +187,7 @@ mod tests {
     #[test]
     fn unknown_component_and_mode_errors() {
         let doc = parse(SRC).unwrap();
-        assert_eq!(
-            flatten(&doc, "Nope", &[]),
-            Err(FlattenError::UnknownComponent("Nope".into()))
-        );
+        assert_eq!(flatten(&doc, "Nope", &[]), Err(FlattenError::UnknownComponent("Nope".into())));
         assert_eq!(
             flatten(&doc, "Mobile", &["flying"]),
             Err(FlattenError::UnknownMode("flying".into()))
@@ -202,6 +199,10 @@ mod tests {
         let doc = parse(SRC).unwrap();
         let cfg = flatten(&doc, "Mobile", &["docked", "wireless"]).unwrap();
         assert_eq!(cfg.len(), 5);
-        assert_eq!(cfg.bindings.len(), 5, "sm.plan bound twice collapses in the set? No: targets differ");
+        assert_eq!(
+            cfg.bindings.len(),
+            5,
+            "sm.plan bound twice collapses in the set? No: targets differ"
+        );
     }
 }

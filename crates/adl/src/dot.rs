@@ -47,11 +47,7 @@ pub fn configuration_to_dot(name: &str, cfg: &Configuration, doc: &Document) -> 
         // Composite's own ports appear as plain ellipse nodes.
         for (r, n) in [(&b.from, &from), (&b.to, &to)] {
             if r.instance.is_none() {
-                let _ = writeln!(
-                    out,
-                    "    {n} [shape=ellipse, label=\"{}\"];",
-                    sanitize(&r.port)
-                );
+                let _ = writeln!(out, "    {n} [shape=ellipse, label=\"{}\"];", sanitize(&r.port));
             }
         }
         let _ = writeln!(out, "    {from} -> {to};");

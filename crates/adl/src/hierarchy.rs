@@ -100,10 +100,8 @@ fn resolve(
     provider: bool,
 ) -> Result<Vec<PortRef>, HierarchyError> {
     let inst = endpoint.instance.as_ref().expect("own ports handled by caller");
-    let ty = cfg
-        .instances
-        .get(inst)
-        .ok_or_else(|| HierarchyError::UnknownInstance(inst.clone()))?;
+    let ty =
+        cfg.instances.get(inst).ok_or_else(|| HierarchyError::UnknownInstance(inst.clone()))?;
     if let Some(sub) = subs.get(inst) {
         let map = if provider { &sub.provide_map } else { &sub.require_map };
         map.get(&endpoint.port).cloned().ok_or_else(|| HierarchyError::UnresolvedDelegation {
@@ -188,7 +186,10 @@ pub fn flatten_deep(
     active_modes: &[&str],
 ) -> Result<Configuration, HierarchyError> {
     let exp = expand(doc, component, "", active_modes, 0)?;
-    let mut cfg = Configuration { instances: exp.instances, bindings: exp.bindings.iter().cloned().collect() };
+    let mut cfg = Configuration {
+        instances: exp.instances,
+        bindings: exp.bindings.iter().cloned().collect(),
+    };
     // Surface the top composite's own delegations as own-port bindings so
     // the session can still see its external interface.
     for (port, provs) in &exp.provide_map {
@@ -328,10 +329,7 @@ mod tests {
             component Sys { inst root : A; }
         ";
         let doc = parse(src).unwrap();
-        assert!(matches!(
-            flatten_deep(&doc, "Sys", &[]),
-            Err(HierarchyError::TooDeep { .. })
-        ));
+        assert!(matches!(flatten_deep(&doc, "Sys", &[]), Err(HierarchyError::TooDeep { .. })));
     }
 
     #[test]
@@ -356,10 +354,9 @@ mod tests {
         assert!(cfg.instances.contains_key("lib.l"));
         assert!(!cfg.instances.keys().any(|k| k.contains("extra")));
         // And the user reaches through the composite border.
-        assert!(cfg.bindings.contains(&Binding {
-            from: PortRef::on("u", "need"),
-            to: PortRef::on("lib.l", "p"),
-        }));
+        assert!(cfg
+            .bindings
+            .contains(&Binding { from: PortRef::on("u", "need"), to: PortRef::on("lib.l", "p") }));
     }
 
     #[test]

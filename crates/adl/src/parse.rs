@@ -298,8 +298,7 @@ mod tests {
 
     #[test]
     fn binding_to_own_port_parses() {
-        let doc = parse("component C { require net; inst w : Wifi; bind net -- w.link; }")
-            .unwrap();
+        let doc = parse("component C { require net; inst w : Wifi; bind net -- w.link; }").unwrap();
         let c = doc.component("C").unwrap();
         let binds: Vec<&Binding> = c
             .body

@@ -1,104 +1,129 @@
 //! Property tests for the ADL: printer/parser fixpoint and diff soundness.
+//!
+//! Randomised suites are opt-in: `cargo test -p adl --features slow-props`.
+#![cfg(feature = "slow-props")]
 
 use adl::ast::{Binding, ComponentDecl, Decl, Document, PortRef};
 use adl::config::Configuration;
 use adl::diff::diff;
 use adl::parse::parse;
 use adl::printer::print_document;
-use proptest::prelude::*;
+use adm_rng::{run_cases, Pcg32};
 use std::collections::{BTreeMap, BTreeSet};
 
-fn ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,8}".prop_map(|s| {
-        // Avoid keywords.
-        match s.as_str() {
-            "component" | "provide" | "require" | "inst" | "bind" | "when" => format!("{s}x"),
-            _ => s,
-        }
-    })
-}
-
-fn portref() -> impl Strategy<Value = PortRef> {
-    (prop::option::of(ident()), ident())
-        .prop_map(|(instance, port)| PortRef { instance, port })
-}
-
-fn decl(depth: u32) -> BoxedStrategy<Decl> {
-    let leaf = prop_oneof![
-        prop::collection::vec(ident(), 1..4).prop_map(Decl::Provide),
-        prop::collection::vec(ident(), 1..4).prop_map(Decl::Require),
-        prop::collection::vec((ident(), ident()), 1..4).prop_map(|v| Decl::Inst(
-            v.into_iter()
-                .map(|(name, ty)| adl::ast::InstDecl { name, ty })
-                .collect()
-        )),
-        prop::collection::vec((portref(), portref()), 1..4).prop_map(|v| Decl::Bind(
-            v.into_iter().map(|(from, to)| Binding { from, to }).collect()
-        )),
-    ];
-    if depth == 0 {
-        leaf.boxed()
-    } else {
-        prop_oneof![
-            3 => leaf,
-            1 => (ident(), prop::collection::vec(decl(depth - 1), 0..4))
-                .prop_map(|(mode, body)| Decl::When { mode, body }),
-        ]
-        .boxed()
+fn ident(rng: &mut Pcg32) -> String {
+    let mut s = String::new();
+    s.push((b'a' + rng.below(26) as u8) as char);
+    for _ in 0..rng.index(9) {
+        let c = match rng.below(28) {
+            x if x < 26 => (b'a' + x as u8) as char,
+            26 => (b'0' + rng.below(10) as u8) as char,
+            _ => '_',
+        };
+        s.push(c);
+    }
+    // Avoid keywords.
+    match s.as_str() {
+        "component" | "provide" | "require" | "inst" | "bind" | "when" => format!("{s}x"),
+        _ => s,
     }
 }
 
-fn document() -> impl Strategy<Value = Document> {
-    prop::collection::vec(
-        (ident(), prop::collection::vec(decl(2), 0..6))
-            .prop_map(|(name, body)| ComponentDecl { name, body }),
-        0..5,
-    )
-    .prop_map(|components| Document { components })
+fn idents(rng: &mut Pcg32, lo: usize, hi: usize) -> Vec<String> {
+    (0..rng.index(hi - lo) + lo).map(|_| ident(rng)).collect()
 }
 
-fn configuration() -> impl Strategy<Value = Configuration> {
-    (
-        prop::collection::btree_map(ident(), ident(), 0..10),
-        prop::collection::btree_set((portref(), portref()), 0..10),
-    )
-        .prop_map(|(instances, binds)| Configuration {
-            instances,
-            bindings: binds.into_iter().map(|(from, to)| Binding { from, to }).collect(),
+fn portref(rng: &mut Pcg32) -> PortRef {
+    let instance = rng.chance(0.5).then(|| ident(rng));
+    PortRef { instance, port: ident(rng) }
+}
+
+fn decl(rng: &mut Pcg32, depth: u32) -> Decl {
+    let leaf = |rng: &mut Pcg32| match rng.below(4) {
+        0 => Decl::Provide(idents(rng, 1, 4)),
+        1 => Decl::Require(idents(rng, 1, 4)),
+        2 => Decl::Inst(
+            (0..rng.index(3) + 1)
+                .map(|_| adl::ast::InstDecl { name: ident(rng), ty: ident(rng) })
+                .collect(),
+        ),
+        _ => Decl::Bind(
+            (0..rng.index(3) + 1)
+                .map(|_| Binding { from: portref(rng), to: portref(rng) })
+                .collect(),
+        ),
+    };
+    if depth > 0 && rng.chance(0.25) {
+        let mode = ident(rng);
+        let body = (0..rng.index(4)).map(|_| decl(rng, depth - 1)).collect();
+        Decl::When { mode, body }
+    } else {
+        leaf(rng)
+    }
+}
+
+fn document(rng: &mut Pcg32) -> Document {
+    let components = (0..rng.index(5))
+        .map(|_| ComponentDecl {
+            name: ident(rng),
+            body: (0..rng.index(6)).map(|_| decl(rng, 2)).collect(),
         })
+        .collect();
+    Document { components }
 }
 
-proptest! {
-    /// Printing any AST and reparsing it yields the same AST — the printer
-    /// and parser agree on the whole language, including nested `when`s.
-    #[test]
-    fn print_parse_fixpoint(doc in document()) {
+fn configuration(rng: &mut Pcg32) -> Configuration {
+    let instances: BTreeMap<String, String> =
+        (0..rng.index(10)).map(|_| (ident(rng), ident(rng))).collect();
+    let binds: BTreeSet<(PortRef, PortRef)> =
+        (0..rng.index(10)).map(|_| (portref(rng), portref(rng))).collect();
+    Configuration {
+        instances,
+        bindings: binds.into_iter().map(|(from, to)| Binding { from, to }).collect(),
+    }
+}
+
+/// Printing any AST and reparsing it yields the same AST — the printer
+/// and parser agree on the whole language, including nested `when`s.
+#[test]
+fn print_parse_fixpoint() {
+    run_cases(0xad1, 512, |rng| {
+        let doc = document(rng);
         let printed = print_document(&doc);
         let reparsed = parse(&printed);
-        prop_assert_eq!(reparsed.as_ref().ok(), Some(&doc), "printed:\n{}", printed);
-    }
+        assert_eq!(reparsed.as_ref().ok(), Some(&doc), "printed:\n{printed}");
+    });
+}
 
-    /// diff(a, b).apply(a) == b for arbitrary configurations — the
-    /// Adaptivity Manager's plan always reaches the target architecture.
-    #[test]
-    fn diff_apply_reaches_target(a in configuration(), b in configuration()) {
+/// diff(a, b).apply(a) == b for arbitrary configurations — the
+/// Adaptivity Manager's plan always reaches the target architecture.
+#[test]
+fn diff_apply_reaches_target() {
+    run_cases(0xad2, 512, |rng| {
+        let (a, b) = (configuration(rng), configuration(rng));
         let plan = diff(&a, &b);
-        prop_assert_eq!(plan.apply(&a), b);
-    }
+        assert_eq!(plan.apply(&a), b);
+    });
+}
 
-    /// The inverse plan restores the source — the "back off" guarantee.
-    #[test]
-    fn diff_inverse_restores_source(a in configuration(), b in configuration()) {
+/// The inverse plan restores the source — the "back off" guarantee.
+#[test]
+fn diff_inverse_restores_source() {
+    run_cases(0xad3, 512, |rng| {
+        let (a, b) = (configuration(rng), configuration(rng));
         let plan = diff(&a, &b);
         let reached = plan.apply(&a);
-        prop_assert_eq!(plan.inverse().apply(&reached), a);
-    }
+        assert_eq!(plan.inverse().apply(&reached), a);
+    });
+}
 
-    /// Self-diff is empty, and plan size is bounded by the symmetric
-    /// difference of the two configurations.
-    #[test]
-    fn diff_is_minimal(a in configuration(), b in configuration()) {
-        prop_assert!(diff(&a, &a).is_empty());
+/// Self-diff is empty, and plan size is bounded by the symmetric
+/// difference of the two configurations.
+#[test]
+fn diff_is_minimal() {
+    run_cases(0xad4, 512, |rng| {
+        let (a, b) = (configuration(rng), configuration(rng));
+        assert!(diff(&a, &a).is_empty());
         let plan = diff(&a, &b);
         let inst_sym: usize = {
             let ka: BTreeMap<_, _> = a.instances.clone().into_iter().collect();
@@ -111,26 +136,30 @@ proptest! {
             let sb: BTreeSet<_> = b.bindings.iter().collect();
             sa.symmetric_difference(&sb).count()
         };
-        prop_assert_eq!(plan.len(), inst_sym + bind_sym);
-    }
+        assert_eq!(plan.len(), inst_sym + bind_sym);
+    });
 }
 
-proptest! {
-    /// Deep flattening never panics: for arbitrary (even ill-formed)
-    /// documents it returns a configuration or a structured error.
-    #[test]
-    fn flatten_deep_is_total(doc in document()) {
+/// Deep flattening never panics: for arbitrary (even ill-formed)
+/// documents it returns a configuration or a structured error.
+#[test]
+fn flatten_deep_is_total() {
+    run_cases(0xad5, 512, |rng| {
+        let doc = document(rng);
         for comp in &doc.components {
             let _ = adl::hierarchy::flatten_deep(&doc, &comp.name, &[]);
         }
-    }
+    });
+}
 
-    /// On analysed documents, deep flattening of a composite with no nested
-    /// composites agrees with shallow flattening.
-    #[test]
-    fn flatten_deep_extends_flatten(doc in document()) {
+/// On analysed documents, deep flattening of a composite with no nested
+/// composites agrees with shallow flattening.
+#[test]
+fn flatten_deep_extends_flatten() {
+    run_cases(0xad6, 512, |rng| {
+        let doc = document(rng);
         if adl::analysis::analyze(&doc).is_err() {
-            return Ok(());
+            return;
         }
         for comp in &doc.components {
             let has_composite_child = comp.body.iter().any(|d| match d {
@@ -145,8 +174,8 @@ proptest! {
             let deep = adl::hierarchy::flatten_deep(&doc, &comp.name, &[]);
             let shallow = adl::config::flatten(&doc, &comp.name, &[]);
             if let (Ok(d), Ok(s)) = (deep, shallow) {
-                prop_assert_eq!(d.instances, s.instances);
+                assert_eq!(d.instances, s.instances);
             }
         }
-    }
+    });
 }

@@ -4,8 +4,8 @@
 //! latency and stall-time productivity — and pay only a modest premium on
 //! clean local data.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datacomp::{ColumnType, Schema, Table, Value};
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use query::adaptive::ripple::AggKind;
 use query::adaptive::{RippleJoin, SymmetricHashJoin, XJoin};
 use query::basic::HashJoin;
@@ -98,9 +98,22 @@ fn bench(c: &mut Criterion) {
     for algo in ["hash_static", "shj"] {
         let w = WorkCounter::new();
         let mut op: Box<dyn Operator> = if algo == "hash_static" {
-            Box::new(HashJoin::new(src(&l, wan, &w), src(&r, wan, &w), vec![0], vec![0], true, w.clone()))
+            Box::new(HashJoin::new(
+                src(&l, wan, &w),
+                src(&r, wan, &w),
+                vec![0],
+                vec![0],
+                true,
+                w.clone(),
+            ))
         } else {
-            Box::new(SymmetricHashJoin::new(src(&l, wan, &w), src(&r, wan, &w), vec![0], vec![0], w.clone()))
+            Box::new(SymmetricHashJoin::new(
+                src(&l, wan, &w),
+                src(&r, wan, &w),
+                vec![0],
+                vec![0],
+                w.clone(),
+            ))
         };
         let mut polls = 0u64;
         loop {

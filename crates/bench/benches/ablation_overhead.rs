@@ -7,12 +7,14 @@
 use compkit::gauge::{Gauge, GaugeBoard, GaugeKind};
 use compkit::monitor::Monitor;
 use compkit::rules::{Action, Expr, RuleSet, SwitchingRule};
-use criterion::{criterion_group, criterion_main, Criterion};
 use gokernel::component::Rights;
-use gokernel::kernels::{ExtensibleKernel, GoKernel, Kernel, L4Kernel, MachKernel, MonolithicKernel};
+use gokernel::kernels::{
+    ExtensibleKernel, GoKernel, Kernel, L4Kernel, MachKernel, MonolithicKernel,
+};
 use gokernel::orb::Orb;
 use machine::cost::{CostModel, CycleCounter, Primitive};
 use machine::isa::{Instr, Program};
+use microbench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -63,7 +65,11 @@ fn bench(c: &mut Criterion) {
     // Monitoring overhead of an idle (non-firing) adaptation loop.
     let mut board = GaugeBoard::new();
     board.add_monitor(Monitor::new("cpu", 32));
-    board.add_gauge(Gauge { name: "util".into(), monitor: "cpu".into(), kind: GaugeKind::Ewma(0.2) });
+    board.add_gauge(Gauge {
+        name: "util".into(),
+        monitor: "cpu".into(),
+        kind: GaugeKind::Ewma(0.2),
+    });
     for t in 0..32 {
         board.record("cpu", t, 0.1);
     }

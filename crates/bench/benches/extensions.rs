@@ -5,9 +5,9 @@
 use adl::hierarchy::flatten_deep;
 use adl::parse::parse;
 use adm_core::scenario::failover;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gokernel::libos::{LibOs, ThreadId};
 use machine::CostModel;
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use patia::stream::{default_ladder, StreamSession, TickOutcome};
 use std::hint::black_box;
 use ubinet::link::BandwidthProfile;

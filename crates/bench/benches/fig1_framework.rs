@@ -10,7 +10,7 @@ use compkit::monitor::Monitor;
 use compkit::rules::{Action, Expr, RuleSet, SwitchingRule};
 use compkit::runtime::{BasicFactory, Runtime};
 use compkit::state::StateManager;
-use criterion::{criterion_group, criterion_main, Criterion};
+use microbench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

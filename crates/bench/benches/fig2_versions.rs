@@ -1,10 +1,10 @@
 //! Figure 2: version-list selection (`BEST`) across list sizes, and the
 //! codec trade-off behind "send a compressed version".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use datacomp::codec::{Codec, LzCodec, RleCodec};
 use datacomp::version::{SelectionConstraints, Version, VersionKind, VersionList};
 use datacomp::xml::{sensor_reading, write_events};
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

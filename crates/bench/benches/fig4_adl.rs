@@ -7,12 +7,14 @@ use adl::config::flatten;
 use adl::figures::FIG4_SOURCE;
 use adl::parse::parse;
 use adl::printer::print_document;
-use criterion::{criterion_group, criterion_main, Criterion};
+use microbench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_adl");
-    group.bench_function("parse_fig4", |b| b.iter(|| black_box(parse(FIG4_SOURCE).expect("parses"))));
+    group.bench_function("parse_fig4", |b| {
+        b.iter(|| black_box(parse(FIG4_SOURCE).expect("parses")));
+    });
     let doc = parse(FIG4_SOURCE).expect("parses");
     group.bench_function("analyze_fig4", |b| b.iter(|| black_box(analyze(&doc).is_ok())));
     group.bench_function("flatten_docked", |b| {

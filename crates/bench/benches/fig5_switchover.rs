@@ -6,7 +6,7 @@ use adl::ast::{Binding, PortRef};
 use adl::config::Configuration;
 use adl::diff::diff;
 use adl::figures::{docked_session, fig4_document, wireless_session};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn synthetic(n: usize, offset: usize) -> Configuration {

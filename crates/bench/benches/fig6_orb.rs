@@ -2,12 +2,12 @@
 //! load-time scan, and how invocation scales with arguments and published
 //! interfaces.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gokernel::component::Rights;
 use gokernel::orb::Orb;
 use gokernel::sisr::SisrVerifier;
 use machine::isa::{Instr, Program};
 use machine::CostModel;
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -35,7 +35,9 @@ fn bench(c: &mut Criterion) {
     // SISR scan cost is linear in text size — the one-off price of
     // removing per-call traps.
     for n in [64usize, 1024, 16_384] {
-        let text = Program::new(vec![Instr::Nop; n]).to_bytes();
+        let mut instrs = vec![Instr::Nop; n - 1];
+        instrs.push(Instr::Halt);
+        let text = Program::new(instrs).to_bytes();
         let v = SisrVerifier::new(CostModel::pentium());
         group.bench_function(BenchmarkId::new("sisr_scan_instrs", n), |b| {
             b.iter(|| black_box(v.verify(&text).expect("clean")));

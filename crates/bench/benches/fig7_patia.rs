@@ -2,7 +2,7 @@
 //! adaptive vs static, with the p99 shape printed (the quantity the
 //! architecture exists to protect).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use patia::atom::AtomId;
 use patia::server::{PatiaServer, ServerConfig};
 use patia::workload::{FlashCrowd, RequestGen};

@@ -2,7 +2,7 @@
 //! the experiment index), adaptive vs static where the comparison exists.
 
 use adm_core::scenario::{inter_query, intra_query, system_adapt};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -15,11 +15,8 @@ fn bench(c: &mut Criterion) {
 
     for adaptive in [true, false] {
         let label = if adaptive { "adaptive" } else { "static" };
-        let params = system_adapt::SystemAdaptParams {
-            readings: 500,
-            adaptive,
-            ..Default::default()
-        };
+        let params =
+            system_adapt::SystemAdaptParams { readings: 500, adaptive, ..Default::default() };
         let r = system_adapt::run(&params);
         println!("s2 {label}: {} ticks, {} bytes sent", r.total_ticks, r.bytes_sent);
         group.bench_function(BenchmarkId::new("s2_system_adapt", label), |b| {
@@ -28,11 +25,8 @@ fn bench(c: &mut Criterion) {
     }
 
     for (label, error) in [("stale", 0.0025), ("fresh", 1.0)] {
-        let params = intra_query::IntraQueryParams {
-            rows: 1_000,
-            stats_error: error,
-            ..Default::default()
-        };
+        let params =
+            intra_query::IntraQueryParams { rows: 1_000, stats_error: error, ..Default::default() };
         let r = intra_query::run(&params);
         println!("s3 {label}: speedup {:.1}x ({} -> {})", r.speedup, r.initial_algo, r.final_algo);
         group.bench_function(BenchmarkId::new("s3_intra_query", label), |b| {

@@ -1,0 +1,66 @@
+//! SISR verifier throughput: wall time to run the full five-pass pipeline
+//! over programs of increasing size and different control-flow shapes.
+//!
+//! The verification pipeline is a one-off load-time cost; these benches show
+//! it stays near-linear in text size for realistic shapes (straight-line,
+//! branchy, call-heavy), which is what makes trading it for per-call traps a
+//! win after a handful of RPCs.
+
+use gokernel::sisr::SisrVerifier;
+use machine::isa::{Instr, Program};
+use machine::CostModel;
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// `n` instructions of straight-line ALU work ending in `Halt`.
+fn straight_line(n: usize) -> Vec<u8> {
+    let mut instrs = vec![Instr::MovImm(0, 1)];
+    instrs.resize(n - 1, Instr::Add(0, 0));
+    instrs.push(Instr::Halt);
+    Program::new(instrs).to_bytes()
+}
+
+/// `n` instructions where every fourth is a short forward branch.
+fn branchy(n: usize) -> Vec<u8> {
+    let mut instrs = Vec::with_capacity(n);
+    for i in 0..n - 1 {
+        instrs.push(if i % 4 == 0 && i + 3 < n - 1 { Instr::Jz(0, 2) } else { Instr::Add(0, 1) });
+    }
+    instrs.push(Instr::Halt);
+    Program::new(instrs).to_bytes()
+}
+
+/// A run of small leaf functions, each called once from a driver prologue.
+fn call_heavy(n: usize) -> Vec<u8> {
+    // Layout: [call f0, call f1, ..., Halt, f0: Nop Ret, f1: Nop Ret, ...]
+    let funcs = n.saturating_sub(1) / 3;
+    let mut instrs = Vec::with_capacity(n);
+    for f in 0..funcs {
+        instrs.push(Instr::Call((funcs + 1 + f * 2) as u32));
+    }
+    instrs.push(Instr::Halt);
+    for _ in 0..funcs {
+        instrs.push(Instr::Nop);
+        instrs.push(Instr::Ret);
+    }
+    Program::new(instrs).to_bytes()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sisr_verifier");
+    let v = SisrVerifier::new(CostModel::pentium());
+    for n in [64usize, 512, 4096, 32_768] {
+        for (shape, text) in
+            [("straight", straight_line(n)), ("branchy", branchy(n)), ("calls", call_heavy(n))]
+        {
+            group.throughput(Throughput::Bytes(text.len() as u64));
+            group.bench_function(BenchmarkId::new(shape, n), |b| {
+                b.iter(|| black_box(v.verify(&text).expect("clean")));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

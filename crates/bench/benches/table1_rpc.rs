@@ -2,9 +2,9 @@
 //! *simulator's* wall time; the paper's quantity — simulated cycles — is
 //! printed alongside and asserted to preserve the table's ordering.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gokernel::kernels::{GoKernel, Kernel, L4Kernel, MachKernel, MonolithicKernel};
 use machine::CostModel;
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
         Box::new(MonolithicKernel::new(model.clone())),
         Box::new(MachKernel::new(model.clone())),
         Box::new(L4Kernel::new(model.clone())),
-        Box::new(GoKernel::new(model.clone())),
+        Box::new(GoKernel::new(model)),
     ];
     for k in &mut kernels {
         cycles.push((k.kind().name(), k.null_rpc()));

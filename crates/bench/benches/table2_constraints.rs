@@ -2,7 +2,7 @@
 //! adaptive vs static — "componentisation itself must not produce
 //! excessive overheads".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use patia::atom::AtomId;
 use patia::server::{PatiaServer, ServerConfig};
 use std::hint::black_box;

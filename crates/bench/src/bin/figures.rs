@@ -40,7 +40,8 @@ fn fig1() {
 fn fig2() {
     println!("\n== Figure 2: data component structure (version selection) ==");
     let (dc, _) = inter_query::personal_data();
-    println!("  component `{}`: payload {} bytes, {} versions, rules {:?}",
+    println!(
+        "  component `{}`: payload {} bytes, {} versions, rules {:?}",
         dc.name,
         dc.payload.size_bytes(),
         dc.versions.len(),
@@ -59,7 +60,10 @@ fn fig3() {
     println!("\n== Figure 3: component architecture (Scenario 1 crossover) ==");
     println!("  laptop load -> chosen device:");
     for load in [0.0, 0.5, 0.9, 0.99] {
-        let r = inter_query::run(&inter_query::InterQueryParams { laptop_load: load, ..Default::default() });
+        let r = inter_query::run(&inter_query::InterQueryParams {
+            laptop_load: load,
+            ..Default::default()
+        });
         println!("    {load:>5.2} -> {}", r.chosen_device);
     }
 }
@@ -95,7 +99,10 @@ fn fig6() {
 fn scenarios() {
     println!("\n== Section 4 scenarios (summary series) ==");
     let r2 = system_adapt::run(&system_adapt::SystemAdaptParams::default());
-    let r2s = system_adapt::run(&system_adapt::SystemAdaptParams { adaptive: false, ..Default::default() });
+    let r2s = system_adapt::run(&system_adapt::SystemAdaptParams {
+        adaptive: false,
+        ..Default::default()
+    });
     println!(
         "  scenario 2: adaptive {} ticks / static {} ticks ({}x faster); bytes {} vs {}",
         r2.total_ticks,

@@ -26,8 +26,7 @@ fn main() {
         let total: u64 = bd.iter().map(|(_, v)| v).sum();
         let mut top = bd.clone();
         top.sort_by_key(|e| std::cmp::Reverse(e.1));
-        let head: Vec<String> =
-            top.iter().take(3).map(|(l, v)| format!("{l} {v}")).collect();
+        let head: Vec<String> = top.iter().take(3).map(|(l, v)| format!("{l} {v}")).collect();
         println!("  {:<12} {total:>7} cycles  (top: {})", k.kind().name(), head.join(", "));
     }
 

@@ -32,7 +32,8 @@ fn main() {
     println!("  bandwidth (kbps) | version id | meaning");
     for bw in [10.0, 20.0, 31.0, 64.0, 99.0, 120.0, 500.0] {
         let v = server.select_version(AtomId(153), bw).expect("video atom exists");
-        let meaning = if (1..=3).contains(&v) { "videohalf (in band)" } else { "videosmall (fallback)" };
+        let meaning =
+            if (1..=3).contains(&v) { "videohalf (in band)" } else { "videosmall (fallback)" };
         println!("  {bw:>16} | {v:>10} | {meaning}");
     }
 
@@ -40,8 +41,12 @@ fn main() {
     println!("\n[455] flash crowd on Page1.html (x15 for 400 ticks):");
     for (label, adaptive) in [("adaptive", true), ("static", false)] {
         let (net, atoms, constraints) = ServerConfig::paper_fleet();
-        let mut s =
-            PatiaServer::new(net, atoms, constraints, ServerConfig { adaptive, work_per_request: 400 });
+        let mut s = PatiaServer::new(
+            net,
+            atoms,
+            constraints,
+            ServerConfig { adaptive, work_per_request: 400 },
+        );
         let crowd = FlashCrowd { from: 50, to: 450, target: AtomId(123), multiplier: 15.0 };
         let mut gen = RequestGen::new(vec![AtomId(123)], 1.0, 4.0, 7).with_crowd(crowd);
         let mut lat: Vec<u64> = Vec::new();

@@ -47,7 +47,9 @@ impl fmt::Display for SwitchError {
             SwitchError::Create { name, reason } => {
                 write!(f, "failed to create `{name}`: {reason} (switch rolled back)")
             }
-            SwitchError::Inconsistent(s) => write!(f, "inconsistent plan: {s} (switch rolled back)"),
+            SwitchError::Inconsistent(s) => {
+                write!(f, "inconsistent plan: {s} (switch rolled back)")
+            }
         }
     }
 }
@@ -156,17 +158,13 @@ impl AdaptivityManager {
     ) -> Result<SwitchReport, SwitchError> {
         // 1. Unbind first: never leave a live binding to a stopping component.
         for b in &plan.unbind {
-            runtime
-                .unbind(b)
-                .map_err(|e| SwitchError::Inconsistent(e.to_string()))?;
+            runtime.unbind(b).map_err(|e| SwitchError::Inconsistent(e.to_string()))?;
             journal.push(Done::Unbound(b.clone()));
         }
         // 2. Stop, archiving state.
         let mut stopped = Vec::with_capacity(plan.stop.len());
         for (name, _ty) in &plan.stop {
-            let comp = runtime
-                .stop(name)
-                .map_err(|e| SwitchError::Inconsistent(e.to_string()))?;
+            let comp = runtime.stop(name).map_err(|e| SwitchError::Inconsistent(e.to_string()))?;
             states.archive(name, comp.state.clone());
             journal.push(Done::Stopped { name: name.clone(), comp });
             stopped.push(name.clone());
@@ -177,17 +175,13 @@ impl AdaptivityManager {
             let comp = factory
                 .create(name, ty, now)
                 .map_err(|e| SwitchError::Create { name: e.name, reason: e.reason })?;
-            runtime
-                .start(name, comp)
-                .map_err(|e| SwitchError::Inconsistent(e.to_string()))?;
+            runtime.start(name, comp).map_err(|e| SwitchError::Inconsistent(e.to_string()))?;
             journal.push(Done::Started { name: name.clone() });
             started.push(name.clone());
         }
         // 4. Bind last: all endpoints now exist.
         for b in &plan.bind {
-            runtime
-                .bind(b.clone())
-                .map_err(|e| SwitchError::Inconsistent(e.to_string()))?;
+            runtime.bind(b.clone()).map_err(|e| SwitchError::Inconsistent(e.to_string()))?;
             journal.push(Done::Bound(b.clone()));
         }
         Ok(SwitchReport { steps: plan.len(), stopped, started, completed_at: now })

@@ -65,11 +65,11 @@ impl Gauge {
                 }
                 acc
             }
-            GaugeKind::WindowMax(n) => {
-                m.window(n).iter().map(|r| r.value).fold(None, |acc, v| {
-                    Some(acc.map_or(v, |a: f64| a.max(v)))
-                })
-            }
+            GaugeKind::WindowMax(n) => m
+                .window(n)
+                .iter()
+                .map(|r| r.value)
+                .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v)))),
             GaugeKind::Slope(n) => {
                 let w = m.window(n);
                 if w.len() < 2 {
@@ -222,7 +222,11 @@ mod tests {
     fn board_snapshot() {
         let mut b = GaugeBoard::new();
         b.add_monitor(Monitor::new("cpu", 8));
-        b.add_gauge(Gauge { name: "cpu_now".into(), monitor: "cpu".into(), kind: GaugeKind::Latest });
+        b.add_gauge(Gauge {
+            name: "cpu_now".into(),
+            monitor: "cpu".into(),
+            kind: GaugeKind::Latest,
+        });
         b.add_gauge(Gauge {
             name: "cpu_avg".into(),
             monitor: "cpu".into(),

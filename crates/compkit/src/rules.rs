@@ -83,11 +83,9 @@ impl Expr {
             Expr::Lt(a, b) => Expr::Lt(Box::new(a.scaled(factor)), Box::new(b.scaled(factor))),
             Expr::Ge(a, b) => Expr::Ge(Box::new(a.scaled(factor)), Box::new(b.scaled(factor))),
             Expr::Le(a, b) => Expr::Le(Box::new(a.scaled(factor)), Box::new(b.scaled(factor))),
-            Expr::Between { x, lo, hi } => Expr::Between {
-                x: Box::new(x.scaled(factor)),
-                lo: lo * factor,
-                hi: hi * factor,
-            },
+            Expr::Between { x, lo, hi } => {
+                Expr::Between { x: Box::new(x.scaled(factor)), lo: lo * factor, hi: hi * factor }
+            }
             Expr::And(a, b) => Expr::And(Box::new(a.scaled(factor)), Box::new(b.scaled(factor))),
             Expr::Or(a, b) => Expr::Or(Box::new(a.scaled(factor)), Box::new(b.scaled(factor))),
             Expr::Not(a) => Expr::Not(Box::new(a.scaled(factor))),
@@ -289,17 +287,12 @@ mod tests {
     #[test]
     fn boolean_combinators() {
         let g = gauges(&[("a", 1.0), ("b", 5.0)]);
-        let and = Expr::And(
-            Box::new(Expr::gauge_gt("a", 0.5)),
-            Box::new(Expr::gauge_lt("b", 10.0)),
-        );
+        let and =
+            Expr::And(Box::new(Expr::gauge_gt("a", 0.5)), Box::new(Expr::gauge_lt("b", 10.0)));
         assert_eq!(and.eval(&g), Some(true));
         let not = Expr::Not(Box::new(Expr::gauge_gt("a", 2.0)));
         assert_eq!(not.eval(&g), Some(true));
-        let or = Expr::Or(
-            Box::new(Expr::gauge_gt("a", 2.0)),
-            Box::new(Expr::gauge_gt("b", 2.0)),
-        );
+        let or = Expr::Or(Box::new(Expr::gauge_gt("a", 2.0)), Box::new(Expr::gauge_gt("b", 2.0)));
         assert_eq!(or.eval(&g), Some(true));
     }
 

@@ -186,11 +186,7 @@ impl Runtime {
     #[must_use]
     pub fn configuration(&self) -> Configuration {
         Configuration {
-            instances: self
-                .instances
-                .iter()
-                .map(|(n, c)| (n.clone(), c.ty.clone()))
-                .collect(),
+            instances: self.instances.iter().map(|(n, c)| (n.clone(), c.ty.clone())).collect(),
             bindings: self.bindings.clone(),
         }
     }

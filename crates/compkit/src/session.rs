@@ -78,7 +78,13 @@ pub struct SessionManager {
 impl SessionManager {
     /// A session manager for `composite` in `doc`, starting in `mode`.
     #[must_use]
-    pub fn new(doc: Document, composite: &str, mode: &str, rules: RuleSet, board: GaugeBoard) -> Self {
+    pub fn new(
+        doc: Document,
+        composite: &str,
+        mode: &str,
+        rules: RuleSet,
+        board: GaugeBoard,
+    ) -> Self {
         Self {
             doc,
             composite: composite.to_owned(),
@@ -220,7 +226,11 @@ mod tests {
     fn setup() -> (SessionManager, Runtime, AdaptivityManager, StateManager) {
         let mut board = GaugeBoard::new();
         board.add_monitor(Monitor::new("dock", 8));
-        board.add_gauge(Gauge { name: "docked".into(), monitor: "dock".into(), kind: GaugeKind::Latest });
+        board.add_gauge(Gauge {
+            name: "docked".into(),
+            monitor: "dock".into(),
+            kind: GaugeKind::Latest,
+        });
         let mut rules = RuleSet::new();
         rules.add(SwitchingRule {
             id: 1,

@@ -1,39 +1,46 @@
 //! Property: the Adaptivity Manager's switch is atomic under arbitrary
 //! injected creation failures — either the runtime reaches exactly the
 //! target configuration, or it is restored bit-for-bit.
+//!
+//! Randomised suites are opt-in: `cargo test -p compkit --features slow-props`.
+#![cfg(feature = "slow-props")]
 
 use adl::ast::{Binding, PortRef};
 use adl::config::Configuration;
 use adl::diff::diff;
+use adm_rng::{run_cases, Pcg32};
 use compkit::adaptivity::AdaptivityManager;
 use compkit::runtime::{BasicFactory, FlakyFactory, Runtime};
 use compkit::state::StateManager;
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-fn name() -> impl Strategy<Value = String> {
-    "[a-e]{1,2}".prop_map(|s| s)
+fn name(rng: &mut Pcg32) -> String {
+    let n = rng.index(2) + 1;
+    (0..n).map(|_| (b'a' + rng.below(5) as u8) as char).collect()
 }
 
-fn configuration() -> impl Strategy<Value = Configuration> {
-    (
-        prop::collection::btree_map(name(), "[TUV]", 0..6),
-        prop::collection::btree_set((name(), "[pq]", name(), "[pq]"), 0..6),
-    )
-        .prop_map(|(instances, raw)| {
-            // Bindings may only reference instances that exist, so the
-            // runtime's bind() invariant holds for the *target*.
-            let keys: BTreeSet<&String> = instances.keys().collect();
-            let bindings = raw
-                .into_iter()
-                .filter(|(fi, _, ti, _)| keys.contains(fi) && keys.contains(ti))
-                .map(|(fi, fp, ti, tp)| Binding {
-                    from: PortRef::on(&fi, &fp),
-                    to: PortRef::on(&ti, &tp),
-                })
-                .collect();
-            Configuration { instances, bindings }
+fn port(rng: &mut Pcg32) -> String {
+    String::from(if rng.chance(0.5) { "p" } else { "q" })
+}
+
+fn configuration(rng: &mut Pcg32) -> Configuration {
+    let instances: std::collections::BTreeMap<String, String> = (0..rng.index(6))
+        .map(|_| {
+            let ty = ["T", "U", "V"][rng.index(3)].to_string();
+            (name(rng), ty)
         })
+        .collect();
+    let raw: BTreeSet<(String, String, String, String)> =
+        (0..rng.index(6)).map(|_| (name(rng), port(rng), name(rng), port(rng))).collect();
+    // Bindings may only reference instances that exist, so the
+    // runtime's bind() invariant holds for the *target*.
+    let keys: BTreeSet<&String> = instances.keys().collect();
+    let bindings = raw
+        .into_iter()
+        .filter(|(fi, _, ti, _)| keys.contains(fi) && keys.contains(ti))
+        .map(|(fi, fp, ti, tp)| Binding { from: PortRef::on(&fi, &fp), to: PortRef::on(&ti, &tp) })
+        .collect();
+    Configuration { instances, bindings }
 }
 
 fn boot(cfg: &Configuration) -> Runtime {
@@ -46,25 +53,26 @@ fn boot(cfg: &Configuration) -> Runtime {
     rt
 }
 
-proptest! {
-    /// With a healthy factory, a switch always lands exactly on the target.
-    #[test]
-    fn switch_reaches_target(a in configuration(), b in configuration()) {
+/// With a healthy factory, a switch always lands exactly on the target.
+#[test]
+fn switch_reaches_target() {
+    run_cases(0x5c1, 256, |rng| {
+        let (a, b) = (configuration(rng), configuration(rng));
         let mut rt = boot(&a);
         let mut am = AdaptivityManager::new();
         let mut st = StateManager::new();
         let plan = diff(&rt.configuration(), &b);
         am.execute(&mut rt, &plan, &mut BasicFactory, &mut st, 1).unwrap();
-        prop_assert_eq!(rt.configuration(), b);
-    }
+        assert_eq!(rt.configuration(), b);
+    });
+}
 
-    /// With injected failures, the outcome is all-or-nothing.
-    #[test]
-    fn switch_is_atomic_under_failures(
-        a in configuration(),
-        b in configuration(),
-        fail in prop::collection::btree_set(name(), 0..4),
-    ) {
+/// With injected failures, the outcome is all-or-nothing.
+#[test]
+fn switch_is_atomic_under_failures() {
+    run_cases(0x5c2, 256, |rng| {
+        let (a, b) = (configuration(rng), configuration(rng));
+        let fail: BTreeSet<String> = (0..rng.index(4)).map(|_| name(rng)).collect();
         let mut rt = boot(&a);
         let before = rt.clone();
         let mut am = AdaptivityManager::new();
@@ -73,16 +81,16 @@ proptest! {
         let mut factory = FlakyFactory::failing(fail.clone());
         match am.execute(&mut rt, &plan, &mut factory, &mut st, 1) {
             Ok(_) => {
-                prop_assert_eq!(rt.configuration(), b.clone());
+                assert_eq!(rt.configuration(), b);
                 // Success implies no started component was on the fail list.
                 for (n, _) in &plan.start {
-                    prop_assert!(!fail.contains(n));
+                    assert!(!fail.contains(n));
                 }
             }
             Err(_) => {
-                prop_assert_eq!(&rt, &before, "failed switch must restore the runtime");
-                prop_assert_eq!(am.rolled_back(), 1);
+                assert_eq!(&rt, &before, "failed switch must restore the runtime");
+                assert_eq!(am.rolled_back(), 1);
             }
         }
-    }
+    });
 }

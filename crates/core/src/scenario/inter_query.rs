@@ -59,9 +59,21 @@ pub fn build_network(p: &InterQueryParams) -> Network {
     net.add_device(Device::new("pda", DeviceKind::Pda));
     net.add_device(Device::new("laptop", DeviceKind::Laptop).with_load(p.laptop_load));
     net.add_device(Device::new("pda2", DeviceKind::Pda).with_load(p.pda2_load));
-    net.add_link(Link::new("pda", "laptop", LinkKind::Wireless, BandwidthProfile::Constant(60.0), 2));
+    net.add_link(Link::new(
+        "pda",
+        "laptop",
+        LinkKind::Wireless,
+        BandwidthProfile::Constant(60.0),
+        2,
+    ));
     net.add_link(Link::new("pda", "pda2", LinkKind::Wireless, BandwidthProfile::Constant(60.0), 1));
-    net.add_link(Link::new("laptop", "pda2", LinkKind::Wireless, BandwidthProfile::Constant(60.0), 2));
+    net.add_link(Link::new(
+        "laptop",
+        "pda2",
+        LinkKind::Wireless,
+        BandwidthProfile::Constant(60.0),
+        2,
+    ));
     net
 }
 
@@ -78,7 +90,9 @@ pub fn personal_data() -> (DataComponent, Vec<Selector>) {
         .with("age", Value::Int(36))
         .with_child(
             "address",
-            Object::new().with("city", Value::str("London")).with("street", Value::str("Queen's Gate")),
+            Object::new()
+                .with("city", Value::str("London"))
+                .with("street", Value::str("Queen's Gate")),
         );
     let mut dc = DataComponent::new("personal-data", Payload::Object(person))
         .with_rule(1, "Select BEST (pda2, laptop)")
@@ -110,9 +124,7 @@ pub fn run(p: &InterQueryParams) -> InterQueryReport {
         .find_map(|s| s.evaluate(&net, "pda").ok().map(|d| (d.to_owned(), s.to_string())))
         .expect("some replica holder is alive");
     let bytes = dc.payload.size_bytes();
-    let ticks = net
-        .transfer_ticks(&chosen, "pda", bytes, 0)
-        .expect("chosen holder is reachable");
+    let ticks = net.transfer_ticks(&chosen, "pda", bytes, 0).expect("chosen holder is reachable");
     InterQueryReport {
         chosen_device: chosen,
         selector_used: used,

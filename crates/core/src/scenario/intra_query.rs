@@ -78,7 +78,8 @@ pub fn run(p: &IntraQueryParams) -> IntraQueryReport {
         gen_table(p.rows, dist, p.seed.wrapping_add(1)),
         p.stats_error,
     );
-    let exec = AdaptiveJoinExec { safe_point_interval: p.safe_point_interval, reopt_threshold: 4.0 };
+    let exec =
+        AdaptiveJoinExec { safe_point_interval: p.safe_point_interval, reopt_threshold: 4.0 };
 
     let ws = WorkCounter::new();
     let (static_rows, static_report) =

@@ -115,7 +115,11 @@ fn environment(p: &SystemAdaptParams) -> Simulator {
 fn session() -> SessionManager {
     let mut board = GaugeBoard::new();
     board.add_monitor(Monitor::new("dock", 8));
-    board.add_gauge(Gauge { name: "docked".into(), monitor: "dock".into(), kind: GaugeKind::Latest });
+    board.add_gauge(Gauge {
+        name: "docked".into(),
+        monitor: "dock".into(),
+        kind: GaugeKind::Latest,
+    });
     let mut rules = RuleSet::new();
     rules.add(SwitchingRule {
         id: 20,
@@ -126,10 +130,7 @@ fn session() -> SessionManager {
     rules.add(SwitchingRule {
         id: 21,
         priority: 1,
-        constraint: Expr::Ge(
-            Box::new(Expr::Gauge("docked".into())),
-            Box::new(Expr::Const(0.5)),
-        ),
+        constraint: Expr::Ge(Box::new(Expr::Gauge("docked".into())), Box::new(Expr::Const(0.5))),
         action: Action::SwitchMode("docked".into()),
     });
     SessionManager::new(fig4_document(), "MobileCBMS", "docked", rules, board)
@@ -175,7 +176,8 @@ pub fn run(p: &SystemAdaptParams) -> SystemAdaptReport {
     let mut compress_out_rate = f64::INFINITY;
 
     let mut tick: u64 = 0;
-    while delivered < p.readings || compressed_tail.as_ref().is_some_and(|t| tail_sent < t.len() as u64)
+    while delivered < p.readings
+        || compressed_tail.as_ref().is_some_and(|t| tail_sent < t.len() as u64)
     {
         tick += 1;
         sim.advance(tick);
@@ -185,10 +187,9 @@ pub fn run(p: &SystemAdaptParams) -> SystemAdaptReport {
         // Session loop (only the adaptive system reacts).
         if p.adaptive && switch_tick.is_none() {
             let events = sm.tick(&mut runtime, &mut BasicFactory, &mut am, &mut states, tick);
-            if events
-                .iter()
-                .any(|e| matches!(e, AdaptationEvent::Switched { to_mode, .. } if to_mode == "wireless"))
-            {
+            if events.iter().any(
+                |e| matches!(e, AdaptationEvent::Switched { to_mode, .. } if to_mode == "wireless"),
+            ) {
                 switch_tick = Some(tick);
                 // Continue to the next safe point, then compress the tail.
                 let next_sp = delivered.div_ceil(p.safe_point_every) * p.safe_point_every;

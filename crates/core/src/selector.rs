@@ -135,10 +135,7 @@ mod tests {
             parse_selector("Select NEAREST (PDA, Laptop)").unwrap(),
             Selector::Nearest(vec!["PDA".into(), "Laptop".into()])
         );
-        assert_eq!(
-            parse_selector("select best (a)").unwrap(),
-            Selector::Best(vec!["a".into()])
-        );
+        assert_eq!(parse_selector("select best (a)").unwrap(), Selector::Best(vec!["a".into()]));
     }
 
     #[test]
@@ -164,7 +161,13 @@ mod tests {
         let mut net = ubinet::Network::new();
         net.add_device(Device::new("PDA", DeviceKind::Pda));
         net.add_device(Device::new("Laptop", DeviceKind::Laptop));
-        net.add_link(Link::new("PDA", "Laptop", LinkKind::Wireless, BandwidthProfile::Constant(50.0), 1));
+        net.add_link(Link::new(
+            "PDA",
+            "Laptop",
+            LinkKind::Wireless,
+            BandwidthProfile::Constant(50.0),
+            1,
+        ));
         let s = parse_selector("Select BEST (PDA, Laptop)").unwrap();
         assert_eq!(s.evaluate(&net, "PDA").unwrap(), "Laptop");
         let n = parse_selector("Select NEAREST (PDA, Laptop)").unwrap();

@@ -150,15 +150,14 @@ impl Codec for LzCodec {
     fn encode(&self, data: &[u8]) -> Vec<u8> {
         let mut out = Vec::with_capacity(data.len() / 2 + 16);
         let mut lits: Vec<u8> = Vec::new();
-        let flush =
-            |lits: &mut Vec<u8>, out: &mut Vec<u8>| {
-                for chunk in lits.chunks(255) {
-                    out.push(0x00);
-                    out.push(chunk.len() as u8);
-                    out.extend_from_slice(chunk);
-                }
-                lits.clear();
-            };
+        let flush = |lits: &mut Vec<u8>, out: &mut Vec<u8>| {
+            for chunk in lits.chunks(255) {
+                out.push(0x00);
+                out.push(chunk.len() as u8);
+                out.extend_from_slice(chunk);
+            }
+            lits.clear();
+        };
         let mut i = 0;
         while i < data.len() {
             if let Some((off, len)) = Self::find_match(data, i) {

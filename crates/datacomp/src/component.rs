@@ -110,7 +110,11 @@ impl DataComponent {
     ///
     /// # Errors
     /// [`VersionError::UnknownCodec`].
-    pub fn add_compressed(&mut self, codec_name: &str, location: &str) -> Result<u32, VersionError> {
+    pub fn add_compressed(
+        &mut self,
+        codec_name: &str,
+        location: &str,
+    ) -> Result<u32, VersionError> {
         let codec: Box<dyn Codec> =
             by_name(codec_name).ok_or_else(|| VersionError::UnknownCodec(codec_name.to_owned()))?;
         let encoded = codec.encode(&self.payload.to_bytes());
@@ -210,10 +214,7 @@ mod tests {
     #[test]
     fn unknown_codec_rejected() {
         let mut c = stream_component();
-        assert_eq!(
-            c.add_compressed("gzip", "x"),
-            Err(VersionError::UnknownCodec("gzip".into()))
-        );
+        assert_eq!(c.add_compressed("gzip", "x"), Err(VersionError::UnknownCodec("gzip".into())));
     }
 
     #[test]

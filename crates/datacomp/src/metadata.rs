@@ -174,12 +174,9 @@ mod tests {
     use crate::schema::{ColumnType, Schema};
 
     fn table() -> Table {
-        let schema =
-            Schema::new(&[("id", ColumnType::Int), ("city", ColumnType::Str)]).unwrap();
+        let schema = Schema::new(&[("id", ColumnType::Int), ("city", ColumnType::Str)]).unwrap();
         let mut t = Table::new(schema);
-        for (i, city) in
-            [(1, "london"), (2, "london"), (3, "paris"), (4, "rome")].into_iter()
-        {
+        for (i, city) in [(1, "london"), (2, "london"), (3, "paris"), (4, "rome")].into_iter() {
             t.insert(vec![Value::Int(i), Value::str(city)]).unwrap();
         }
         t.insert(vec![Value::Int(5), Value::Null]).unwrap();
@@ -205,14 +202,8 @@ mod tests {
     fn eq_selectivity_uniform() {
         let s = TableStats::compute(&table());
         assert!((s.column("city").unwrap().eq_selectivity() - 1.0 / 3.0).abs() < 1e-12);
-        let empty = ColumnStats {
-            name: "x".into(),
-            count: 0,
-            nulls: 0,
-            distinct: 0,
-            min: None,
-            max: None,
-        };
+        let empty =
+            ColumnStats { name: "x".into(), count: 0, nulls: 0, distinct: 0, min: None, max: None };
         assert_eq!(empty.eq_selectivity(), 0.0);
     }
 

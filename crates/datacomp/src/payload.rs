@@ -49,16 +49,8 @@ impl Object {
     /// Approximate serialised size in bytes.
     #[must_use]
     pub fn size_bytes(&self) -> u64 {
-        let own: u64 = self
-            .fields
-            .iter()
-            .map(|(k, v)| k.len() as u64 + v.size_bytes())
-            .sum();
-        own + self
-            .children
-            .iter()
-            .map(|(k, o)| k.len() as u64 + o.size_bytes())
-            .sum::<u64>()
+        let own: u64 = self.fields.iter().map(|(k, v)| k.len() as u64 + v.size_bytes()).sum();
+        own + self.children.iter().map(|(k, o)| k.len() as u64 + o.size_bytes()).sum::<u64>()
     }
 }
 

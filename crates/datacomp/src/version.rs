@@ -248,7 +248,10 @@ mod tests {
 
     #[test]
     fn empty_list_cannot_satisfy() {
-        assert_eq!(VersionList::new().best(&SelectionConstraints::default()), Err(SelectError::NoneSatisfy));
+        assert_eq!(
+            VersionList::new().best(&SelectionConstraints::default()),
+            Err(SelectError::NoneSatisfy)
+        );
     }
 
     #[test]

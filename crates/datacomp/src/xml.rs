@@ -168,7 +168,10 @@ pub fn parse_events(src: &str) -> Result<Vec<XmlEvent>, XmlError> {
                     Some(open) if open == name => {}
                     Some(open) => return Err(XmlError::Mismatched { open, close: name }),
                     None => {
-                        return Err(XmlError::Malformed { at: i, what: "end tag with no open element" })
+                        return Err(XmlError::Malformed {
+                            at: i,
+                            what: "end tag with no open element",
+                        })
                     }
                 }
                 events.push(XmlEvent::End { name });
@@ -202,7 +205,10 @@ pub fn parse_events(src: &str) -> Result<Vec<XmlEvent>, XmlError> {
                         let key = rest[..eq].trim().to_owned();
                         let after = rest[eq + 1..].trim_start();
                         if !after.starts_with('"') {
-                            return Err(XmlError::Malformed { at: start, what: "unquoted attribute" });
+                            return Err(XmlError::Malformed {
+                                at: start,
+                                what: "unquoted attribute",
+                            });
                         }
                         let close = after[1..].find('"').ok_or(XmlError::Truncated)?;
                         let val = unescape(&after[1..=close]);
@@ -277,10 +283,7 @@ mod tests {
     #[test]
     fn escaping_roundtrips() {
         let events = vec![
-            XmlEvent::Start {
-                name: "t".into(),
-                attrs: vec![("q".into(), "a\"b&c".into())],
-            },
+            XmlEvent::Start { name: "t".into(), attrs: vec![("q".into(), "a\"b&c".into())] },
             XmlEvent::Text("1 < 2 & 3 > 2".into()),
             XmlEvent::End { name: "t".into() },
         ];
@@ -290,10 +293,7 @@ mod tests {
 
     #[test]
     fn mismatched_tags_detected() {
-        assert!(matches!(
-            parse_events("<a><b></a></b>"),
-            Err(XmlError::Mismatched { .. })
-        ));
+        assert!(matches!(parse_events("<a><b></a></b>"), Err(XmlError::Mismatched { .. })));
     }
 
     #[test]

@@ -1,68 +1,99 @@
 //! Property tests: codecs must round-trip arbitrary bytes, and the XML
 //! writer/parser must agree on arbitrary well-formed documents.
+//!
+//! Randomised suites are opt-in: `cargo test -p datacomp --features slow-props`.
+#![cfg(feature = "slow-props")]
 
+use adm_rng::{run_cases, Pcg32};
 use datacomp::codec::{Codec, LzCodec, RleCodec};
 use datacomp::xml::{parse_events, write_events, XmlEvent};
-use proptest::prelude::*;
 
-fn xml_name() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_-]{0,6}".prop_map(|s| s)
+fn xml_name(rng: &mut Pcg32) -> String {
+    let mut s = String::new();
+    s.push((b'a' + rng.below(26) as u8) as char);
+    for _ in 0..rng.index(7) {
+        let c = match rng.below(38) {
+            x if x < 26 => (b'a' + x as u8) as char,
+            x if x < 36 => (b'0' + (x - 26) as u8) as char,
+            36 => '_',
+            _ => '-',
+        };
+        s.push(c);
+    }
+    s
+}
+
+fn printable(rng: &mut Pcg32, lo: usize, hi: usize) -> String {
+    let n = rng.index(hi - lo + 1) + lo;
+    (0..n).map(|_| (b' ' + rng.below(95) as u8) as char).collect()
+}
+
+fn attrs(rng: &mut Pcg32) -> Vec<(String, String)> {
+    (0..rng.index(3)).map(|_| (xml_name(rng), printable(rng, 0, 12))).collect()
 }
 
 /// Generate a balanced event stream by recursive element construction.
-fn element(depth: u32) -> BoxedStrategy<Vec<XmlEvent>> {
-    let attrs = prop::collection::vec((xml_name(), "[ -~]{0,12}"), 0..3);
+fn element(rng: &mut Pcg32, depth: u32) -> Vec<XmlEvent> {
+    let name = xml_name(rng);
+    let attrs = attrs(rng);
+    let mut ev = vec![XmlEvent::Start { name: name.clone(), attrs }];
     if depth == 0 {
-        (xml_name(), attrs, "[ -~]{1,20}")
-            .prop_map(|(name, attrs, text)| {
-                let mut ev = vec![XmlEvent::Start { name: name.clone(), attrs }];
-                if !text.trim().is_empty() {
-                    ev.push(XmlEvent::Text(text));
-                }
-                ev.push(XmlEvent::End { name });
-                ev
-            })
-            .boxed()
+        let text = printable(rng, 1, 20);
+        if !text.trim().is_empty() {
+            ev.push(XmlEvent::Text(text));
+        }
     } else {
-        (xml_name(), attrs, prop::collection::vec(element(depth - 1), 0..3))
-            .prop_map(|(name, attrs, kids)| {
-                let mut ev = vec![XmlEvent::Start { name: name.clone(), attrs }];
-                for k in kids {
-                    ev.extend(k);
-                }
-                ev.push(XmlEvent::End { name });
-                ev
-            })
-            .boxed()
+        for _ in 0..rng.index(3) {
+            ev.extend(element(rng, depth - 1));
+        }
     }
+    ev.push(XmlEvent::End { name });
+    ev
 }
 
-proptest! {
-    #[test]
-    fn rle_roundtrips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+fn bytes(rng: &mut Pcg32, max_len: usize) -> Vec<u8> {
+    let mut buf = vec![0u8; rng.index(max_len)];
+    rng.fill_bytes(&mut buf);
+    buf
+}
+
+#[test]
+fn rle_roundtrips_arbitrary_bytes() {
+    run_cases(0xdc1, 256, |rng| {
+        let data = bytes(rng, 2000);
         let c = RleCodec;
-        prop_assert_eq!(c.decode(&c.encode(&data)).unwrap(), data);
-    }
+        assert_eq!(c.decode(&c.encode(&data)).unwrap(), data);
+    });
+}
 
-    #[test]
-    fn lz_roundtrips_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+#[test]
+fn lz_roundtrips_arbitrary_bytes() {
+    run_cases(0xdc2, 256, |rng| {
+        let data = bytes(rng, 2000);
         let c = LzCodec;
-        prop_assert_eq!(c.decode(&c.encode(&data)).unwrap(), data);
-    }
+        assert_eq!(c.decode(&c.encode(&data)).unwrap(), data);
+    });
+}
 
-    /// Low-entropy inputs (the realistic sensor case) must not grow by more
-    /// than the token framing overhead under LZ.
-    #[test]
-    fn lz_compresses_repetitive_input(byte in any::<u8>(), len in 64usize..2048) {
+/// Low-entropy inputs (the realistic sensor case) must not grow by more
+/// than the token framing overhead under LZ.
+#[test]
+fn lz_compresses_repetitive_input() {
+    run_cases(0xdc3, 256, |rng| {
+        let byte = rng.below(256) as u8;
+        let len = rng.index(2048 - 64) + 64;
         let data = vec![byte; len];
         let enc = LzCodec.encode(&data);
-        prop_assert!(enc.len() < data.len() / 4);
-    }
+        assert!(enc.len() < data.len() / 4);
+    });
+}
 
-    #[test]
-    fn xml_write_parse_fixpoint(ev in element(2)) {
+#[test]
+fn xml_write_parse_fixpoint() {
+    run_cases(0xdc4, 512, |rng| {
+        let ev = element(rng, 2);
         let s = write_events(&ev);
         let parsed = parse_events(&s);
-        prop_assert_eq!(parsed.as_ref().ok(), Some(&ev), "doc: {}", s);
-    }
+        assert_eq!(parsed.as_ref().ok(), Some(&ev), "doc: {s}");
+    });
 }

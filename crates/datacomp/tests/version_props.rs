@@ -1,67 +1,64 @@
 //! Version-selection properties: `BEST` never violates its constraints and
 //! always returns a minimum-cost candidate.
+//!
+//! Randomised suites are opt-in: `cargo test -p datacomp --features slow-props`.
+#![cfg(feature = "slow-props")]
 
+use adm_rng::{run_cases, Pcg32};
 use datacomp::version::{SelectionConstraints, Version, VersionKind, VersionList};
-use proptest::prelude::*;
 
-fn kind() -> impl Strategy<Value = VersionKind> {
-    prop_oneof![
-        Just(VersionKind::Replica),
-        Just(VersionKind::Compressed { codec: "lz".into() }),
-        (0.01f64..1.0).prop_map(|fraction| VersionKind::Summary { fraction }),
-        (0.01f64..1.0).prop_map(|quality| VersionKind::LowerQuality { quality }),
-    ]
+fn kind(rng: &mut Pcg32) -> VersionKind {
+    match rng.below(4) {
+        0 => VersionKind::Replica,
+        1 => VersionKind::Compressed { codec: "lz".into() },
+        2 => VersionKind::Summary { fraction: 0.01 + rng.f64() * 0.99 },
+        _ => VersionKind::LowerQuality { quality: 0.01 + rng.f64() * 0.99 },
+    }
 }
 
-fn version_list() -> impl Strategy<Value = VersionList> {
-    prop::collection::vec((kind(), 1u64..100_000, 0u64..100), 0..12).prop_map(|vs| {
-        let mut list = VersionList::new();
-        for (i, (kind, size_bytes, age)) in vs.into_iter().enumerate() {
-            list.add(Version {
-                id: i as u32,
-                location: format!("node{i}"),
-                kind,
-                size_bytes,
-                age,
-                bytes: None,
-            });
-        }
-        list
-    })
+fn version_list(rng: &mut Pcg32) -> VersionList {
+    let mut list = VersionList::new();
+    for i in 0..rng.index(12) {
+        list.add(Version {
+            id: i as u32,
+            location: format!("node{i}"),
+            kind: kind(rng),
+            size_bytes: rng.below(99_999) + 1,
+            age: rng.below(100),
+            bytes: None,
+        });
+    }
+    list
 }
 
-fn constraints() -> impl Strategy<Value = SelectionConstraints> {
-    (
-        prop::option::of(0u64..100),
-        0.0f64..1.0,
-        0.1f64..10_000.0,
-        0.0f64..0.1,
-    )
-        .prop_map(|(max_age, min_quality, bandwidth, lz_cost)| SelectionConstraints {
-            max_age,
-            min_quality,
-            bandwidth,
-            decode_cost_per_byte: vec![("lz".into(), lz_cost)],
-        })
+fn constraints(rng: &mut Pcg32) -> SelectionConstraints {
+    SelectionConstraints {
+        max_age: rng.chance(0.5).then(|| rng.below(100)),
+        min_quality: rng.f64(),
+        bandwidth: 0.1 + rng.f64() * 9_999.9,
+        decode_cost_per_byte: vec![("lz".into(), rng.f64() * 0.1)],
+    }
 }
 
-proptest! {
-    /// A returned version satisfies every constraint and no eligible
-    /// version is strictly cheaper.
-    #[test]
-    fn best_is_feasible_and_minimal(list in version_list(), c in constraints()) {
+/// A returned version satisfies every constraint and no eligible
+/// version is strictly cheaper.
+#[test]
+fn best_is_feasible_and_minimal() {
+    run_cases(0xdb1, 512, |rng| {
+        let list = version_list(rng);
+        let c = constraints(rng);
         match list.best(&c) {
             Ok(v) => {
                 if let Some(a) = c.max_age {
-                    prop_assert!(v.age <= a);
+                    assert!(v.age <= a);
                 }
-                prop_assert!(v.kind.quality() >= c.min_quality);
+                assert!(v.kind.quality() >= c.min_quality);
                 let cost = c.delivery_cost(v);
                 for other in list.all() {
                     let eligible = c.max_age.is_none_or(|a| other.age <= a)
                         && other.kind.quality() >= c.min_quality;
                     if eligible {
-                        prop_assert!(
+                        assert!(
                             cost <= c.delivery_cost(other) + 1e-9,
                             "version {} (cost {cost}) beaten by {} (cost {})",
                             v.id,
@@ -76,15 +73,19 @@ proptest! {
                 for other in list.all() {
                     let eligible = c.max_age.is_none_or(|a| other.age <= a)
                         && other.kind.quality() >= c.min_quality;
-                    prop_assert!(!eligible, "version {} was eligible", other.id);
+                    assert!(!eligible, "version {} was eligible", other.id);
                 }
             }
         }
-    }
+    });
+}
 
-    /// Widening constraints never loses feasibility.
-    #[test]
-    fn relaxing_constraints_is_monotone(list in version_list(), c in constraints()) {
+/// Widening constraints never loses feasibility.
+#[test]
+fn relaxing_constraints_is_monotone() {
+    run_cases(0xdb2, 512, |rng| {
+        let list = version_list(rng);
+        let c = constraints(rng);
         let relaxed = SelectionConstraints {
             max_age: None,
             min_quality: 0.0,
@@ -92,7 +93,7 @@ proptest! {
             decode_cost_per_byte: c.decode_cost_per_byte.clone(),
         };
         if list.best(&c).is_ok() {
-            prop_assert!(list.best(&relaxed).is_ok());
+            assert!(list.best(&relaxed).is_ok());
         }
-    }
+    });
 }

@@ -125,10 +125,7 @@ impl MonolithicKernel {
     /// A kernel with client (process 0) and server (process 1) set up.
     #[must_use]
     pub fn new(model: CostModel) -> Self {
-        let proc_ = Process {
-            tlb_working_set: 250,
-            kernel_cache_lines: 900,
-        };
+        let proc_ = Process { tlb_working_set: 250, kernel_cache_lines: 900 };
         Self {
             model,
             counter: CycleCounter::new(),
@@ -581,10 +578,8 @@ mod tests {
     #[test]
     fn table1_ordering_is_strict() {
         let model = CostModel::pentium();
-        let mut costs: Vec<(KernelKind, Cycles)> = all_kernels(&model)
-            .iter_mut()
-            .map(|k| (k.kind(), k.null_rpc()))
-            .collect();
+        let mut costs: Vec<(KernelKind, Cycles)> =
+            all_kernels(&model).iter_mut().map(|k| (k.kind(), k.null_rpc())).collect();
         costs.sort_by_key(|&(_, c)| c);
         let order: Vec<KernelKind> = costs.into_iter().map(|(k, _)| k).collect();
         assert_eq!(

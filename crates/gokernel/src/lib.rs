@@ -49,8 +49,13 @@ pub mod table1;
 pub use component::{
     ComponentId, ComponentInstance, ComponentType, InterfaceDescriptor, InterfaceId,
 };
-pub use kernels::{ExtensibleKernel, GoKernel, Kernel, KernelKind, L4Kernel, MachKernel, MonolithicKernel};
+pub use kernels::{
+    ExtensibleKernel, GoKernel, Kernel, KernelKind, L4Kernel, MachKernel, MonolithicKernel,
+};
 pub use libos::{LibOs, LibOsError, ThreadId};
 pub use orb::{Orb, OrbError, RpcOutcome};
-pub use sisr::{SisrError, SisrVerifier, VerifiedImage};
+pub use sisr::{
+    Diagnostic, DiagnosticKind, Limits, Pass, PassReport, Severity, SisrVerifier, VerifiedImage,
+    VerifyReport,
+};
 pub use table1::{table1_rows, Table1Row, PAPER_TABLE1};

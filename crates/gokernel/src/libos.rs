@@ -313,10 +313,7 @@ mod tests {
     #[test]
     fn allocator_errors() {
         let mut os = libos();
-        assert!(matches!(
-            os.alloc(1 << 30),
-            Err(LibOsError::OutOfMemory { .. })
-        ));
+        assert!(matches!(os.alloc(1 << 30), Err(LibOsError::OutOfMemory { .. })));
         assert_eq!(os.free(12345), Err(LibOsError::BadFree { base: 12345 }));
     }
 
@@ -342,10 +339,7 @@ mod tests {
         os.sched_add(ThreadId(1)).unwrap();
         let per_call = os.service_cycles() - before;
         // One ORB RPC: the Table 1 Go! cost band, nowhere near a trap pair.
-        assert!(
-            (55..=110).contains(&per_call),
-            "service call cost {per_call} cycles"
-        );
+        assert!((55..=110).contains(&per_call), "service call cost {per_call} cycles");
         let model = CostModel::pentium();
         assert!(per_call < model.trap_enter + model.trap_exit + 500);
     }

@@ -18,7 +18,7 @@ use crate::component::{
     ComponentId, ComponentInstance, ComponentType, InterfaceDescriptor, InterfaceId, Rights,
     TypeId, DESCRIPTOR_BYTES,
 };
-use crate::sisr::{SisrError, SisrVerifier, VerifiedImage};
+use crate::sisr::{Limits, SisrVerifier, VerifiedImage, VerifyReport};
 use machine::cost::{CostModel, Cycles, Primitive};
 use machine::cpu::{Cpu, CpuError, Mode, Stop};
 use machine::seg::{SegReg, Segment, SegmentKind, SegmentTable};
@@ -26,8 +26,9 @@ use machine::seg::{SegReg, Segment, SegmentKind, SegmentTable};
 /// Errors the ORB can raise.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OrbError {
-    /// The image failed SISR verification — it will not be loaded.
-    Rejected(SisrError),
+    /// The image failed SISR verification — it will not be loaded. The
+    /// report carries every diagnostic the verifier pipeline proved.
+    Rejected(VerifyReport),
     /// Unknown type id.
     NoSuchType(TypeId),
     /// Unknown component id.
@@ -54,11 +55,18 @@ pub enum OrbError {
     CalleeRunaway,
     /// Physical memory arena exhausted.
     OutOfMemory,
+    /// An interface was published at an entry the verifier never covered.
+    UnverifiedEntry {
+        /// The type whose image was verified.
+        type_id: TypeId,
+        /// The unverified entry point.
+        entry: u32,
+    },
 }
 
-impl From<SisrError> for OrbError {
-    fn from(e: SisrError) -> Self {
-        OrbError::Rejected(e)
+impl From<VerifyReport> for OrbError {
+    fn from(r: VerifyReport) -> Self {
+        OrbError::Rejected(r)
     }
 }
 
@@ -105,7 +113,16 @@ impl Orb {
             instances: Vec::new(),
             descriptors: Vec::new(),
             bindings: Vec::new(),
-            verifier: SisrVerifier::new(model.clone()),
+            // The verifier checks static segment discipline against the
+            // exact grants instances will receive.
+            verifier: SisrVerifier::with_limits(
+                model.clone(),
+                Limits {
+                    data_bytes: DATA_SEG_BYTES,
+                    stack_bytes: STACK_SEG_BYTES,
+                    ..Limits::default()
+                },
+            ),
             // Go! has no kernel mode: everything, ORB included, runs in the
             // single processor mode. Mode::Kernel here only means the
             // simulated CPU permits segment loads, which the ORB alone issues.
@@ -168,11 +185,7 @@ impl Orb {
             .map_err(|_| OrbError::OutOfMemory)?;
         let stack_sel = self
             .segs
-            .install(Segment {
-                base: stack_base,
-                limit: STACK_SEG_BYTES,
-                kind: SegmentKind::Stack,
-            })
+            .install(Segment { base: stack_base, limit: STACK_SEG_BYTES, kind: SegmentKind::Stack })
             .map_err(|_| OrbError::OutOfMemory)?;
         let id = ComponentId(self.instances.len() as u32);
         self.instances.push(ComponentInstance { id, type_id, data_sel, stack_sel });
@@ -182,8 +195,13 @@ impl Orb {
     /// Publish an interface on an instance at `entry` (instruction index in
     /// its type's text), returning the interface id.
     ///
+    /// The entry must be one the type's [`VerifiedImage`] covered — the
+    /// verifier proved control-flow, stack and segment discipline *from the
+    /// declared entries*, so publishing anywhere else would run unproven
+    /// paths.
+    ///
     /// # Errors
-    /// [`OrbError::NoSuchComponent`].
+    /// [`OrbError::NoSuchComponent`], [`OrbError::UnverifiedEntry`].
     pub fn publish(
         &mut self,
         on: ComponentId,
@@ -191,12 +209,11 @@ impl Orb {
         rights: Rights,
         arg_words: u16,
     ) -> Result<InterfaceId, OrbError> {
-        let inst = self
-            .instances
-            .get(on.0 as usize)
-            .ok_or(OrbError::NoSuchComponent(on))?
-            .clone();
+        let inst = self.instances.get(on.0 as usize).ok_or(OrbError::NoSuchComponent(on))?.clone();
         let ty = &self.types[inst.type_id.0 as usize];
+        if !ty.image.entry_points().contains(&entry) {
+            return Err(OrbError::UnverifiedEntry { type_id: ty.id, entry });
+        }
         let iface_id = InterfaceId(self.descriptors.len() as u32);
         let desc = InterfaceDescriptor {
             code_sel: ty.code_sel,
@@ -261,21 +278,16 @@ impl Orb {
             &[Primitive::Load, Primitive::Load, Primitive::Load, Primitive::Load],
             &model,
         );
-        let (desc, _owner) = *self
-            .descriptors
-            .get(iface.0 as usize)
-            .ok_or(OrbError::NoSuchInterface(iface))?;
+        let (desc, _owner) =
+            *self.descriptors.get(iface.0 as usize).ok_or(OrbError::NoSuchInterface(iface))?;
 
         // Rights + type check: compares and a conditional branch.
         self.cpu.counter_mut().charge_all(
             &[Primitive::Alu, Primitive::Alu, Primitive::Alu, Primitive::Alu, Primitive::Branch],
             &model,
         );
-        let caller_inst = self
-            .instances
-            .get(caller.0 as usize)
-            .ok_or(OrbError::NoSuchComponent(caller))?
-            .clone();
+        let caller_inst =
+            self.instances.get(caller.0 as usize).ok_or(OrbError::NoSuchComponent(caller))?.clone();
         let bound = self.bindings.contains(&(caller, iface));
         if !desc.rights.permits(bound) {
             return Err(OrbError::AccessDenied { caller, iface });
@@ -310,9 +322,7 @@ impl Orb {
 
         // Thread-migration record: note which instance the thread is in,
         // and record the borrowed stack's bounds for the return check.
-        self.cpu
-            .counter_mut()
-            .charge_all(&[Primitive::Store, Primitive::Store], &model);
+        self.cpu.counter_mut().charge_all(&[Primitive::Store, Primitive::Store], &model);
         self.cpu.counter_mut().charge_all(
             &[Primitive::Load, Primitive::Load, Primitive::Store, Primitive::Store, Primitive::Alu],
             &model,
@@ -327,9 +337,10 @@ impl Orb {
 
         // -- return path: migrate the thread back -------------------------
         // Return validation: the migration record must match.
-        self.cpu
-            .counter_mut()
-            .charge_all(&[Primitive::Load, Primitive::Load, Primitive::Alu, Primitive::Alu], &model);
+        self.cpu.counter_mut().charge_all(
+            &[Primitive::Load, Primitive::Load, Primitive::Alu, Primitive::Alu],
+            &model,
+        );
         // Restore continuation: 4 loads.
         self.cpu.counter_mut().charge_all(
             &[Primitive::Load, Primitive::Load, Primitive::Load, Primitive::Load],
@@ -346,8 +357,7 @@ impl Orb {
             Ok(Stop::Halted) | Ok(Stop::Trap(_)) => {
                 let mut breakdown = Vec::new();
                 for &(label, total) in self.cpu.counter().breakdown() {
-                    let before =
-                        start_bd.iter().find(|(l, _)| *l == label).map_or(0, |(_, v)| *v);
+                    let before = start_bd.iter().find(|(l, _)| *l == label).map_or(0, |(_, v)| *v);
                     if total > before {
                         breakdown.push((label, total - before));
                     }
@@ -454,10 +464,7 @@ mod tests {
         let caller = orb.instantiate(ty).unwrap();
         let callee = orb.instantiate(ty).unwrap();
         let iface = orb.publish(callee, 0, Rights::BOUND_ONLY, 0).unwrap();
-        assert!(matches!(
-            orb.invoke(caller, iface, &[]),
-            Err(OrbError::AccessDenied { .. })
-        ));
+        assert!(matches!(orb.invoke(caller, iface, &[]), Err(OrbError::AccessDenied { .. })));
         orb.bind(caller, iface).unwrap();
         assert!(orb.invoke(caller, iface, &[]).is_ok());
         orb.unbind(caller, iface);
@@ -467,24 +474,40 @@ mod tests {
     #[test]
     fn privileged_text_is_rejected_at_load() {
         let mut orb = Orb::new(1 << 20, CostModel::pentium());
-        let evil =
-            machine::isa::Program::new(vec![Instr::Cli, Instr::Halt]).to_bytes();
+        let evil = machine::isa::Program::new(vec![Instr::Cli, Instr::Halt]).to_bytes();
         assert!(matches!(orb.load_type("evil", &evil), Err(OrbError::Rejected(_))));
         assert_eq!(orb.components(), 0);
     }
 
     #[test]
-    fn callee_segment_fault_is_contained() {
-        // Callee stores outside its 4 KiB data segment.
+    fn statically_wild_store_is_rejected_at_load() {
+        // The address is a compile-time constant, so the verifier's
+        // segment-discipline pass refuses the image before it ever runs.
         let wild = machine::isa::Program::new(vec![
             Instr::MovImm(0, 100_000),
             Instr::Store(0, 0),
             Instr::Halt,
         ])
         .to_bytes();
-        let (mut orb, caller, iface) = orb_with_pair(wild, 0);
+        let mut orb = Orb::new(1 << 20, CostModel::pentium());
+        let Err(OrbError::Rejected(report)) = orb.load_type("wild", &wild) else {
+            panic!("statically wild store must be rejected");
+        };
+        assert!(
+            report.errors().any(|d| d.pass == crate::sisr::Pass::SegmentDiscipline),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn callee_segment_fault_is_contained() {
+        // The wild address arrives as an *argument*, so it is statically
+        // unknown — the verifier must accept, and the segmentation hardware
+        // contains the fault at run time.
+        let wild = machine::isa::Program::new(vec![Instr::Store(0, 1), Instr::Halt]).to_bytes();
+        let (mut orb, caller, iface) = orb_with_pair(wild, 1);
         assert!(matches!(
-            orb.invoke(caller, iface, &[]),
+            orb.invoke(caller, iface, &[100_000]),
             Err(OrbError::CalleeFault(CpuError::Segment(_)))
         ));
         // The ORB survives and other services still work.
@@ -492,6 +515,17 @@ mod tests {
         let c2 = orb.instantiate(ty).unwrap();
         let if2 = orb.publish(c2, 0, Rights::PUBLIC, 0).unwrap();
         assert_eq!(orb.invoke(caller, if2, &[]).unwrap().result, 7);
+    }
+
+    #[test]
+    fn publishing_an_unverified_entry_is_refused() {
+        let (mut orb, _caller, _iface) = orb_with_pair(null_service(), 0);
+        let ty = orb.load_type("svc", &null_service()).unwrap();
+        let inst = orb.instantiate(ty).unwrap();
+        assert_eq!(
+            orb.publish(inst, 1, Rights::PUBLIC, 0).unwrap_err(),
+            OrbError::UnverifiedEntry { type_id: ty, entry: 1 }
+        );
     }
 
     #[test]
@@ -524,12 +558,8 @@ mod tests {
         // twice.
         let (mut orb, caller, iface) = orb_with_pair(null_service(), 0);
         let out = orb.invoke(caller, iface, &[]).unwrap();
-        let seg: Cycles = out
-            .breakdown
-            .iter()
-            .filter(|(l, _)| *l == "seg-reg-load")
-            .map(|(_, v)| v)
-            .sum();
+        let seg: Cycles =
+            out.breakdown.iter().filter(|(l, _)| *l == "seg-reg-load").map(|(_, v)| v).sum();
         assert_eq!(seg, 6);
     }
 }

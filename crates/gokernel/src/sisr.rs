@@ -6,65 +6,347 @@
 //! > code-scanning and segmentation memory protection."
 //!
 //! The verifier works from the **byte form** of a text section, exactly as a
-//! real loader must: it decodes every 8-byte word and rejects the image if
-//! any word is (a) undecodable or (b) a privileged instruction. Acceptance is
-//! witnessed by the [`VerifiedImage`] typestate — the ORB will only install
-//! component types from a `VerifiedImage`, so "unscanned code never runs" is
-//! enforced by construction, not by convention.
+//! real loader must, and runs a pipeline of passes, each proving one fact the
+//! zero-kernel design depends on:
 //!
-//! The scan is a *load-time* cost. Go! trades a one-off linear pass per image
-//! for the removal of *every* per-call trap — the economics behind Table 1.
+//! 1. **decode** — the text is instruction-aligned, every 8-byte word
+//!    decodes, and no decoded word is privileged. Undecodable bytes are
+//!    treated as hostile, never skipped.
+//! 2. **control-flow** — a CFG is built over the fixed-width ISA: every
+//!    declared entry point and every jump/branch/call target lands in-bounds
+//!    on an instruction boundary, and no path can fall off the end of the
+//!    text into unowned memory.
+//! 3. **stack-discipline** — a bounded abstract interpretation proves calls
+//!    and returns balance on every path, call depth stays under the granted
+//!    limit, and the data stack neither underflows nor outgrows its segment.
+//! 4. **segment-discipline** — constant propagation over the registers
+//!    rejects loads/stores whose address is statically known to escape the
+//!    granted data segment; statically unknown addresses remain guarded by
+//!    the segmentation hardware at run time.
+//! 5. **reachability** — instructions no entry point can reach are reported
+//!    as dead code (warnings; dead code is suspicious but not unsafe).
+//!
+//! Diagnostics are **collected, not first-error bailed**: a rejection names
+//! every flaw each pass could prove, with the pass that found it. Acceptance
+//! is witnessed by the [`VerifiedImage`] typestate — the ORB will only
+//! install component types from a `VerifiedImage`, so "unscanned code never
+//! runs" is enforced by construction, not by convention.
+//!
+//! Every pass charges named machine primitives into a cycle counter: the
+//! verification pipeline is a *load-time* cost, and Go! trades this one-off
+//! linear-ish pass per image for the removal of *every* per-call trap — the
+//! economics behind Table 1.
 
 use machine::cost::{CostModel, CycleCounter, Cycles, Primitive};
-use machine::isa::{Instr, Program};
+use machine::isa::{rel_target, Flow, Instr, Program};
+use std::collections::{HashMap, HashSet};
 
-/// Why an image was rejected.
+/// One pass of the verification pipeline, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pass {
+    /// Alignment, decodability, and the privileged-opcode scan.
+    Decode,
+    /// CFG construction and jump/entry/fallthrough validation.
+    ControlFlow,
+    /// Call/return balance and data-stack depth dataflow.
+    StackDiscipline,
+    /// Constant-propagation check of statically-decidable addresses.
+    SegmentDiscipline,
+    /// Dead-code reporting from the entry points.
+    Reachability,
+}
+
+impl Pass {
+    /// All passes, in the order the pipeline runs them.
+    pub const ALL: [Pass; 5] = [
+        Pass::Decode,
+        Pass::ControlFlow,
+        Pass::StackDiscipline,
+        Pass::SegmentDiscipline,
+        Pass::Reachability,
+    ];
+
+    /// The pass's name as it appears in diagnostics.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Decode => "decode",
+            Pass::ControlFlow => "control-flow",
+            Pass::StackDiscipline => "stack-discipline",
+            Pass::SegmentDiscipline => "segment-discipline",
+            Pass::Reachability => "reachability",
+        }
+    }
+}
+
+impl std::fmt::Display for Pass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How bad a diagnostic is. Any `Error` rejects the image; `Warning`s ride
+/// along on the accepted [`VerifiedImage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Suspicious but not unsafe (e.g. dead code).
+    Warning,
+    /// The image must not be installed.
+    Error,
+}
+
+/// What a pass proved wrong (or suspicious) about the image.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SisrError {
+pub enum DiagnosticKind {
     /// The text length is not a multiple of the instruction width.
     MisalignedText {
         /// Byte length of the offending image.
         len: usize,
     },
     /// A word failed to decode — treated as hostile, never skipped.
-    UndecodableWord {
-        /// Index (in instructions) of the bad word.
-        index: usize,
-    },
+    UndecodableWord,
     /// A privileged instruction was found.
     PrivilegedInstruction {
-        /// Index (in instructions) of the offending instruction.
-        index: usize,
         /// The instruction.
         instr: Instr,
     },
+    /// A declared entry point is outside the text.
+    BadEntryPoint {
+        /// The declared entry (instruction index).
+        entry: u32,
+    },
+    /// A jump or branch target escapes the text section.
+    JumpOutOfBounds {
+        /// The computed target (instruction index, after wrapping).
+        target: u32,
+    },
+    /// A call target escapes the text section.
+    CallOutOfBounds {
+        /// The call's absolute target.
+        target: u32,
+    },
+    /// Execution can run off the end of the text into unowned memory.
+    FallthroughOffEnd,
+    /// A path reaches `Ret` with no matching `Call`.
+    ReturnWithoutCall,
+    /// A path nests calls deeper than the verifier's bound.
+    CallDepthExceeded {
+        /// The depth at which the bound was hit.
+        depth: usize,
+    },
+    /// A path pops the data stack below empty.
+    DataStackUnderflow,
+    /// A path pushes the data stack past its segment.
+    DataStackOverflow {
+        /// Stack depth (in words) the path reached.
+        words: u32,
+    },
+    /// A load whose address is statically known to escape the data segment.
+    OutOfSegmentLoad {
+        /// The offending byte offset.
+        addr: u32,
+    },
+    /// A store whose address is statically known to escape the data segment.
+    OutOfSegmentStore {
+        /// The offending byte offset.
+        addr: u32,
+    },
+    /// The dataflow state budget was exhausted: the program is too tangled
+    /// to verify, and an unverifiable program is a rejected program.
+    AnalysisBudgetExceeded {
+        /// States explored before giving up.
+        states: usize,
+    },
+    /// An instruction no entry point can reach.
+    UnreachableCode,
 }
 
-impl std::fmt::Display for SisrError {
+/// One finding of one pass, anchored (where meaningful) to an instruction
+/// index in the scanned text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The pass that proved it.
+    pub pass: Pass,
+    /// Error (rejects) or warning (rides along).
+    pub severity: Severity,
+    /// Instruction index the finding is anchored to, when there is one.
+    pub index: Option<usize>,
+    /// The finding itself.
+    pub kind: DiagnosticKind,
+}
+
+impl Diagnostic {
+    fn error(pass: Pass, index: Option<usize>, kind: DiagnosticKind) -> Self {
+        Self { pass, severity: Severity::Error, index, kind }
+    }
+
+    fn warning(pass: Pass, index: Option<usize>, kind: DiagnosticKind) -> Self {
+        Self { pass, severity: Severity::Warning, index, kind }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SisrError::MisalignedText { len } => {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "[{}] {sev}", self.pass)?;
+        if let Some(i) = self.index {
+            write!(f, " at {i}")?;
+        }
+        write!(f, ": ")?;
+        match &self.kind {
+            DiagnosticKind::MisalignedText { len } => {
                 write!(f, "text section of {len} bytes is not instruction-aligned")
             }
-            SisrError::UndecodableWord { index } => {
-                write!(f, "undecodable word at instruction index {index}")
+            DiagnosticKind::UndecodableWord => write!(f, "undecodable word"),
+            DiagnosticKind::PrivilegedInstruction { instr } => {
+                write!(f, "privileged instruction {instr:?}")
             }
-            SisrError::PrivilegedInstruction { index, instr } => {
-                write!(f, "privileged instruction {instr:?} at index {index}")
+            DiagnosticKind::BadEntryPoint { entry } => {
+                write!(f, "entry point {entry} is outside the text")
             }
+            DiagnosticKind::JumpOutOfBounds { target } => {
+                write!(f, "jump target {target} is outside the text")
+            }
+            DiagnosticKind::CallOutOfBounds { target } => {
+                write!(f, "call target {target} is outside the text")
+            }
+            DiagnosticKind::FallthroughOffEnd => {
+                write!(f, "execution can fall off the end of the text")
+            }
+            DiagnosticKind::ReturnWithoutCall => write!(f, "return without a matching call"),
+            DiagnosticKind::CallDepthExceeded { depth } => {
+                write!(f, "call depth exceeds the verifier bound ({depth})")
+            }
+            DiagnosticKind::DataStackUnderflow => write!(f, "data stack underflows"),
+            DiagnosticKind::DataStackOverflow { words } => {
+                write!(f, "data stack grows past its segment ({words} words)")
+            }
+            DiagnosticKind::OutOfSegmentLoad { addr } => {
+                write!(f, "load from byte offset {addr} escapes the data segment")
+            }
+            DiagnosticKind::OutOfSegmentStore { addr } => {
+                write!(f, "store to byte offset {addr} escapes the data segment")
+            }
+            DiagnosticKind::AnalysisBudgetExceeded { states } => {
+                write!(f, "analysis budget exhausted after {states} states; unverifiable")
+            }
+            DiagnosticKind::UnreachableCode => write!(f, "unreachable from any entry point"),
         }
     }
 }
 
-impl std::error::Error for SisrError {}
+/// What one pass cost and found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassReport {
+    /// Which pass.
+    pub pass: Pass,
+    /// Load-time cycles the pass charged.
+    pub cycles: Cycles,
+    /// Errors the pass raised.
+    pub errors: usize,
+    /// Warnings the pass raised.
+    pub warnings: usize,
+}
 
-/// A text image that has passed the SISR scan. Can only be constructed by
-/// [`SisrVerifier::verify`]; holding one is proof the program contains no
-/// privileged instructions.
+/// The full result of a verification pipeline run: every diagnostic from
+/// every pass that ran, per-pass cost/outcome records, and the total
+/// load-time cycle bill.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// All diagnostics, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// One record per pass that ran (passes gated out by earlier errors are
+    /// absent — their facts were never established).
+    pub passes: Vec<PassReport>,
+    /// Total load-time cycles across all passes.
+    pub cycles: Cycles,
+}
+
+impl VerifyReport {
+    /// Number of error-severity diagnostics.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// Whether any pass raised an error.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// The error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// The record for one pass, if it ran.
+    #[must_use]
+    pub fn pass(&self, pass: Pass) -> Option<&PassReport> {
+        self.passes.iter().find(|p| p.pass == pass)
+    }
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} error(s), {} warning(s) in {} cycles",
+            self.error_count(),
+            self.warning_count(),
+            self.cycles
+        )?;
+        for d in &self.diagnostics {
+            write!(f, "\n  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerifyReport {}
+
+/// The resource grants the verifier checks static discipline against — the
+/// segment sizes the ORB will actually give an instance, plus the analysis
+/// bounds that keep verification decidable. A program that exceeds the
+/// analysis bounds is *unverifiable*, and unverifiable code is rejected: the
+/// conservative direction is the safe one for a loader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Bytes of data segment an instance will be granted.
+    pub data_bytes: u32,
+    /// Bytes of stack segment an instance will be granted.
+    pub stack_bytes: u32,
+    /// Maximum verified call-nesting depth.
+    pub max_call_depth: usize,
+    /// Maximum abstract states explored per dataflow pass.
+    pub state_budget: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self { data_bytes: 4096, stack_bytes: 4096, max_call_depth: 64, state_budget: 1 << 16 }
+    }
+}
+
+/// A text image that has passed every verification pass. Can only be
+/// constructed by [`SisrVerifier::verify`]; holding one is proof the program
+/// decodes cleanly, contains no privileged instruction, keeps control flow
+/// inside the text, balances its calls, respects its stack bound, and makes
+/// no statically-decidable out-of-segment access from the declared entries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifiedImage {
     program: Program,
-    scan_cycles: Cycles,
+    entry_points: Vec<u32>,
+    report: VerifyReport,
 }
 
 impl VerifiedImage {
@@ -74,60 +356,619 @@ impl VerifiedImage {
         &self.program
     }
 
-    /// The one-off load-time cycles the scan cost.
+    /// The entry points the verification covered. The ORB refuses to publish
+    /// an interface at any other entry — facts were only proven from these.
+    #[must_use]
+    pub fn entry_points(&self) -> &[u32] {
+        &self.entry_points
+    }
+
+    /// The full pass-by-pass report (warnings included).
+    #[must_use]
+    pub fn report(&self) -> &VerifyReport {
+        &self.report
+    }
+
+    /// The one-off load-time cycles the whole pipeline cost.
     #[must_use]
     pub fn scan_cycles(&self) -> Cycles {
-        self.scan_cycles
+        self.report.cycles
     }
 }
 
-/// The load-time code scanner.
+/// The load-time verifier.
 #[derive(Debug, Clone, Default)]
 pub struct SisrVerifier {
     model: CostModel,
+    limits: Limits,
+}
+
+/// Abstract register value for the segment-discipline pass: either a value
+/// every path agrees on (a must-fact) or statically unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbsVal {
+    Const(u32),
+    Unknown,
+}
+
+impl AbsVal {
+    fn join(self, other: AbsVal) -> AbsVal {
+        if self == other {
+            self
+        } else {
+            AbsVal::Unknown
+        }
+    }
 }
 
 impl SisrVerifier {
-    /// A verifier charging scan work under the given cost model.
+    /// A verifier charging pass work under the given cost model, with
+    /// default [`Limits`].
     #[must_use]
     pub fn new(model: CostModel) -> Self {
-        Self { model }
+        Self { model, limits: Limits::default() }
     }
 
-    /// Scan a raw text section.
-    ///
-    /// Charges one load + one compare per instruction word (the scan is a
-    /// single linear pass) and returns a [`VerifiedImage`] on acceptance.
+    /// A verifier with explicit segment grants and analysis bounds.
+    #[must_use]
+    pub fn with_limits(model: CostModel, limits: Limits) -> Self {
+        Self { model, limits }
+    }
+
+    /// The limits this verifier checks against.
+    #[must_use]
+    pub fn limits(&self) -> &Limits {
+        &self.limits
+    }
+
+    /// Verify a raw text section with the default entry point (index 0; an
+    /// empty text has no entries and is trivially valid).
     ///
     /// # Errors
-    /// [`SisrError`] describing the first reason for rejection.
-    pub fn verify(&self, text: &[u8]) -> Result<VerifiedImage, SisrError> {
-        if !text.len().is_multiple_of(8) {
-            return Err(SisrError::MisalignedText { len: text.len() });
+    /// The full [`VerifyReport`] naming every flaw each pass could prove.
+    pub fn verify(&self, text: &[u8]) -> Result<VerifiedImage, VerifyReport> {
+        if text.is_empty() {
+            self.verify_with_entries(text, &[])
+        } else {
+            self.verify_with_entries(text, &[0])
         }
-        let mut counter = CycleCounter::new();
-        let mut instrs = Vec::with_capacity(text.len() / 8);
-        for (index, chunk) in text.chunks_exact(8).enumerate() {
-            counter.charge(Primitive::Load, &self.model);
-            counter.charge(Primitive::Alu, &self.model);
-            let mut w = [0u8; 8];
-            w.copy_from_slice(chunk);
-            let instr =
-                Instr::decode(w).ok_or(SisrError::UndecodableWord { index })?;
-            if instr.is_privileged() {
-                return Err(SisrError::PrivilegedInstruction { index, instr });
-            }
-            instrs.push(instr);
-        }
-        Ok(VerifiedImage { program: Program::new(instrs), scan_cycles: counter.total() })
     }
 
-    /// Convenience: verify an already-decoded program by scanning its bytes.
+    /// Verify a raw text section against explicit entry points.
     ///
     /// # Errors
     /// See [`Self::verify`].
-    pub fn verify_program(&self, program: &Program) -> Result<VerifiedImage, SisrError> {
+    pub fn verify_with_entries(
+        &self,
+        text: &[u8],
+        entries: &[u32],
+    ) -> Result<VerifiedImage, VerifyReport> {
+        let mut diags: Vec<Diagnostic> = Vec::new();
+        let mut passes: Vec<PassReport> = Vec::new();
+        let mut counter = CycleCounter::new();
+
+        let program = self.pass_decode(text, &mut diags, &mut passes, &mut counter);
+        if let Some(program) = program {
+            let cfg_clean =
+                self.pass_control_flow(&program, entries, &mut diags, &mut passes, &mut counter);
+            if cfg_clean {
+                // The dataflow passes walk CFG edges; they only run once the
+                // control-flow pass has proven every edge stays in the text.
+                self.pass_stack_discipline(
+                    &program,
+                    entries,
+                    &mut diags,
+                    &mut passes,
+                    &mut counter,
+                );
+                self.pass_segment_discipline(
+                    &program,
+                    entries,
+                    &mut diags,
+                    &mut passes,
+                    &mut counter,
+                );
+                self.pass_reachability(&program, entries, &mut diags, &mut passes, &mut counter);
+            }
+            let report = VerifyReport { diagnostics: diags, passes, cycles: counter.total() };
+            if report.has_errors() {
+                Err(report)
+            } else {
+                Ok(VerifiedImage { program, entry_points: entries.to_vec(), report })
+            }
+        } else {
+            Err(VerifyReport { diagnostics: diags, passes, cycles: counter.total() })
+        }
+    }
+
+    /// Convenience: verify an already-decoded program by scanning its bytes,
+    /// with the default entry point.
+    ///
+    /// # Errors
+    /// See [`Self::verify`].
+    pub fn verify_program(&self, program: &Program) -> Result<VerifiedImage, VerifyReport> {
         self.verify(&program.to_bytes())
+    }
+
+    /// Convenience: verify an already-decoded program against explicit
+    /// entry points.
+    ///
+    /// # Errors
+    /// See [`Self::verify`].
+    pub fn verify_program_with_entries(
+        &self,
+        program: &Program,
+        entries: &[u32],
+    ) -> Result<VerifiedImage, VerifyReport> {
+        self.verify_with_entries(&program.to_bytes(), entries)
+    }
+
+    fn charge_visit(&self, counter: &mut CycleCounter) {
+        counter.charge(Primitive::Load, &self.model);
+        counter.charge(Primitive::Alu, &self.model);
+    }
+
+    fn finish_pass(
+        pass: Pass,
+        diags_before: usize,
+        diags: &[Diagnostic],
+        snap: Cycles,
+        counter: &CycleCounter,
+        passes: &mut Vec<PassReport>,
+    ) {
+        let new = &diags[diags_before..];
+        passes.push(PassReport {
+            pass,
+            cycles: counter.since(snap),
+            errors: new.iter().filter(|d| d.severity == Severity::Error).count(),
+            warnings: new.iter().filter(|d| d.severity == Severity::Warning).count(),
+        });
+    }
+
+    /// Pass 1: alignment, decodability, privilege. Returns the decoded
+    /// program only when the whole text is clean — later passes analyse
+    /// instruction semantics and need every word trustworthy.
+    fn pass_decode(
+        &self,
+        text: &[u8],
+        diags: &mut Vec<Diagnostic>,
+        passes: &mut Vec<PassReport>,
+        counter: &mut CycleCounter,
+    ) -> Option<Program> {
+        let snap = counter.total();
+        let before = diags.len();
+        let mut program = None;
+        if text.len().is_multiple_of(8) {
+            let mut instrs = Vec::with_capacity(text.len() / 8);
+            for (index, chunk) in text.chunks_exact(8).enumerate() {
+                self.charge_visit(counter);
+                let mut w = [0u8; 8];
+                w.copy_from_slice(chunk);
+                match Instr::decode(w) {
+                    None => diags.push(Diagnostic::error(
+                        Pass::Decode,
+                        Some(index),
+                        DiagnosticKind::UndecodableWord,
+                    )),
+                    Some(instr) if instr.is_privileged() => diags.push(Diagnostic::error(
+                        Pass::Decode,
+                        Some(index),
+                        DiagnosticKind::PrivilegedInstruction { instr },
+                    )),
+                    Some(instr) => instrs.push(instr),
+                }
+            }
+            if diags.len() == before {
+                program = Some(Program::new(instrs));
+            }
+        } else {
+            diags.push(Diagnostic::error(
+                Pass::Decode,
+                None,
+                DiagnosticKind::MisalignedText { len: text.len() },
+            ));
+        }
+        Self::finish_pass(Pass::Decode, before, diags, snap, counter, passes);
+        program
+    }
+
+    /// Pass 2: entry points and every CFG edge must land in the text, and no
+    /// path may fall off its end. Returns whether the CFG is fully valid.
+    fn pass_control_flow(
+        &self,
+        program: &Program,
+        entries: &[u32],
+        diags: &mut Vec<Diagnostic>,
+        passes: &mut Vec<PassReport>,
+        counter: &mut CycleCounter,
+    ) -> bool {
+        let snap = counter.total();
+        let before = diags.len();
+        let len = program.len() as u32;
+        for &entry in entries {
+            counter.charge(Primitive::Alu, &self.model);
+            if entry >= len {
+                diags.push(Diagnostic::error(
+                    Pass::ControlFlow,
+                    None,
+                    DiagnosticKind::BadEntryPoint { entry },
+                ));
+            }
+        }
+        for (pc, instr) in program.instrs().iter().enumerate() {
+            self.charge_visit(counter);
+            let pc32 = pc as u32;
+            let falls_through = match instr.flow() {
+                Flow::Fall => true,
+                Flow::Jump(off) => {
+                    counter.charge(Primitive::Alu, &self.model);
+                    let target = rel_target(pc32, off);
+                    if target >= len {
+                        diags.push(Diagnostic::error(
+                            Pass::ControlFlow,
+                            Some(pc),
+                            DiagnosticKind::JumpOutOfBounds { target },
+                        ));
+                    }
+                    false
+                }
+                Flow::Branch(off) => {
+                    counter.charge(Primitive::Alu, &self.model);
+                    let target = rel_target(pc32, off);
+                    if target >= len {
+                        diags.push(Diagnostic::error(
+                            Pass::ControlFlow,
+                            Some(pc),
+                            DiagnosticKind::JumpOutOfBounds { target },
+                        ));
+                    }
+                    true
+                }
+                Flow::Call(target) => {
+                    counter.charge(Primitive::Alu, &self.model);
+                    if target >= len {
+                        diags.push(Diagnostic::error(
+                            Pass::ControlFlow,
+                            Some(pc),
+                            DiagnosticKind::CallOutOfBounds { target },
+                        ));
+                    }
+                    // The matching Ret resumes at pc + 1.
+                    true
+                }
+                Flow::Ret | Flow::Exit => false,
+            };
+            if falls_through && pc32 + 1 >= len {
+                diags.push(Diagnostic::error(
+                    Pass::ControlFlow,
+                    Some(pc),
+                    DiagnosticKind::FallthroughOffEnd,
+                ));
+            }
+        }
+        Self::finish_pass(Pass::ControlFlow, before, diags, snap, counter, passes);
+        diags.len() == before
+    }
+
+    /// Pass 3: explore (pc, call stack, data-stack depth) states from every
+    /// entry, proving returns balance calls and the data stack stays within
+    /// its granted segment on all paths.
+    fn pass_stack_discipline(
+        &self,
+        program: &Program,
+        entries: &[u32],
+        diags: &mut Vec<Diagnostic>,
+        passes: &mut Vec<PassReport>,
+        counter: &mut CycleCounter,
+    ) {
+        let snap = counter.total();
+        let before = diags.len();
+        let stack_words = self.limits.stack_bytes / 4;
+        let text = program.instrs();
+        let push_diag = |diags: &mut Vec<Diagnostic>, d: Diagnostic| {
+            if !diags[before..].contains(&d) {
+                diags.push(d);
+            }
+        };
+        let mut seen: HashSet<(u32, Vec<u32>, u32)> = HashSet::new();
+        let mut work: Vec<(u32, Vec<u32>, u32)> =
+            entries.iter().map(|&e| (e, Vec::new(), 0)).collect();
+        let mut states = 0usize;
+        while let Some((pc, calls, sp)) = work.pop() {
+            if !seen.insert((pc, calls.clone(), sp)) {
+                continue;
+            }
+            states += 1;
+            if states > self.limits.state_budget {
+                push_diag(
+                    diags,
+                    Diagnostic::error(
+                        Pass::StackDiscipline,
+                        None,
+                        DiagnosticKind::AnalysisBudgetExceeded { states },
+                    ),
+                );
+                break;
+            }
+            self.charge_visit(counter);
+            let instr = text[pc as usize];
+            let sp = match instr {
+                Instr::Push(_) => {
+                    if sp + 1 > stack_words {
+                        push_diag(
+                            diags,
+                            Diagnostic::error(
+                                Pass::StackDiscipline,
+                                Some(pc as usize),
+                                DiagnosticKind::DataStackOverflow { words: sp + 1 },
+                            ),
+                        );
+                        continue;
+                    }
+                    sp + 1
+                }
+                Instr::Pop(_) => {
+                    if sp == 0 {
+                        push_diag(
+                            diags,
+                            Diagnostic::error(
+                                Pass::StackDiscipline,
+                                Some(pc as usize),
+                                DiagnosticKind::DataStackUnderflow,
+                            ),
+                        );
+                        continue;
+                    }
+                    sp - 1
+                }
+                _ => sp,
+            };
+            match instr.flow() {
+                Flow::Fall => work.push((pc + 1, calls, sp)),
+                Flow::Jump(off) => work.push((rel_target(pc, off), calls, sp)),
+                Flow::Branch(off) => {
+                    work.push((pc + 1, calls.clone(), sp));
+                    work.push((rel_target(pc, off), calls, sp));
+                }
+                Flow::Call(target) => {
+                    if calls.len() >= self.limits.max_call_depth {
+                        push_diag(
+                            diags,
+                            Diagnostic::error(
+                                Pass::StackDiscipline,
+                                Some(pc as usize),
+                                DiagnosticKind::CallDepthExceeded { depth: calls.len() },
+                            ),
+                        );
+                    } else {
+                        let mut calls = calls;
+                        calls.push(pc + 1);
+                        work.push((target, calls, sp));
+                    }
+                }
+                Flow::Ret => {
+                    let mut calls = calls;
+                    match calls.pop() {
+                        Some(ret) => work.push((ret, calls, sp)),
+                        None => push_diag(
+                            diags,
+                            Diagnostic::error(
+                                Pass::StackDiscipline,
+                                Some(pc as usize),
+                                DiagnosticKind::ReturnWithoutCall,
+                            ),
+                        ),
+                    }
+                }
+                Flow::Exit => {}
+            }
+        }
+        Self::finish_pass(Pass::StackDiscipline, before, diags, snap, counter, passes);
+    }
+
+    /// Pass 4: constant propagation over the registers (must-facts only:
+    /// joining disagreeing paths yields Unknown). A load/store whose address
+    /// register is a known constant that escapes the granted data segment is
+    /// rejected here instead of faulting at run time; unknown addresses stay
+    /// the segmentation hardware's job.
+    fn pass_segment_discipline(
+        &self,
+        program: &Program,
+        entries: &[u32],
+        diags: &mut Vec<Diagnostic>,
+        passes: &mut Vec<PassReport>,
+        counter: &mut CycleCounter,
+    ) {
+        let snap = counter.total();
+        let before = diags.len();
+        let data_bytes = u64::from(self.limits.data_bytes);
+        let text = program.instrs();
+        // Register facts per (pc, concrete call stack); arguments arrive in
+        // registers, so entry states know nothing. Propagation runs to a
+        // fixpoint FIRST and addresses are checked against the final facts —
+        // checking mid-propagation would report transient constants that a
+        // later join demotes to Unknown.
+        let mut facts: HashMap<(u32, Vec<u32>), [AbsVal; 8]> = HashMap::new();
+        let mut work: Vec<(u32, Vec<u32>)> = Vec::new();
+        for &e in entries {
+            facts.insert((e, Vec::new()), [AbsVal::Unknown; 8]);
+            work.push((e, Vec::new()));
+        }
+        let mut states = 0usize;
+        let mut budget_blown = false;
+        while let Some(key) = work.pop() {
+            states += 1;
+            if states > self.limits.state_budget {
+                diags.push(Diagnostic::error(
+                    Pass::SegmentDiscipline,
+                    None,
+                    DiagnosticKind::AnalysisBudgetExceeded { states },
+                ));
+                budget_blown = true;
+                break;
+            }
+            self.charge_visit(counter);
+            let Some(&regs) = facts.get(&key) else { continue };
+            let (pc, ref calls) = key;
+            let instr = text[pc as usize];
+            let mut out = regs;
+            match instr {
+                Instr::MovImm(d, i) => out[d as usize] = AbsVal::Const(i),
+                Instr::MovReg(d, s) => out[d as usize] = out[s as usize],
+                Instr::Add(d, s) => {
+                    out[d as usize] = match (out[d as usize], out[s as usize]) {
+                        (AbsVal::Const(a), AbsVal::Const(b)) => AbsVal::Const(a.wrapping_add(b)),
+                        _ => AbsVal::Unknown,
+                    }
+                }
+                Instr::Sub(d, s) => {
+                    out[d as usize] = match (out[d as usize], out[s as usize]) {
+                        (AbsVal::Const(a), AbsVal::Const(b)) => AbsVal::Const(a.wrapping_sub(b)),
+                        _ => AbsVal::Unknown,
+                    }
+                }
+                Instr::Xor(d, s) => {
+                    out[d as usize] = match (out[d as usize], out[s as usize]) {
+                        (AbsVal::Const(a), AbsVal::Const(b)) => AbsVal::Const(a ^ b),
+                        _ => AbsVal::Unknown,
+                    }
+                }
+                Instr::Load(d, _) => out[d as usize] = AbsVal::Unknown,
+                Instr::Pop(r) => out[r as usize] = AbsVal::Unknown,
+                _ => {}
+            }
+            let propagate = |facts: &mut HashMap<(u32, Vec<u32>), [AbsVal; 8]>,
+                             work: &mut Vec<(u32, Vec<u32>)>,
+                             key: (u32, Vec<u32>),
+                             regs: [AbsVal; 8]| {
+                match facts.get_mut(&key) {
+                    None => {
+                        facts.insert(key.clone(), regs);
+                        work.push(key);
+                    }
+                    Some(stored) => {
+                        let mut changed = false;
+                        for (s, n) in stored.iter_mut().zip(regs) {
+                            let joined = s.join(n);
+                            if joined != *s {
+                                *s = joined;
+                                changed = true;
+                            }
+                        }
+                        if changed {
+                            work.push(key);
+                        }
+                    }
+                }
+            };
+            match instr.flow() {
+                Flow::Fall => propagate(&mut facts, &mut work, (pc + 1, calls.clone()), out),
+                Flow::Jump(off) => {
+                    propagate(&mut facts, &mut work, (rel_target(pc, off), calls.clone()), out);
+                }
+                Flow::Branch(off) => {
+                    // A branch on a known register takes exactly one edge.
+                    let cond = match instr {
+                        Instr::Jz(r, _) => out[r as usize],
+                        _ => AbsVal::Unknown,
+                    };
+                    if cond != AbsVal::Const(0) {
+                        propagate(&mut facts, &mut work, (pc + 1, calls.clone()), out);
+                    }
+                    if !matches!(cond, AbsVal::Const(v) if v != 0) {
+                        propagate(&mut facts, &mut work, (rel_target(pc, off), calls.clone()), out);
+                    }
+                }
+                Flow::Call(target) => {
+                    if calls.len() < self.limits.max_call_depth {
+                        let mut calls = calls.clone();
+                        calls.push(pc + 1);
+                        propagate(&mut facts, &mut work, (target, calls), out);
+                    }
+                    // Depth overrun already reported by the stack pass.
+                }
+                Flow::Ret => {
+                    let mut calls = calls.clone();
+                    if let Some(ret) = calls.pop() {
+                        propagate(&mut facts, &mut work, (ret, calls), out);
+                    }
+                    // Unbalanced return already reported by the stack pass.
+                }
+                Flow::Exit => {}
+            }
+        }
+        if !budget_blown {
+            // Check every memory access against the fixpoint facts, in
+            // deterministic (pc, call-stack) order.
+            let mut keys: Vec<&(u32, Vec<u32>)> = facts.keys().collect();
+            keys.sort();
+            for key in keys {
+                counter.charge(Primitive::Alu, &self.model);
+                let (addr_reg, store) = match text[key.0 as usize] {
+                    Instr::Load(_, a) => (a, false),
+                    Instr::Store(a, _) => (a, true),
+                    _ => continue,
+                };
+                if let AbsVal::Const(addr) = facts[key][addr_reg as usize] {
+                    if u64::from(addr) + 4 > data_bytes {
+                        let kind = if store {
+                            DiagnosticKind::OutOfSegmentStore { addr }
+                        } else {
+                            DiagnosticKind::OutOfSegmentLoad { addr }
+                        };
+                        let d =
+                            Diagnostic::error(Pass::SegmentDiscipline, Some(key.0 as usize), kind);
+                        if !diags[before..].contains(&d) {
+                            diags.push(d);
+                        }
+                    }
+                }
+            }
+        }
+        Self::finish_pass(Pass::SegmentDiscipline, before, diags, snap, counter, passes);
+    }
+
+    /// Pass 5: warn about instructions no entry point can reach. Dead code
+    /// cannot execute, so this never rejects — but a component shipping text
+    /// it can never run is worth flagging to its author.
+    fn pass_reachability(
+        &self,
+        program: &Program,
+        entries: &[u32],
+        diags: &mut Vec<Diagnostic>,
+        passes: &mut Vec<PassReport>,
+        counter: &mut CycleCounter,
+    ) {
+        let snap = counter.total();
+        let before = diags.len();
+        let mut reached = vec![false; program.len()];
+        let mut work: Vec<u32> = entries.to_vec();
+        while let Some(pc) = work.pop() {
+            let slot = &mut reached[pc as usize];
+            if *slot {
+                continue;
+            }
+            *slot = true;
+            counter.charge(Primitive::Load, &self.model);
+            for succ in program.successors(pc) {
+                counter.charge(Primitive::Alu, &self.model);
+                work.push(succ);
+            }
+            // A call's return point is reachable once the callee returns.
+            if let Flow::Call(_) = program.instrs()[pc as usize].flow() {
+                work.push(pc + 1);
+            }
+        }
+        for (pc, seen) in reached.iter().enumerate() {
+            if !seen {
+                diags.push(Diagnostic::warning(
+                    Pass::Reachability,
+                    Some(pc),
+                    DiagnosticKind::UnreachableCode,
+                ));
+            }
+        }
+        Self::finish_pass(Pass::Reachability, before, diags, snap, counter, passes);
     }
 }
 
@@ -140,6 +981,10 @@ mod tests {
         SisrVerifier::new(CostModel::pentium())
     }
 
+    fn kinds(report: &VerifyReport) -> Vec<&DiagnosticKind> {
+        report.diagnostics.iter().map(|d| &d.kind).collect()
+    }
+
     #[test]
     fn accepts_clean_program() {
         let p = Program::new(vec![
@@ -150,7 +995,9 @@ mod tests {
         ]);
         let img = verifier().verify_program(&p).unwrap();
         assert_eq!(img.program(), &p);
+        assert_eq!(img.entry_points(), &[0]);
         assert!(img.scan_cycles() > 0);
+        assert_eq!(img.report().passes.len(), Pass::ALL.len(), "every pass ran");
     }
 
     #[test]
@@ -166,37 +1013,346 @@ mod tests {
         ];
         for bad in privileged {
             let p = Program::new(vec![Instr::Nop, bad, Instr::Halt]);
-            let err = verifier().verify_program(&p).unwrap_err();
+            let report = verifier().verify_program(&p).unwrap_err();
+            let d = report.errors().next().expect("one error");
+            assert_eq!(d.pass, Pass::Decode);
+            assert_eq!(d.index, Some(1));
             assert_eq!(
-                err,
-                SisrError::PrivilegedInstruction { index: 1, instr: bad },
+                d.kind,
+                DiagnosticKind::PrivilegedInstruction { instr: bad },
                 "{bad:?} must be rejected"
             );
         }
     }
 
     #[test]
+    fn collects_every_privileged_instruction_not_just_the_first() {
+        let p = Program::new(vec![Instr::Cli, Instr::Nop, Instr::Sti, Instr::Halt]);
+        let report = verifier().verify_program(&p).unwrap_err();
+        assert_eq!(report.error_count(), 2);
+        let indices: Vec<_> = report.errors().map(|d| d.index).collect();
+        assert_eq!(indices, vec![Some(0), Some(2)]);
+    }
+
+    #[test]
     fn rejects_misaligned_and_undecodable_text() {
-        assert_eq!(verifier().verify(&[0u8; 9]), Err(SisrError::MisalignedText { len: 9 }));
+        let report = verifier().verify(&[0u8; 9]).unwrap_err();
+        assert_eq!(kinds(&report), vec![&DiagnosticKind::MisalignedText { len: 9 }]);
+
         let mut bytes = Program::new(vec![Instr::Nop]).to_bytes();
         bytes.extend_from_slice(&[0xff, 0, 0, 0, 0, 0, 0, 0]);
-        assert_eq!(verifier().verify(&bytes), Err(SisrError::UndecodableWord { index: 1 }));
+        let report = verifier().verify(&bytes).unwrap_err();
+        let d = &report.diagnostics[0];
+        assert_eq!(
+            (d.pass, d.index, &d.kind),
+            (Pass::Decode, Some(1), &DiagnosticKind::UndecodableWord)
+        );
+    }
+
+    #[test]
+    fn privileged_opcode_at_first_and_last_index_is_caught() {
+        for text in [vec![Instr::Iret, Instr::Halt], vec![Instr::Nop, Instr::Halt, Instr::Iret]] {
+            let report = verifier().verify_program(&Program::new(text.clone())).unwrap_err();
+            let idx = text.iter().position(|i| i.is_privileged()).unwrap();
+            let d = report.errors().next().unwrap();
+            assert_eq!(d.index, Some(idx));
+            assert_eq!(d.pass, Pass::Decode);
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_jump_target() {
+        // The program's only flaw: the branch escapes the text.
+        let p = Program::new(vec![Instr::Nop, Instr::Jmp(100), Instr::Halt]);
+        let report = verifier().verify_program(&p).unwrap_err();
+        assert_eq!(report.error_count(), 1);
+        let d = report.errors().next().unwrap();
+        assert_eq!(d.pass, Pass::ControlFlow);
+        assert_eq!(d.index, Some(1));
+        assert_eq!(d.kind, DiagnosticKind::JumpOutOfBounds { target: 101 });
+    }
+
+    #[test]
+    fn rejects_backward_wrapping_jump() {
+        let p = Program::new(vec![Instr::Jmp(-1), Instr::Halt]);
+        let report = verifier().verify_program(&p).unwrap_err();
+        assert_eq!(kinds(&report), vec![&DiagnosticKind::JumpOutOfBounds { target: u32::MAX }]);
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_call_and_conditional_branch() {
+        let p = Program::new(vec![Instr::Call(40), Instr::Jz(0, 40), Instr::Halt]);
+        let report = verifier().verify_program(&p).unwrap_err();
+        assert_eq!(report.error_count(), 2, "both bad edges reported: {report}");
+        assert!(kinds(&report).contains(&&DiagnosticKind::CallOutOfBounds { target: 40 }));
+        assert!(kinds(&report).contains(&&DiagnosticKind::JumpOutOfBounds { target: 41 }));
+    }
+
+    #[test]
+    fn rejects_fallthrough_off_end_of_text() {
+        let p = Program::new(vec![Instr::Nop, Instr::MovImm(0, 1)]);
+        let report = verifier().verify_program(&p).unwrap_err();
+        let d = report.errors().next().unwrap();
+        assert_eq!(d.pass, Pass::ControlFlow);
+        assert_eq!(d.index, Some(1));
+        assert_eq!(d.kind, DiagnosticKind::FallthroughOffEnd);
+    }
+
+    #[test]
+    fn rejects_unbalanced_return() {
+        // The program's only flaw: Ret with an empty call stack.
+        let p = Program::new(vec![Instr::Nop, Instr::Ret, Instr::Halt]);
+        let report = verifier().verify_program(&p).unwrap_err();
+        assert_eq!(report.error_count(), 1);
+        let d = report.errors().next().unwrap();
+        assert_eq!(d.pass, Pass::StackDiscipline);
+        assert_eq!(d.index, Some(1));
+        assert_eq!(d.kind, DiagnosticKind::ReturnWithoutCall);
+        // The warning-only reachability pass still saw index 2 as dead... no:
+        // 2 is unreachable only if Ret stops the path; the CFG treats Ret as
+        // having no static successor, so index 2 is dead code.
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.kind == DiagnosticKind::UnreachableCode && d.index == Some(2)));
+    }
+
+    #[test]
+    fn accepts_balanced_call_and_return() {
+        let p = Program::new(vec![
+            Instr::Call(2), // 0
+            Instr::Halt,    // 1
+            Instr::MovImm(0, 7),
+            Instr::Ret, // 3 -> returns to 1
+        ]);
+        let img = verifier().verify_program(&p).unwrap();
+        assert_eq!(img.report().error_count(), 0);
+        assert_eq!(img.report().warning_count(), 0, "everything reachable");
+    }
+
+    #[test]
+    fn rejects_unbounded_recursion() {
+        // f calls itself forever: exceeds any finite verified call depth.
+        let p = Program::new(vec![Instr::Call(0), Instr::Halt]);
+        let report = verifier().verify_program(&p).unwrap_err();
+        assert!(
+            kinds(&report).iter().any(|k| matches!(k, DiagnosticKind::CallDepthExceeded { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn rejects_pop_of_empty_stack_and_statically_deep_push() {
+        let p = Program::new(vec![Instr::Pop(0), Instr::Halt]);
+        let report = verifier().verify_program(&p).unwrap_err();
+        assert!(kinds(&report).contains(&&DiagnosticKind::DataStackUnderflow));
+
+        // Push in an infinite loop blows past the 4 KiB stack segment.
+        let p = Program::new(vec![Instr::Push(0), Instr::Jmp(-1), Instr::Halt]);
+        let report = verifier().verify_program(&p).unwrap_err();
+        assert!(
+            kinds(&report).iter().any(|k| matches!(k, DiagnosticKind::DataStackOverflow { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn balanced_push_pop_loop_verifies() {
+        let p = Program::new(vec![
+            Instr::Push(0),   // 0
+            Instr::Pop(1),    // 1
+            Instr::Jz(1, -2), // 2: loop while r1 == 0
+            Instr::Halt,      // 3
+        ]);
+        assert!(verifier().verify_program(&p).is_ok());
+    }
+
+    #[test]
+    fn rejects_statically_out_of_segment_store() {
+        // MovImm 100_000 then Store: address is a must-fact, 100_000 + 4
+        // escapes the default 4 KiB data grant.
+        let p = Program::new(vec![Instr::MovImm(0, 100_000), Instr::Store(0, 1), Instr::Halt]);
+        let report = verifier().verify_program(&p).unwrap_err();
+        assert_eq!(report.error_count(), 1);
+        let d = report.errors().next().unwrap();
+        assert_eq!(d.pass, Pass::SegmentDiscipline);
+        assert_eq!(d.index, Some(1));
+        assert_eq!(d.kind, DiagnosticKind::OutOfSegmentStore { addr: 100_000 });
+    }
+
+    #[test]
+    fn rejects_statically_out_of_segment_load_through_arithmetic() {
+        // The address is computed: 4000 + 4000 = 8000, still a must-fact.
+        let p = Program::new(vec![
+            Instr::MovImm(0, 4000),
+            Instr::MovReg(1, 0),
+            Instr::Add(0, 1),
+            Instr::Load(2, 0),
+            Instr::Halt,
+        ]);
+        let report = verifier().verify_program(&p).unwrap_err();
+        assert_eq!(kinds(&report), vec![&DiagnosticKind::OutOfSegmentLoad { addr: 8000 }]);
+    }
+
+    #[test]
+    fn unknown_addresses_are_left_to_the_hardware() {
+        // The address arrives in a register (an argument): statically
+        // unknown, so the verifier must accept and let segmentation guard it.
+        let p = Program::new(vec![Instr::Store(0, 1), Instr::Halt]);
+        assert!(verifier().verify_program(&p).is_ok());
+    }
+
+    #[test]
+    fn disagreeing_paths_join_to_unknown() {
+        // r0 is 0 on one path and 100_000 on the other; after the join it is
+        // not a must-fact, so the store is accepted (hardware guards it).
+        let p = Program::new(vec![
+            Instr::Jz(1, 3),           // 0: if r1 == 0 jump to 3
+            Instr::MovImm(0, 0),       // 1
+            Instr::Jmp(2),             // 2 -> 4
+            Instr::MovImm(0, 100_000), // 3
+            Instr::Store(0, 2),        // 4: joined r0 is Unknown
+            Instr::Halt,               // 5
+        ]);
+        assert!(verifier().verify_program(&p).is_ok());
+    }
+
+    #[test]
+    fn constant_branch_prunes_the_dead_edge() {
+        // r0 = 1, so Jz never jumps: the out-of-segment store behind the
+        // taken edge is unreachable in any execution — but the *CFG* pass
+        // still requires the edge to stay in text, and the segment pass
+        // (which follows only feasible edges) accepts.
+        let p = Program::new(vec![
+            Instr::MovImm(0, 1),       // 0
+            Instr::Jz(0, 2),           // 1: never taken
+            Instr::Jmp(2),             // 2 -> 4
+            Instr::MovImm(1, 100_000), // 3: feasibly dead
+            Instr::Store(1, 0),        // 4: r1 unknown on the live path? no —
+            Instr::Halt,               //    r1 never written on it: Unknown.
+        ]);
+        assert!(verifier().verify_program(&p).is_ok());
+    }
+
+    #[test]
+    fn multiple_flaws_collect_into_one_report() {
+        // An out-of-bounds jump AND a fallthrough off the end: both named.
+        let p = Program::new(vec![Instr::Jz(0, 100), Instr::MovImm(0, 1)]);
+        let report = verifier().verify_program(&p).unwrap_err();
+        assert_eq!(report.error_count(), 2, "{report}");
+        assert!(kinds(&report).contains(&&DiagnosticKind::JumpOutOfBounds { target: 100 }));
+        assert!(kinds(&report).contains(&&DiagnosticKind::FallthroughOffEnd));
+        // And the report names the pass both came from.
+        assert!(report.errors().all(|d| d.pass == Pass::ControlFlow));
+    }
+
+    #[test]
+    fn dead_code_is_a_warning_not_an_error() {
+        let p = Program::new(vec![
+            Instr::Jmp(2),       // 0 -> 2
+            Instr::MovImm(0, 9), // 1: dead
+            Instr::Halt,         // 2
+        ]);
+        let img = verifier().verify_program(&p).unwrap();
+        assert_eq!(img.report().warning_count(), 1);
+        let w = &img.report().diagnostics[0];
+        assert_eq!((w.pass, w.severity), (Pass::Reachability, Severity::Warning));
+        assert_eq!((w.index, &w.kind), (Some(1), &DiagnosticKind::UnreachableCode));
+    }
+
+    #[test]
+    fn extra_entry_points_make_more_code_reachable() {
+        let p = Program::new(vec![
+            Instr::Halt,         // 0: entry a
+            Instr::MovImm(0, 1), // 1: entry b
+            Instr::Halt,         // 2
+        ]);
+        let img = verifier().verify_program_with_entries(&p, &[0, 1]).unwrap();
+        assert_eq!(img.report().warning_count(), 0);
+        assert_eq!(img.entry_points(), &[0, 1]);
+        // With only entry 0, indices 1-2 are dead.
+        let img = verifier().verify_program(&p).unwrap();
+        assert_eq!(img.report().warning_count(), 2);
+    }
+
+    #[test]
+    fn bad_entry_point_is_rejected() {
+        let p = Program::new(vec![Instr::Halt]);
+        let report = verifier().verify_program_with_entries(&p, &[3]).unwrap_err();
+        assert_eq!(kinds(&report), vec![&DiagnosticKind::BadEntryPoint { entry: 3 }]);
+    }
+
+    #[test]
+    fn each_pass_reports_its_cycle_bill() {
+        let p = Program::new(vec![Instr::MovImm(0, 1), Instr::Halt]);
+        let img = verifier().verify_program(&p).unwrap();
+        let report = img.report();
+        let per_pass: Cycles = report.passes.iter().map(|p| p.cycles).sum();
+        assert_eq!(per_pass, report.cycles, "pass bills sum to the total");
+        for pass in Pass::ALL {
+            assert!(report.pass(pass).is_some(), "{pass} ran");
+        }
+        assert!(report.pass(Pass::Decode).unwrap().cycles > 0);
+    }
+
+    #[test]
+    fn later_passes_are_gated_on_earlier_proofs() {
+        // Decode fails => only the decode pass ran.
+        let report =
+            verifier().verify_program(&Program::new(vec![Instr::Cli, Instr::Halt])).unwrap_err();
+        assert_eq!(report.passes.len(), 1);
+        // CFG fails => dataflow passes don't chase invalid edges.
+        let report = verifier()
+            .verify_program(&Program::new(vec![Instr::Jmp(100), Instr::Halt]))
+            .unwrap_err();
+        assert_eq!(report.passes.len(), 2);
     }
 
     #[test]
     fn scan_cost_is_linear_in_text_length() {
-        let short = Program::new(vec![Instr::Nop; 10]);
-        let long = Program::new(vec![Instr::Nop; 1000]);
+        // Each pass does work proportional to text size (plus a constant),
+        // so cycle deltas between sizes scale exactly with the size deltas.
         let v = verifier();
-        let c_short = v.verify_program(&short).unwrap().scan_cycles();
-        let c_long = v.verify_program(&long).unwrap().scan_cycles();
-        assert_eq!(c_long, c_short * 100);
+        let cost = |n: usize| {
+            let mut text = vec![Instr::Nop; n - 1];
+            text.push(Instr::Halt);
+            v.verify_program(&Program::new(text)).unwrap().scan_cycles()
+        };
+        let (c10, c100, c1000) = (cost(10), cost(100), cost(1000));
+        assert!(c10 < c100 && c100 < c1000);
+        assert_eq!(c1000 - c100, 10 * (c100 - c10), "affine in program size");
     }
 
     #[test]
     fn empty_image_is_valid() {
         let img = verifier().verify(&[]).unwrap();
         assert!(img.program().is_empty());
+        assert!(img.entry_points().is_empty());
         assert_eq!(img.scan_cycles(), 0);
+    }
+
+    #[test]
+    fn analysis_budget_rejects_tangled_programs() {
+        // A tiny budget makes even a clean program unverifiable — and
+        // unverifiable means rejected, conservatively.
+        let limits = Limits { state_budget: 2, ..Limits::default() };
+        let v = SisrVerifier::with_limits(CostModel::pentium(), limits);
+        let p = Program::new(vec![Instr::Nop, Instr::Nop, Instr::Nop, Instr::Halt]);
+        let report = v.verify_program(&p).unwrap_err();
+        assert!(
+            kinds(&report)
+                .iter()
+                .any(|k| matches!(k, DiagnosticKind::AnalysisBudgetExceeded { .. })),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn report_display_names_pass_and_index() {
+        let p = Program::new(vec![Instr::Jmp(100), Instr::Halt]);
+        let report = verifier().verify_program(&p).unwrap_err();
+        let text = report.to_string();
+        assert!(text.contains("[control-flow] error at 0"), "{text}");
+        assert!(text.contains("jump target 100"), "{text}");
     }
 }

@@ -184,11 +184,7 @@ mod tests {
     #[test]
     fn memory_improvement_is_about_two_orders_of_magnitude() {
         let cmp = memory_comparison(64, 4);
-        assert!(
-            cmp.improvement >= 50.0,
-            "paged/go = {:.1}, expected ~100x",
-            cmp.improvement
-        );
+        assert!(cmp.improvement >= 50.0, "paged/go = {:.1}, expected ~100x", cmp.improvement);
         assert!(cmp.improvement <= 500.0, "paged/go = {:.1} suspiciously large", cmp.improvement);
     }
 

@@ -399,8 +399,8 @@ mod tests {
     fn load_store_roundtrip_through_segment() {
         let (mut cpu, segs) = setup();
         let p = Program::new(vec![
-            Instr::MovImm(0, 16),  // address
-            Instr::MovImm(1, 99),  // value
+            Instr::MovImm(0, 16), // address
+            Instr::MovImm(1, 99), // value
             Instr::Store(0, 1),
             Instr::MovImm(2, 0),
             Instr::Load(2, 0),

@@ -83,6 +83,37 @@ pub enum Instr {
     Iret,
 }
 
+/// Control-flow classification of an instruction — what a load-time
+/// verifier's CFG builder needs to know about where execution can go next.
+///
+/// The classification mirrors the CPU's `step` exactly: relative offsets are
+/// in instruction units and wrap (like the hardware's 32-bit PC adder), calls
+/// are absolute within the code segment, and `Trap`/`Halt` end the current
+/// activation (a trap suspends to the kernel; whether it is ever resumed is
+/// the kernel's business, not the verified component's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Falls through to `pc + 1`.
+    Fall,
+    /// Unconditional PC-relative jump by the offset.
+    Jump(i32),
+    /// Conditional PC-relative jump: either falls through or jumps.
+    Branch(i32),
+    /// Absolute call; the callee eventually returns to `pc + 1`.
+    Call(u32),
+    /// Pops the call stack.
+    Ret,
+    /// Ends the activation (`Halt`, `Trap`).
+    Exit,
+}
+
+/// A PC-relative branch target, computed exactly as the CPU computes it: a
+/// wrapping 32-bit add in instruction units.
+#[must_use]
+pub fn rel_target(pc: u32, off: i32) -> u32 {
+    pc.wrapping_add(off as u32)
+}
+
 impl Instr {
     /// Whether this instruction is privileged, i.e. may only execute in
     /// kernel mode on a trap-based kernel, and must be absent from any
@@ -99,6 +130,23 @@ impl Instr {
                 | Instr::IoOut(_, _)
                 | Instr::Iret
         )
+    }
+
+    /// The control-flow class of this instruction (see [`Flow`]).
+    ///
+    /// Privileged instructions never reach a verifier's CFG builder (the
+    /// decode pass rejects them first); classifying them as [`Flow::Fall`]
+    /// keeps this function total.
+    #[must_use]
+    pub fn flow(self) -> Flow {
+        match self {
+            Instr::Jmp(off) => Flow::Jump(off),
+            Instr::Jz(_, off) => Flow::Branch(off),
+            Instr::Call(t) => Flow::Call(t),
+            Instr::Ret => Flow::Ret,
+            Instr::Halt | Instr::Trap(_) => Flow::Exit,
+            _ => Flow::Fall,
+        }
     }
 
     /// Encode the instruction into its fixed 8-byte binary form:
@@ -241,6 +289,26 @@ impl Program {
     pub fn contains_privileged(&self) -> bool {
         self.text.iter().any(|i| i.is_privileged())
     }
+
+    /// The statically-known successor PCs of the instruction at `pc`, in the
+    /// order the CPU would prefer them (fall-through first). Targets are
+    /// *not* bounds-checked — a verifier wants the raw values so it can
+    /// report exactly which edge escapes the text. `Ret` has no static
+    /// successors (its target lives on the call stack), and an out-of-range
+    /// `pc` has none.
+    #[must_use]
+    pub fn successors(&self, pc: u32) -> Vec<u32> {
+        let Some(&instr) = self.text.get(pc as usize) else {
+            return Vec::new();
+        };
+        match instr.flow() {
+            Flow::Fall => vec![pc.wrapping_add(1)],
+            Flow::Jump(off) => vec![rel_target(pc, off)],
+            Flow::Branch(off) => vec![pc.wrapping_add(1), rel_target(pc, off)],
+            Flow::Call(t) => vec![t],
+            Flow::Ret | Flow::Exit => Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -325,5 +393,44 @@ mod tests {
         assert!(!Program::new(text.clone()).contains_privileged());
         text.push(Instr::Cli);
         assert!(Program::new(text).contains_privileged());
+    }
+
+    #[test]
+    fn flow_classification_matches_cpu_semantics() {
+        assert_eq!(Instr::Nop.flow(), Flow::Fall);
+        assert_eq!(Instr::Load(0, 1).flow(), Flow::Fall);
+        assert_eq!(Instr::Jmp(-3).flow(), Flow::Jump(-3));
+        assert_eq!(Instr::Jz(2, 5).flow(), Flow::Branch(5));
+        assert_eq!(Instr::Call(9).flow(), Flow::Call(9));
+        assert_eq!(Instr::Ret.flow(), Flow::Ret);
+        assert_eq!(Instr::Halt.flow(), Flow::Exit);
+        assert_eq!(Instr::Trap(0x30).flow(), Flow::Exit);
+    }
+
+    #[test]
+    fn rel_target_wraps_like_the_pc_adder() {
+        assert_eq!(rel_target(10, -3), 7);
+        assert_eq!(rel_target(0, -1), u32::MAX, "backward wrap matches add_signed");
+        assert_eq!(rel_target(u32::MAX, 1), 0);
+    }
+
+    #[test]
+    fn successors_enumerate_cfg_edges() {
+        let p = Program::new(vec![
+            Instr::Nop,      // 0 -> 1
+            Instr::Jz(0, 2), // 1 -> 2, 3
+            Instr::Jmp(-2),  // 2 -> 0
+            Instr::Call(6),  // 3 -> 6 (returns to 4)
+            Instr::Halt,     // 4 -> (exit)
+            Instr::Nop,      // 5 -> 6
+            Instr::Ret,      // 6 -> (call stack)
+        ]);
+        assert_eq!(p.successors(0), vec![1]);
+        assert_eq!(p.successors(1), vec![2, 3]);
+        assert_eq!(p.successors(2), vec![0]);
+        assert_eq!(p.successors(3), vec![6]);
+        assert_eq!(p.successors(4), Vec::<u32>::new());
+        assert_eq!(p.successors(6), Vec::<u32>::new());
+        assert_eq!(p.successors(99), Vec::<u32>::new(), "out-of-range pc has no edges");
     }
 }

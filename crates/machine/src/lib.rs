@@ -37,7 +37,7 @@ pub mod trap;
 
 pub use cost::{CostModel, CycleCounter, Cycles};
 pub use cpu::{Cpu, CpuError, Mode};
-pub use isa::{Instr, Program};
+pub use isa::{Flow, Instr, Program};
 pub use paging::{AddressSpace, Tlb, PAGE_SIZE};
 pub use seg::{Segment, SegmentKind, SegmentTable, Selector};
 pub use trap::{TrapKind, TrapVector};

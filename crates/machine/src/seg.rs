@@ -144,10 +144,7 @@ impl SegmentTable {
     /// # Errors
     /// [`SegError::BadSelector`] if the slot is not live.
     pub fn remove(&mut self, sel: Selector) -> Result<Segment, SegError> {
-        let slot = self
-            .slots
-            .get_mut(usize::from(sel.0))
-            .ok_or(SegError::BadSelector(sel))?;
+        let slot = self.slots.get_mut(usize::from(sel.0)).ok_or(SegError::BadSelector(sel))?;
         slot.take().ok_or(SegError::BadSelector(sel))
     }
 
@@ -156,10 +153,7 @@ impl SegmentTable {
     /// # Errors
     /// [`SegError::BadSelector`] if the slot is not live.
     pub fn lookup(&self, sel: Selector) -> Result<Segment, SegError> {
-        self.slots
-            .get(usize::from(sel.0))
-            .and_then(|s| *s)
-            .ok_or(SegError::BadSelector(sel))
+        self.slots.get(usize::from(sel.0)).and_then(|s| *s).ok_or(SegError::BadSelector(sel))
     }
 
     /// Check and translate an access of `len` bytes at `offset` through
@@ -183,8 +177,7 @@ impl SegmentTable {
         if !kind_ok {
             return Err(SegError::KindViolation { selector: sel, kind: seg.kind });
         }
-        seg.translate(offset, len)
-            .ok_or(SegError::LimitViolation { selector: sel, offset })
+        seg.translate(offset, len).ok_or(SegError::LimitViolation { selector: sel, offset })
     }
 
     /// Number of live descriptors.
@@ -242,21 +235,13 @@ mod tests {
     #[test]
     fn access_enforces_kind() {
         let mut t = SegmentTable::new();
-        let code = t
-            .install(Segment { base: 0, limit: 64, kind: SegmentKind::Code })
-            .unwrap();
+        let code = t.install(Segment { base: 0, limit: 64, kind: SegmentKind::Code }).unwrap();
         let data = t.install(data_seg(64, 64)).unwrap();
         // Executing code: fine. Writing code: violation.
         assert!(t.access(code, 0, 8, false, true).is_ok());
-        assert!(matches!(
-            t.access(code, 0, 8, true, false),
-            Err(SegError::KindViolation { .. })
-        ));
+        assert!(matches!(t.access(code, 0, 8, true, false), Err(SegError::KindViolation { .. })));
         // Executing data: violation. Writing data: fine.
-        assert!(matches!(
-            t.access(data, 0, 8, false, true),
-            Err(SegError::KindViolation { .. })
-        ));
+        assert!(matches!(t.access(data, 0, 8, false, true), Err(SegError::KindViolation { .. })));
         assert!(t.access(data, 0, 8, true, false).is_ok());
     }
 

@@ -1,0 +1,240 @@
+//! A dependency-free benchmark harness exposing the subset of the
+//! `criterion` API this workspace uses.
+//!
+//! The repository must build and bench with **zero external dependencies**
+//! (no network at build time), so the `criterion` crate is replaced by this
+//! drop-in shim: `Criterion`, `benchmark_group`, `bench_function`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!`/`criterion_main!`
+//! macros. Bench sources only change their `use` line.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over adaptive
+//! batches until a wall-clock budget is spent; the median batch time is
+//! reported. That is deliberately simpler than criterion (no bootstrap, no
+//! outlier classification) but stable enough to compare the simulator's
+//! relative costs, which is all the paper's tables need.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group, mirroring criterion's type.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self { name: format!("{name}/{parameter}") }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { name: s }
+    }
+}
+
+/// Throughput annotation: lets a benchmark report bytes/s or elements/s.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// The timing loop handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+    measure_budget: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record its median per-iteration time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: grow the batch until it runs >= 1ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Measure: repeat batches until the budget is spent.
+        let mut samples: Vec<f64> = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < self.measure_budget || samples.len() < 5 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// A named collection of benchmarks, mirroring criterion's group object.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; the shim's sampling is adaptive
+    /// so the count is only used to scale the measurement budget.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.measure_budget = Duration::from_millis((n as u64 * 5).clamp(25, 500));
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark and print its result.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { ns_per_iter: 0.0, measure_budget: self.criterion.measure_budget };
+        f(&mut b);
+        let mut line = format!("{}/{:<32} {:>12.1} ns/iter", self.name, id, b.ns_per_iter);
+        if let Some(t) = self.throughput {
+            let per_sec = match t {
+                Throughput::Bytes(n) => {
+                    format!("{:>10.1} MiB/s", n as f64 / b.ns_per_iter * 1e9 / (1 << 20) as f64)
+                }
+                Throughput::Elements(n) => {
+                    format!("{:>10.0} elem/s", n as f64 / b.ns_per_iter * 1e9)
+                }
+            };
+            line.push_str("  ");
+            line.push_str(&per_sec);
+        }
+        println!("{line}");
+        self
+    }
+
+    /// End the group (prints a separator, mirroring criterion's API).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The top-level harness object, mirroring criterion's `Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    measure_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { measure_budget: Duration::from_millis(120) }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup { name, throughput: None, criterion: self }
+    }
+
+    /// Run a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { ns_per_iter: 0.0, measure_budget: Duration::from_millis(5) };
+        b.iter(|| std::hint::black_box(1u64.wrapping_mul(3)));
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(10);
+        let mut ran = false;
+        group.bench_function(BenchmarkId::new("f", 1), |b| {
+            ran = true;
+            b.iter(|| 2 + 2);
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("scan", 64).to_string(), "scan/64");
+        assert_eq!(BenchmarkId::from_parameter("go").to_string(), "go");
+    }
+}

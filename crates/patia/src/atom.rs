@@ -175,7 +175,8 @@ mod tests {
         video.add_rendition(3, "node3", 0.2, 150_000);
         let slow = SelectionConstraints { min_quality: 0.4, bandwidth: 10.0, ..Default::default() };
         assert_eq!(video.best_version(&slow).unwrap().id, 2, "videohalf");
-        let strict = SelectionConstraints { min_quality: 1.0, bandwidth: 10.0, ..Default::default() };
+        let strict =
+            SelectionConstraints { min_quality: 1.0, bandwidth: 10.0, ..Default::default() };
         assert_eq!(video.best_version(&strict).unwrap().id, 1, "full only");
         let any = SelectionConstraints { min_quality: 0.0, bandwidth: 10.0, ..Default::default() };
         assert_eq!(video.best_version(&any).unwrap().id, 3, "videosmall");

@@ -80,9 +80,7 @@ pub fn paper_table2() -> Vec<AtomConstraint> {
         AtomConstraint {
             id: 450,
             atom: AtomId(123),
-            logic: ConstraintLogic::SelectBest {
-                candidates: vec!["node1".into(), "node2".into()],
-            },
+            logic: ConstraintLogic::SelectBest { candidates: vec!["node1".into(), "node2".into()] },
         },
         AtomConstraint {
             id: 455,

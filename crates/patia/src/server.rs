@@ -46,7 +46,13 @@ impl ServerConfig {
         let names = ["node1", "node2", "node3", "wp1", "wp2"];
         for (i, a) in names.iter().enumerate() {
             for b in names.iter().skip(i + 1) {
-                net.add_link(Link::new(a, b, LinkKind::Wired, BandwidthProfile::Constant(10_000.0), 1));
+                net.add_link(Link::new(
+                    a,
+                    b,
+                    LinkKind::Wired,
+                    BandwidthProfile::Constant(10_000.0),
+                    1,
+                ));
             }
         }
         let mut atoms = AtomStore::new();
@@ -237,12 +243,7 @@ impl PatiaServer {
         // 1. Route arrivals to agents, selecting versions per constraint 595.
         for &atom in requests {
             if let Some(version) = self.select_version(atom, client_bandwidth_kbps) {
-                *stats
-                    .versions_served
-                    .entry(atom)
-                    .or_default()
-                    .entry(version)
-                    .or_default() += 1;
+                *stats.versions_served.entry(atom).or_default().entry(version).or_default() += 1;
             }
             // Route to the agent whose node has the least pending work per
             // unit of capacity (capacity-weighted join-shortest-queue) —
@@ -272,11 +273,8 @@ impl PatiaServer {
         // 2. Process: each node's capacity is shared among its agents.
         let node_names: Vec<String> = self.net.devices().map(|d| d.name.clone()).collect();
         for node in &node_names {
-            let capacity = self
-                .net
-                .device(node)
-                .map_or(0.0, |d| d.kind.nominal_capacity())
-                .max(0.0) as u64;
+            let capacity =
+                self.net.device(node).map_or(0.0, |d| d.kind.nominal_capacity()).max(0.0) as u64;
             let mut local: Vec<(AtomId, usize)> = self
                 .agents
                 .iter()
@@ -293,10 +291,7 @@ impl PatiaServer {
                 self.record_util(node, 0.0, now);
                 continue;
             }
-            let demand: u64 = local
-                .iter()
-                .map(|(id, i)| self.agents[id][*i].queued_work())
-                .sum();
+            let demand: u64 = local.iter().map(|(id, i)| self.agents[id][*i].queued_work()).sum();
             // Capacity is shared among the agents that actually have work;
             // an idle co-resident agent does not waste a share.
             let active: Vec<(AtomId, usize)> = local

@@ -277,11 +277,7 @@ mod tests {
         // Noisy wireless: EWMA + headroom must avoid flapping every tick.
         let profile = BandwidthProfile::Walk { lo: 30.0, hi: 200.0, seed: 5 };
         let s = run(&profile, true, 200);
-        assert!(
-            s.swaps().len() < 40,
-            "smoothing should bound swap churn, got {}",
-            s.swaps().len()
-        );
+        assert!(s.swaps().len() < 40, "smoothing should bound swap churn, got {}", s.swaps().len());
         assert!(s.position() == 200);
     }
 

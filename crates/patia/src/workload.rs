@@ -7,8 +7,7 @@
 //! seeded, so adaptive and non-adaptive runs see byte-identical workloads.
 
 use crate::atom::AtomId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use adm_rng::Pcg32;
 
 /// A flash-crowd spike.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,7 +32,7 @@ pub struct RequestGen {
     pub base_rate: f64,
     /// Optional flash crowd.
     pub crowd: Option<FlashCrowd>,
-    rng: StdRng,
+    rng: Pcg32,
 }
 
 impl RequestGen {
@@ -45,8 +44,7 @@ impl RequestGen {
     #[must_use]
     pub fn new(atoms: Vec<AtomId>, s: f64, base_rate: f64, seed: u64) -> Self {
         assert!(!atoms.is_empty(), "need at least one atom");
-        let weights: Vec<f64> =
-            (1..=atoms.len()).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let weights: Vec<f64> = (1..=atoms.len()).map(|k| 1.0 / (k as f64).powf(s)).collect();
         let total: f64 = weights.iter().sum();
         let mut cdf = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
@@ -54,7 +52,7 @@ impl RequestGen {
             acc += w / total;
             cdf.push(acc);
         }
-        Self { atoms, cdf, base_rate, crowd: None, rng: StdRng::seed_from_u64(seed) }
+        Self { atoms, cdf, base_rate, crowd: None, rng: Pcg32::new(seed) }
     }
 
     /// Attach a flash crowd (builder style).
@@ -73,15 +71,20 @@ impl RequestGen {
     /// flash crowd the extra arrivals all target the hot atom.
     pub fn tick(&mut self, tick: u64) -> Vec<AtomId> {
         let mut out = Vec::new();
-        let emit_rate = |rate: f64, rng: &mut StdRng, out: &mut Vec<AtomId>, fixed: Option<AtomId>, cdf: &[f64], atoms: &[AtomId]| {
+        let emit_rate = |rate: f64,
+                         rng: &mut Pcg32,
+                         out: &mut Vec<AtomId>,
+                         fixed: Option<AtomId>,
+                         cdf: &[f64],
+                         atoms: &[AtomId]| {
             let whole = rate.floor() as usize;
             let frac = rate - rate.floor();
-            let n = whole + usize::from(rng.gen::<f64>() < frac);
+            let n = whole + usize::from(rng.f64() < frac);
             for _ in 0..n {
                 match fixed {
                     Some(a) => out.push(a),
                     None => {
-                        let u: f64 = rng.gen();
+                        let u = rng.f64();
                         let idx = cdf.partition_point(|&c| c < u).min(atoms.len() - 1);
                         out.push(atoms[idx]);
                     }
@@ -91,7 +94,14 @@ impl RequestGen {
         emit_rate(self.base_rate, &mut self.rng, &mut out, None, &self.cdf, &self.atoms);
         if let Some(c) = self.in_crowd(tick) {
             let extra = self.base_rate * (c.multiplier - 1.0);
-            emit_rate(extra.max(0.0), &mut self.rng, &mut out, Some(c.target), &self.cdf, &self.atoms);
+            emit_rate(
+                extra.max(0.0),
+                &mut self.rng,
+                &mut out,
+                Some(c.target),
+                &self.cdf,
+                &self.atoms,
+            );
         }
         out
     }
@@ -141,10 +151,7 @@ mod tests {
         for t in 100..200 {
             spike += g.tick(t).len();
         }
-        assert!(
-            spike as f64 > steady as f64 * 5.0,
-            "spike {spike} should dwarf steady {steady}"
-        );
+        assert!(spike as f64 > steady as f64 * 5.0, "spike {spike} should dwarf steady {steady}");
     }
 
     #[test]

@@ -59,6 +59,7 @@ impl EddyPred {
 }
 
 /// The eddy operator.
+#[derive(Debug)]
 pub struct Eddy {
     source: Box<dyn Operator>,
     pool: Vec<EddyPred>,
@@ -83,12 +84,7 @@ impl Eddy {
     #[must_use]
     pub fn routing_order(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.pool.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.pool[b]
-                .rank()
-                .total_cmp(&self.pool[a].rank())
-                .then(a.cmp(&b))
-        });
+        idx.sort_by(|&a, &b| self.pool[b].rank().total_cmp(&self.pool[a].rank()).then(a.cmp(&b)));
         idx
     }
 
@@ -118,10 +114,7 @@ impl Operator for Eddy {
                 let next = (0..self.pool.len())
                     .filter(|&i| !done[i])
                     .max_by(|&a, &b| {
-                        self.pool[a]
-                            .rank()
-                            .total_cmp(&self.pool[b].rank())
-                            .then(b.cmp(&a))
+                        self.pool[a].rank().total_cmp(&self.pool[b].rank()).then(b.cmp(&a))
                     })
                     .expect("at least one predicate remains");
                 done[next] = true;
@@ -228,11 +221,7 @@ mod tests {
         assert_eq!(eddy.routing_order()[0], 0, "phase 1: pred A leads (it drops 90%)");
         let rest = drain(&mut eddy, 0);
         assert_eq!(rest.len(), 100, "phase 2 passes its 10%");
-        assert_eq!(
-            eddy.routing_order()[0],
-            1,
-            "after the drift, pred B must have taken the lead"
-        );
+        assert_eq!(eddy.routing_order()[0], 1, "after the drift, pred B must have taken the lead");
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub struct OnlineEstimate {
 }
 
 /// The block ripple join.
+#[derive(Debug)]
 pub struct RippleJoin {
     left: Box<dyn Operator>,
     right: Box<dyn Operator>,
@@ -113,7 +114,11 @@ impl RippleJoin {
     /// done its total is unknown; the estimator then uses the seen count as
     /// a lower bound, making the estimate conservative.
     #[must_use]
-    pub fn estimate(&self, left_total_hint: Option<usize>, right_total_hint: Option<usize>) -> OnlineEstimate {
+    pub fn estimate(
+        &self,
+        left_total_hint: Option<usize>,
+        right_total_hint: Option<usize>,
+    ) -> OnlineEstimate {
         let l_seen = self.left_rows.len().max(1);
         let r_seen = self.right_rows.len().max(1);
         let l_total = if self.left_done {
@@ -128,8 +133,7 @@ impl RippleJoin {
             right_total_hint.unwrap_or(self.right_rows.len())
         }
         .max(1);
-        let explored =
-            (l_seen as f64 * r_seen as f64) / (l_total as f64 * r_total as f64);
+        let explored = (l_seen as f64 * r_seen as f64) / (l_total as f64 * r_total as f64);
         let explored = explored.min(1.0);
         OnlineEstimate {
             estimate: if explored > 0.0 { self.running / explored } else { 0.0 },
@@ -220,12 +224,11 @@ impl Operator for RippleJoin {
                 self.expand_left
             };
             self.expand_left = !prefer_left;
-            let progressed =
-                self.expand(prefer_left) || {
-                    let other = !prefer_left;
-                    let other_done = if other { self.left_done } else { self.right_done };
-                    !other_done && self.expand(other)
-                };
+            let progressed = self.expand(prefer_left) || {
+                let other = !prefer_left;
+                let other_done = if other { self.left_done } else { self.right_done };
+                !other_done && self.expand(other)
+            };
             if !progressed && self.pending.is_empty() {
                 return Poll::Pending;
             }
@@ -291,8 +294,8 @@ mod tests {
         let truth = oracle(&l, &r).len() as f64;
         let w = WorkCounter::new();
         let mut rj = RippleJoin::new(
-            Box::new(TableScan::new(l.clone(), w.clone())),
-            Box::new(TableScan::new(r.clone(), w.clone())),
+            Box::new(TableScan::new(l, w.clone())),
+            Box::new(TableScan::new(r, w.clone())),
             vec![0],
             vec![0],
             4,
@@ -332,8 +335,8 @@ mod tests {
         let w = WorkCounter::new();
         // SUM over the left `v` column (index 1 of the join output).
         let mut rj = RippleJoin::new(
-            Box::new(TableScan::new(l.clone(), w.clone())),
-            Box::new(TableScan::new(r.clone(), w.clone())),
+            Box::new(TableScan::new(l, w.clone())),
+            Box::new(TableScan::new(r, w.clone())),
             vec![0],
             vec![0],
             2,

@@ -17,6 +17,7 @@ fn key_of(row: &Row, cols: &[usize]) -> Vec<Value> {
 }
 
 /// The symmetric hash join.
+#[derive(Debug)]
 pub struct SymmetricHashJoin {
     left: Box<dyn Operator>,
     right: Box<dyn Operator>,
@@ -179,7 +180,7 @@ mod tests {
             Box::new(TableScan::new(right(), w.clone())),
             vec![0],
             vec![0],
-            w.clone(),
+            w,
         );
         let mut got = drain(&mut shj, 10);
         got.sort();
@@ -237,7 +238,7 @@ mod tests {
             Box::new(DelayedScan::new(right(), slow, w.clone())),
             vec![0],
             vec![0],
-            w.clone(),
+            w,
         );
         // After a handful of polls (≪ 50), all 4 left tuples are in memory.
         for _ in 0..6 {

@@ -61,12 +61,8 @@ impl Side {
 
     /// Spill the largest memory bucket to disk; returns tuples spilled.
     fn spill_largest(&mut self) -> u64 {
-        let (idx, _) = self
-            .mem
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, b)| b.len())
-            .expect("buckets exist");
+        let (idx, _) =
+            self.mem.iter().enumerate().max_by_key(|(_, b)| b.len()).expect("buckets exist");
         let moved = std::mem::take(&mut self.mem[idx]);
         let n = moved.len() as u64;
         self.mem_count -= moved.len();
@@ -76,6 +72,7 @@ impl Side {
 }
 
 /// The XJoin operator.
+#[derive(Debug)]
 pub struct XJoin {
     left: Box<dyn Operator>,
     right: Box<dyn Operator>,
@@ -252,23 +249,18 @@ impl XJoin {
         let left_keys = self.left_keys.clone();
         let right_keys = self.right_keys.clone();
         for b in 0..BUCKETS {
-            let lefts: Vec<Tagged> = self.sides[0].mem[b]
-                .iter()
-                .chain(self.sides[0].disk[b].iter())
-                .cloned()
-                .collect();
-            let rights: Vec<Tagged> = self.sides[1].mem[b]
-                .iter()
-                .chain(self.sides[1].disk[b].iter())
-                .cloned()
-                .collect();
+            let lefts: Vec<Tagged> =
+                self.sides[0].mem[b].iter().chain(self.sides[0].disk[b].iter()).cloned().collect();
+            let rights: Vec<Tagged> =
+                self.sides[1].mem[b].iter().chain(self.sides[1].disk[b].iter()).cloned().collect();
             self.work.unspill(self.sides[0].disk[b].len() as u64);
             self.work.unspill(self.sides[1].disk[b].len() as u64);
             for l in &lefts {
                 let lkey = key_of(&l.row, &left_keys);
                 for r in &rights {
                     self.work.compare(1);
-                    if key_of(&r.row, &right_keys) == lkey && self.emit(l.seq, &l.row, r.seq, &r.row)
+                    if key_of(&r.row, &right_keys) == lkey
+                        && self.emit(l.seq, &l.row, r.seq, &r.row)
                     {
                         self.stats.stage3_results += 1;
                     }
@@ -353,7 +345,12 @@ mod tests {
         rows
     }
 
-    fn run_xjoin(l: &Table, r: &Table, budget: usize, pat: Option<ArrivalPattern>) -> (Vec<Row>, XJoinStats) {
+    fn run_xjoin(
+        l: &Table,
+        r: &Table,
+        budget: usize,
+        pat: Option<ArrivalPattern>,
+    ) -> (Vec<Row>, XJoinStats) {
         let w = WorkCounter::new();
         let left: Box<dyn Operator> = Box::new(TableScan::new(l.clone(), w.clone()));
         let right: Box<dyn Operator> = match pat {

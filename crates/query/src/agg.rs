@@ -82,6 +82,7 @@ impl Acc {
 
 /// Blocking hash aggregation: `GROUP BY group_cols` computing `aggs`.
 /// Output schema: group columns then one column per aggregate.
+#[derive(Debug)]
 pub struct HashAggregate {
     child: Box<dyn Operator>,
     group_cols: Vec<usize>,
@@ -107,10 +108,8 @@ impl HashAggregate {
         work: WorkCounter,
     ) -> Self {
         let src = child.schema().columns();
-        let mut cols: Vec<(String, ColumnType)> = group_cols
-            .iter()
-            .map(|&i| (src[i].name.clone(), src[i].ty))
-            .collect();
+        let mut cols: Vec<(String, ColumnType)> =
+            group_cols.iter().map(|&i| (src[i].name.clone(), src[i].ty)).collect();
         for (n, f) in aggs.iter().enumerate() {
             let (name, ty) = match f {
                 AggFn::Count => (format!("count_{n}"), ColumnType::Int),
@@ -119,8 +118,7 @@ impl HashAggregate {
             };
             cols.push((name, ty));
         }
-        let refs: Vec<(&str, ColumnType)> =
-            cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let refs: Vec<(&str, ColumnType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
         let schema = Schema::new(&refs).expect("generated names are unique");
         Self {
             child,
@@ -146,12 +144,9 @@ impl Operator for HashAggregate {
             match self.child.poll() {
                 Poll::Ready(row) => {
                     self.work.hash_probe(1);
-                    let key: Vec<Value> =
-                        self.group_cols.iter().map(|&i| row[i].clone()).collect();
-                    let accs = self
-                        .groups
-                        .entry(key)
-                        .or_insert_with(|| vec![Acc::new(); self.aggs.len()]);
+                    let key: Vec<Value> = self.group_cols.iter().map(|&i| row[i].clone()).collect();
+                    let accs =
+                        self.groups.entry(key).or_insert_with(|| vec![Acc::new(); self.aggs.len()]);
                     for (acc, &f) in accs.iter_mut().zip(&self.aggs) {
                         acc.absorb(f, &row);
                     }
@@ -183,6 +178,7 @@ impl Operator for HashAggregate {
 /// An anytime aggregate over a single (ungrouped) aggregate function:
 /// consumes the child incrementally, exposing the exact running value and
 /// a scaled estimate of the final value given a progress fraction.
+#[derive(Debug)]
 pub struct OnlineAggregate {
     child: Box<dyn Operator>,
     f: AggFn,
@@ -259,14 +255,10 @@ mod tests {
     use datacomp::Table;
 
     fn sales() -> Table {
-        let schema = Schema::new(&[
-            ("city", ColumnType::Str),
-            ("amount", ColumnType::Int),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(&[("city", ColumnType::Str), ("amount", ColumnType::Int)]).unwrap();
         let mut t = Table::new(schema);
-        for (c, a) in [("london", 10), ("paris", 20), ("london", 30), ("rome", 5), ("paris", 40)]
-        {
+        for (c, a) in [("london", 10), ("paris", 20), ("london", 30), ("rome", 5), ("paris", 40)] {
             t.insert(vec![Value::str(c), Value::Int(a)]).unwrap();
         }
         t
@@ -299,8 +291,7 @@ mod tests {
     #[test]
     fn global_aggregate_via_empty_group() {
         let w = WorkCounter::new();
-        let mut agg =
-            HashAggregate::new(scan(sales(), &w), vec![], vec![AggFn::Sum(1)], w.clone());
+        let mut agg = HashAggregate::new(scan(sales(), &w), vec![], vec![AggFn::Sum(1)], w.clone());
         let rows = drain(&mut agg, 0);
         assert_eq!(rows, vec![vec![Value::Float(105.0)]]);
     }
@@ -320,12 +311,8 @@ mod tests {
         t.insert(vec![Value::Null]).unwrap();
         t.insert(vec![Value::Int(4)]).unwrap();
         let w = WorkCounter::new();
-        let mut agg = HashAggregate::new(
-            scan(t, &w),
-            vec![],
-            vec![AggFn::Min(0), AggFn::Max(0)],
-            w.clone(),
-        );
+        let mut agg =
+            HashAggregate::new(scan(t, &w), vec![], vec![AggFn::Min(0), AggFn::Max(0)], w.clone());
         let rows = drain(&mut agg, 0);
         assert_eq!(rows[0], vec![Value::Int(4), Value::Int(4)]);
     }

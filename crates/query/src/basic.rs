@@ -9,6 +9,7 @@ use datacomp::{Row, Schema, Table, Value};
 use std::collections::HashMap;
 
 /// Filter: passes rows satisfying a predicate.
+#[derive(Debug)]
 pub struct Filter {
     child: Box<dyn Operator>,
     pred: Pred,
@@ -44,6 +45,7 @@ impl Operator for Filter {
 }
 
 /// Project: keeps the named column indices, in order.
+#[derive(Debug)]
 pub struct Project {
     child: Box<dyn Operator>,
     cols: Vec<usize>,
@@ -96,6 +98,7 @@ fn concat(l: &Row, r: &Row) -> Row {
 /// Block nested-loop equijoin: materialises the **inner** side, then loops
 /// it per outer row. The pre-optimiser's choice of which side is inner is
 /// exactly Scenario 3's "change the join's inner-loop to the outer-loop".
+#[derive(Debug)]
 pub struct NestedLoopJoin {
     outer: Box<dyn Operator>,
     inner: Box<dyn Operator>,
@@ -178,6 +181,7 @@ impl Operator for NestedLoopJoin {
 
 /// Index nested-loop equijoin: the inner side is a materialised table with
 /// a prebuilt hash index — Scenario 3's "add an index to one of the tables".
+#[derive(Debug)]
 pub struct IndexNestedLoopJoin {
     outer: Box<dyn Operator>,
     index: HashMap<Vec<Value>, Vec<Row>>,
@@ -237,6 +241,7 @@ impl Operator for IndexNestedLoopJoin {
 /// Classic build-then-probe hash join: blocks until the **build** side is
 /// exhausted — the behaviour that loses to pipelined joins when the build
 /// side is a stalling remote source.
+#[derive(Debug)]
 pub struct HashJoin {
     build: Box<dyn Operator>,
     probe: Box<dyn Operator>,
@@ -325,6 +330,7 @@ impl Operator for HashJoin {
 }
 
 /// Sort: drains the child and emits in key order (ascending).
+#[derive(Debug)]
 pub struct Sort {
     child: Box<dyn Operator>,
     keys: Vec<usize>,
@@ -382,8 +388,7 @@ mod tests {
     use datacomp::ColumnType;
 
     fn orders() -> Table {
-        let schema =
-            Schema::new(&[("oid", ColumnType::Int), ("cust", ColumnType::Int)]).unwrap();
+        let schema = Schema::new(&[("oid", ColumnType::Int), ("cust", ColumnType::Int)]).unwrap();
         let mut t = Table::new(schema);
         for (o, c) in [(1, 10), (2, 20), (3, 10), (4, 30)] {
             t.insert(vec![Value::Int(o), Value::Int(c)]).unwrap();
@@ -392,8 +397,7 @@ mod tests {
     }
 
     fn customers() -> Table {
-        let schema =
-            Schema::new(&[("cid", ColumnType::Int), ("city", ColumnType::Str)]).unwrap();
+        let schema = Schema::new(&[("cid", ColumnType::Int), ("city", ColumnType::Str)]).unwrap();
         let mut t = Table::new(schema);
         for (c, city) in [(10, "london"), (20, "paris")] {
             t.insert(vec![Value::Int(c), Value::str(city)]).unwrap();
@@ -414,7 +418,7 @@ mod tests {
     fn filter_and_project() {
         let w = WorkCounter::new();
         let f = Filter::new(scan(orders(), &w), Pred::eq(1, Value::Int(10)), w.clone());
-        let mut p = Project::new(Box::new(f), vec![0], w.clone());
+        let mut p = Project::new(Box::new(f), vec![0], w);
         let rows = drain(&mut p, 0);
         assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
         assert_eq!(p.schema().arity(), 1);
@@ -460,8 +464,7 @@ mod tests {
     fn index_join_matches_oracle_and_charges_index_build() {
         let w = WorkCounter::new();
         let inner = customers();
-        let mut j =
-            IndexNestedLoopJoin::new(scan(orders(), &w), &inner, vec![1], &[0], w.clone());
+        let mut j = IndexNestedLoopJoin::new(scan(orders(), &w), &inner, vec![1], &[0], w.clone());
         let rows = drain(&mut j, 0);
         assert_eq!(rows.len(), expected_join_size());
         assert_eq!(w.snapshot().hash_inserts, 2, "index built over 2 customers");
@@ -493,7 +496,8 @@ mod tests {
                 vec![1],
                 vec![0],
                 true,
-            w))
+                w,
+            ))
         });
         let ij = run(&|w| {
             Box::new(IndexNestedLoopJoin::new(scan(orders(), &w), &customers(), vec![1], &[0], w))
@@ -515,14 +519,8 @@ mod tests {
     fn empty_inputs_yield_empty_joins() {
         let w = WorkCounter::new();
         let empty = Table::new(customers().schema().clone());
-        let mut j = HashJoin::new(
-            scan(empty, &w),
-            scan(orders(), &w),
-            vec![0],
-            vec![1],
-            false,
-            w.clone(),
-        );
+        let mut j =
+            HashJoin::new(scan(empty, &w), scan(orders(), &w), vec![0], vec![1], false, w.clone());
         assert!(drain(&mut j, 0).is_empty());
     }
 }

@@ -87,9 +87,9 @@ enum AlgoState {
 /// Which catalog side plays "outer" for a given algorithm.
 fn outer_is_left(algo: JoinAlgo) -> bool {
     match algo {
-        JoinAlgo::NestedLoopInnerRight
-        | JoinAlgo::HashBuildRight
-        | JoinAlgo::IndexInnerRight => true,
+        JoinAlgo::NestedLoopInnerRight | JoinAlgo::HashBuildRight | JoinAlgo::IndexInnerRight => {
+            true
+        }
         JoinAlgo::NestedLoopInnerLeft | JoinAlgo::HashBuildLeft => false,
     }
 }
@@ -112,12 +112,9 @@ impl AdaptiveJoinExec {
         adapt: bool,
         work: &WorkCounter,
     ) -> Result<(Vec<Row>, ExecReport), ExecError> {
-        let ltab =
-            catalog.table(left).ok_or_else(|| ExecError::UnknownTable(left.to_owned()))?;
-        let rtab =
-            catalog.table(right).ok_or_else(|| ExecError::UnknownTable(right.to_owned()))?;
-        let lstats =
-            catalog.stats(left).ok_or_else(|| ExecError::UnknownTable(left.to_owned()))?;
+        let ltab = catalog.table(left).ok_or_else(|| ExecError::UnknownTable(left.to_owned()))?;
+        let rtab = catalog.table(right).ok_or_else(|| ExecError::UnknownTable(right.to_owned()))?;
+        let lstats = catalog.stats(left).ok_or_else(|| ExecError::UnknownTable(left.to_owned()))?;
         let rstats =
             catalog.stats(right).ok_or_else(|| ExecError::UnknownTable(right.to_owned()))?;
 
@@ -167,11 +164,8 @@ impl AdaptiveJoinExec {
 
             // Safe point: consistent state = (outer_pos, out). Re-optimise?
             if adapt && outer_pos < outer.rows().len() {
-                let believed_outer = if outer_is_left(plan.algo) {
-                    plan.est_left_rows
-                } else {
-                    plan.est_right_rows
-                };
+                let believed_outer =
+                    if outer_is_left(plan.algo) { plan.est_left_rows } else { plan.est_right_rows };
                 // Cardinality feedback: the scan has already delivered more
                 // rows than the optimiser believed existed (or the believed
                 // total is wildly above what the finished side produced).
@@ -209,9 +203,8 @@ impl AdaptiveJoinExec {
                                     outer.rows().len() as f64
                                 },
                             };
-                            state = Self::build_state(
-                                plan.algo, ltab, rtab, left_key, right_key, work,
-                            );
+                            state =
+                                Self::build_state(plan.algo, ltab, rtab, left_key, right_key, work);
                         } else {
                             // Same-outer alternative: take the best plan
                             // among candidates preserving the outer side.
@@ -268,11 +261,8 @@ impl AdaptiveJoinExec {
         right_key: usize,
         work: &WorkCounter,
     ) -> AlgoState {
-        let (inner, inner_key) = if outer_is_left(algo) {
-            (rtab, right_key)
-        } else {
-            (ltab, left_key)
-        };
+        let (inner, inner_key) =
+            if outer_is_left(algo) { (rtab, right_key) } else { (ltab, left_key) };
         match algo {
             JoinAlgo::NestedLoopInnerRight | JoinAlgo::NestedLoopInnerLeft => {
                 work.moved(inner.len() as u64);
@@ -317,10 +307,7 @@ mod tests {
     fn oracle_count(c: &Catalog) -> usize {
         let l = c.table("l").unwrap();
         let r = c.table("r").unwrap();
-        l.rows()
-            .iter()
-            .map(|lr| r.rows().iter().filter(|rr| rr[0] == lr[0]).count())
-            .sum()
+        l.rows().iter().map(|lr| r.rows().iter().filter(|rr| rr[0] == lr[0]).count()).sum()
     }
 
     #[test]
@@ -329,9 +316,8 @@ mod tests {
         let expected = oracle_count(&c);
         for adapt in [false, true] {
             let w = WorkCounter::new();
-            let (rows, report) = AdaptiveJoinExec::default()
-                .run(&c, "l", "r", 0, 0, adapt, &w)
-                .unwrap();
+            let (rows, report) =
+                AdaptiveJoinExec::default().run(&c, "l", "r", 0, 0, adapt, &w).unwrap();
             assert_eq!(rows.len(), expected, "adapt={adapt}");
             assert_eq!(report.rows_out as usize, expected);
         }
@@ -341,8 +327,7 @@ mod tests {
     fn stale_stats_pick_a_bad_initial_plan() {
         let c = stale_catalog(2_000, 2_000);
         let w = WorkCounter::new();
-        let (_, report) =
-            AdaptiveJoinExec::default().run(&c, "l", "r", 0, 0, false, &w).unwrap();
+        let (_, report) = AdaptiveJoinExec::default().run(&c, "l", "r", 0, 0, false, &w).unwrap();
         // Believing both sides are ~5 rows, nested loop looks cheap.
         assert!(
             matches!(
@@ -366,12 +351,8 @@ mod tests {
         assert!(adaptive_report.replans >= 1, "{adaptive_report:?}");
         assert!(adaptive_report.switched_at.is_some());
         assert_ne!(adaptive_report.final_algo, adaptive_report.initial_algo);
-        let (s, a) =
-            (static_report.work.total_ops(), adaptive_report.work.total_ops());
-        assert!(
-            a * 2 < s,
-            "adaptive ({a}) should cost well under half of static ({s})"
-        );
+        let (s, a) = (static_report.work.total_ops(), adaptive_report.work.total_ops());
+        assert!(a * 2 < s, "adaptive ({a}) should cost well under half of static ({s})");
     }
 
     #[test]
@@ -380,8 +361,7 @@ mod tests {
         c.register("l", table(2_000, 50));
         c.register("r", table(2_000, 50));
         let w = WorkCounter::new();
-        let (_, report) =
-            AdaptiveJoinExec::default().run(&c, "l", "r", 0, 0, true, &w).unwrap();
+        let (_, report) = AdaptiveJoinExec::default().run(&c, "l", "r", 0, 0, true, &w).unwrap();
         assert_eq!(report.replans, 0);
         assert_eq!(report.initial_algo, report.final_algo);
     }
@@ -418,8 +398,7 @@ mod tests {
         c.register_with_stale_stats("l", table(20, 5), 100.0);
         c.register("r", table(2_000, 5));
         let w = WorkCounter::new();
-        let (rows, _) =
-            AdaptiveJoinExec::default().run(&c, "l", "r", 0, 0, true, &w).unwrap();
+        let (rows, _) = AdaptiveJoinExec::default().run(&c, "l", "r", 0, 0, true, &w).unwrap();
         assert_eq!(rows.len(), oracle_count(&c));
     }
 }

@@ -76,9 +76,7 @@ fn beliefs(catalog: &Catalog, graph: &JoinGraph) -> Result<Beliefs, MultiwayErro
     let mut rows = Vec::with_capacity(graph.tables.len());
     let mut distinct = Vec::with_capacity(graph.tables.len());
     for name in &graph.tables {
-        let stats = catalog
-            .stats(name)
-            .ok_or_else(|| MultiwayError::UnknownTable(name.clone()))?;
+        let stats = catalog.stats(name).ok_or_else(|| MultiwayError::UnknownTable(name.clone()))?;
         rows.push(stats.rows.max(1) as f64);
         let d = stats.columns.first().map_or(1, |c| c.distinct.max(1));
         distinct.push(d as f64);
@@ -112,9 +110,10 @@ pub fn plan_multiway(catalog: &Catalog, graph: &JoinGraph) -> Result<MultiwayPla
     assert!(n >= 2, "a join needs at least two tables");
     let b = beliefs(catalog, graph)?;
     let connected = |set: u32, t: usize| -> bool {
-        graph.edges.iter().any(|&(x, y)| {
-            (set & (1 << x) != 0 && y == t) || (set & (1 << y) != 0 && x == t)
-        })
+        graph
+            .edges
+            .iter()
+            .any(|&(x, y)| (set & (1 << x) != 0 && y == t) || (set & (1 << y) != 0 && x == t))
     };
     // state: subset -> (cost, rows, distinct, order)
     let mut best: HashMap<u32, (f64, f64, f64, Vec<usize>)> = HashMap::new();
@@ -122,7 +121,8 @@ pub fn plan_multiway(catalog: &Catalog, graph: &JoinGraph) -> Result<MultiwayPla
         best.insert(1 << i, (0.0, b.rows[i], b.distinct[i], vec![i]));
     }
     for size in 2..=n {
-        let states: Vec<u32> = best.keys().copied().filter(|s| s.count_ones() == size as u32 - 1).collect();
+        let states: Vec<u32> =
+            best.keys().copied().filter(|s| s.count_ones() == size as u32 - 1).collect();
         for set in states {
             let (cost, rows, distinct, order) = best[&set].clone();
             for t in 0..n {
@@ -323,8 +323,7 @@ mod tests {
             w.snapshot().total_ops()
         };
         let planned_work = measure(&plan.order);
-        let best_work =
-            all_connected_orders(&g).iter().map(|o| measure(o)).min().unwrap();
+        let best_work = all_connected_orders(&g).iter().map(|o| measure(o)).min().unwrap();
         assert!(
             planned_work as f64 <= best_work as f64 * 1.6,
             "planned {planned_work} vs best possible {best_work}"
@@ -354,10 +353,7 @@ mod tests {
         // Stakes: the orders the fresh planner avoids are catastrophically
         // worse — join order is worth multiples on this chain.
         let worst = all_connected_orders(&g).iter().map(|o| measure(o)).max().unwrap();
-        assert!(
-            worst as f64 > fresh_work as f64 * 4.0,
-            "worst {worst} vs fresh {fresh_work}"
-        );
+        assert!(worst as f64 > fresh_work as f64 * 4.0, "worst {worst} vs fresh {fresh_work}");
     }
 
     #[test]

@@ -119,7 +119,7 @@ impl WorkCounter {
 }
 
 /// A query operator.
-pub trait Operator {
+pub trait Operator: std::fmt::Debug {
     /// Output schema.
     fn schema(&self) -> &Schema;
 

@@ -178,10 +178,7 @@ mod tests {
     #[test]
     fn tiny_tables_prefer_nested_loop() {
         let p = Optimizer::plan(3.0, 4.0);
-        assert!(matches!(
-            p.algo,
-            JoinAlgo::NestedLoopInnerRight | JoinAlgo::NestedLoopInnerLeft
-        ));
+        assert!(matches!(p.algo, JoinAlgo::NestedLoopInnerRight | JoinAlgo::NestedLoopInnerLeft));
     }
 
     #[test]

@@ -1,9 +1,8 @@
 //! Synthetic workload generation for the benches — the substitute for the
 //! "real relational datasets" the paper's scenarios assume.
 
+use adm_rng::Pcg32;
 use datacomp::{ColumnType, Schema, Table, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Key distribution for generated tables.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,16 +32,15 @@ pub fn gen_table(rows: usize, dist: KeyDist, seed: u64) -> Table {
     let schema =
         Schema::new(&[("k", ColumnType::Int), ("v", ColumnType::Int)]).expect("static schema");
     let mut t = Table::new(schema);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let sampler: Box<dyn FnMut(&mut StdRng) -> i64> = match dist {
+    let mut rng = Pcg32::new(seed);
+    let sampler: Box<dyn FnMut(&mut Pcg32) -> i64> = match dist {
         KeyDist::Uniform { domain } => {
             assert!(domain > 0);
-            Box::new(move |r| r.gen_range(0..domain))
+            Box::new(move |r| r.range_i64(0, domain))
         }
         KeyDist::Zipf { domain, s } => {
             assert!(domain > 0);
-            let weights: Vec<f64> =
-                (1..=domain).map(|k| 1.0 / (k as f64).powf(s)).collect();
+            let weights: Vec<f64> = (1..=domain).map(|k| 1.0 / (k as f64).powf(s)).collect();
             let total: f64 = weights.iter().sum();
             let mut cdf = Vec::with_capacity(weights.len());
             let mut acc = 0.0;
@@ -51,7 +49,7 @@ pub fn gen_table(rows: usize, dist: KeyDist, seed: u64) -> Table {
                 cdf.push(acc);
             }
             Box::new(move |r| {
-                let u: f64 = r.gen();
+                let u = r.f64();
                 cdf.partition_point(|&c| c < u) as i64
             })
         }

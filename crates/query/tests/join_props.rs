@@ -1,9 +1,12 @@
 //! Property: every join operator — static or adaptive, stalled or not,
 //! memory-starved or not — produces exactly the same multiset of results
 //! as the naive nested-loop oracle.
+//!
+//! Randomised suites are opt-in: `cargo test -p query --features slow-props`.
+#![cfg(feature = "slow-props")]
 
+use adm_rng::{run_cases, Pcg32};
 use datacomp::{ColumnType, Row, Schema, Table, Value};
-use proptest::prelude::*;
 use query::adaptive::ripple::AggKind;
 use query::adaptive::{RippleJoin, SymmetricHashJoin, XJoin};
 use query::basic::{HashJoin, IndexNestedLoopJoin, NestedLoopJoin};
@@ -34,13 +37,12 @@ fn oracle(l: &Table, r: &Table) -> Vec<Row> {
     out
 }
 
-fn keys() -> impl Strategy<Value = Vec<i64>> {
-    prop::collection::vec(0i64..8, 0..40)
+fn keys(rng: &mut Pcg32) -> Vec<i64> {
+    (0..rng.index(40)).map(|_| rng.range_i64(0, 8)).collect()
 }
 
-fn pattern() -> impl Strategy<Value = ArrivalPattern> {
-    (0u64..20, 1u64..8, 0u64..10)
-        .prop_map(|(initial_delay, burst, gap)| ArrivalPattern { initial_delay, burst, gap })
+fn pattern(rng: &mut Pcg32) -> ArrivalPattern {
+    ArrivalPattern { initial_delay: rng.below(20), burst: rng.below(7) + 1, gap: rng.below(10) }
 }
 
 fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
@@ -48,68 +50,69 @@ fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
     rows
 }
 
-proptest! {
-    #[test]
-    fn all_joins_agree_with_oracle(lk in keys(), rk in keys()) {
-        let (l, r) = (table(lk), table(rk));
+#[test]
+fn all_joins_agree_with_oracle() {
+    run_cases(0x701, 128, |rng| {
+        let (l, r) = (table(keys(rng)), table(keys(rng)));
         let expected = oracle(&l, &r);
         let w = WorkCounter::new();
-        let scan = |t: &Table| -> Box<dyn Operator> { Box::new(TableScan::new(t.clone(), w.clone())) };
+        let scan =
+            |t: &Table| -> Box<dyn Operator> { Box::new(TableScan::new(t.clone(), w.clone())) };
 
         let mut nl = NestedLoopJoin::new(scan(&l), scan(&r), vec![0], vec![0], w.clone());
-        prop_assert_eq!(sorted(drain(&mut nl, 10)), expected.clone());
+        assert_eq!(sorted(drain(&mut nl, 10)), expected);
 
         let mut hj = HashJoin::new(scan(&l), scan(&r), vec![0], vec![0], true, w.clone());
-        prop_assert_eq!(sorted(drain(&mut hj, 10)), expected.clone());
+        assert_eq!(sorted(drain(&mut hj, 10)), expected);
 
         let mut ij = IndexNestedLoopJoin::new(scan(&l), &r, vec![0], &[0], w.clone());
-        prop_assert_eq!(sorted(drain(&mut ij, 10)), expected.clone());
+        assert_eq!(sorted(drain(&mut ij, 10)), expected);
 
         let mut shj = SymmetricHashJoin::new(scan(&l), scan(&r), vec![0], vec![0], w.clone());
-        prop_assert_eq!(sorted(drain(&mut shj, 10)), expected.clone());
+        assert_eq!(sorted(drain(&mut shj, 10)), expected);
 
-        let mut rj = RippleJoin::new(scan(&l), scan(&r), vec![0], vec![0], 3, AggKind::Count, w.clone());
-        prop_assert_eq!(sorted(drain(&mut rj, 10)), expected.clone());
+        let mut rj =
+            RippleJoin::new(scan(&l), scan(&r), vec![0], vec![0], 3, AggKind::Count, w.clone());
+        assert_eq!(sorted(drain(&mut rj, 10)), expected);
 
         let mut xj = XJoin::new(scan(&l), scan(&r), vec![0], vec![0], 4, w.clone());
-        prop_assert_eq!(sorted(drain(&mut xj, 100_000)), expected);
-    }
+        assert_eq!(sorted(drain(&mut xj, 100_000)), expected);
+    });
+}
 
-    /// Adaptive joins stay correct when both sources stall arbitrarily and
-    /// XJoin is memory-starved.
-    #[test]
-    fn adaptive_joins_survive_stalls(
-        lk in keys(),
-        rk in keys(),
-        lpat in pattern(),
-        rpat in pattern(),
-        budget in 1usize..16,
-    ) {
-        let (l, r) = (table(lk), table(rk));
+/// Adaptive joins stay correct when both sources stall arbitrarily and
+/// XJoin is memory-starved.
+#[test]
+fn adaptive_joins_survive_stalls() {
+    run_cases(0x702, 64, |rng| {
+        let (l, r) = (table(keys(rng)), table(keys(rng)));
+        let (lpat, rpat) = (pattern(rng), pattern(rng));
+        let budget = rng.index(15) + 1;
         let expected = oracle(&l, &r);
         let w = WorkCounter::new();
         let dl = || -> Box<dyn Operator> { Box::new(DelayedScan::new(l.clone(), lpat, w.clone())) };
         let dr = || -> Box<dyn Operator> { Box::new(DelayedScan::new(r.clone(), rpat, w.clone())) };
 
         let mut shj = SymmetricHashJoin::new(dl(), dr(), vec![0], vec![0], w.clone());
-        prop_assert_eq!(sorted(drain(&mut shj, 100_000)), expected.clone());
+        assert_eq!(sorted(drain(&mut shj, 100_000)), expected);
 
         let mut xj = XJoin::new(dl(), dr(), vec![0], vec![0], budget, w.clone());
-        prop_assert_eq!(sorted(drain(&mut xj, 100_000)), expected.clone());
+        assert_eq!(sorted(drain(&mut xj, 100_000)), expected);
 
         let mut rj = RippleJoin::new(dl(), dr(), vec![0], vec![0], 2, AggKind::Count, w.clone());
-        prop_assert_eq!(sorted(drain(&mut rj, 100_000)), expected);
-    }
+        assert_eq!(sorted(drain(&mut rj, 100_000)), expected);
+    });
+}
 
-    /// The adaptive executor produces oracle results for any staleness
-    /// error, adapting or not.
-    #[test]
-    fn adaptive_exec_is_correct_for_any_staleness(
-        lk in prop::collection::vec(0i64..12, 1..60),
-        rk in prop::collection::vec(0i64..12, 1..60),
-        error in 0.001f64..100.0,
-        adapt in any::<bool>(),
-    ) {
+/// The adaptive executor produces oracle results for any staleness
+/// error, adapting or not.
+#[test]
+fn adaptive_exec_is_correct_for_any_staleness() {
+    run_cases(0x703, 64, |rng| {
+        let lk: Vec<i64> = (0..rng.index(59) + 1).map(|_| rng.range_i64(0, 12)).collect();
+        let rk: Vec<i64> = (0..rng.index(59) + 1).map(|_| rng.range_i64(0, 12)).collect();
+        let error = 0.001 + rng.f64() * 99.999;
+        let adapt = rng.chance(0.5);
         let (l, r) = (table(lk), table(rk));
         let expected = oracle(&l, &r);
         let mut catalog = query::optimizer::Catalog::new();
@@ -118,7 +121,7 @@ proptest! {
         let w = WorkCounter::new();
         let exec = query::exec::AdaptiveJoinExec { safe_point_interval: 8, reopt_threshold: 3.0 };
         let (rows, report) = exec.run(&catalog, "l", "r", 0, 0, adapt, &w).unwrap();
-        prop_assert_eq!(rows.len() as u64, report.rows_out);
-        prop_assert_eq!(sorted(rows), expected);
-    }
+        assert_eq!(rows.len() as u64, report.rows_out);
+        assert_eq!(sorted(rows), expected);
+    });
 }

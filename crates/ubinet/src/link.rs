@@ -160,7 +160,8 @@ mod tests {
 
     #[test]
     fn link_connects_and_down_means_zero() {
-        let mut l = Link::new("laptop", "sensor", LinkKind::Wired, BandwidthProfile::Constant(500.0), 1);
+        let mut l =
+            Link::new("laptop", "sensor", LinkKind::Wired, BandwidthProfile::Constant(500.0), 1);
         assert!(l.connects("sensor", "laptop"));
         assert!(!l.connects("laptop", "pda"));
         assert!(l.touches("laptop"));

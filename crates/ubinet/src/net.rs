@@ -207,9 +207,27 @@ mod tests {
         n.add_device(Device::new("laptop", DeviceKind::Laptop));
         n.add_device(Device::new("pda", DeviceKind::Pda));
         n.add_device(Device::new("server", DeviceKind::Server));
-        n.add_link(Link::new("sensor", "laptop", LinkKind::Wireless, BandwidthProfile::Constant(50.0), 2));
-        n.add_link(Link::new("laptop", "pda", LinkKind::Wireless, BandwidthProfile::Constant(100.0), 1));
-        n.add_link(Link::new("laptop", "server", LinkKind::Wired, BandwidthProfile::Constant(1000.0), 1));
+        n.add_link(Link::new(
+            "sensor",
+            "laptop",
+            LinkKind::Wireless,
+            BandwidthProfile::Constant(50.0),
+            2,
+        ));
+        n.add_link(Link::new(
+            "laptop",
+            "pda",
+            LinkKind::Wireless,
+            BandwidthProfile::Constant(100.0),
+            1,
+        ));
+        n.add_link(Link::new(
+            "laptop",
+            "server",
+            LinkKind::Wired,
+            BandwidthProfile::Constant(1000.0),
+            1,
+        ));
         n
     }
 
@@ -226,10 +244,7 @@ mod tests {
         let mut n = net();
         assert!(matches!(n.hop_distance("ghost", "pda"), Err(NetError::UnknownDevice(_))));
         n.links_mut()[0].up = false;
-        assert!(matches!(
-            n.hop_distance("sensor", "pda"),
-            Err(NetError::Unreachable { .. })
-        ));
+        assert!(matches!(n.hop_distance("sensor", "pda"), Err(NetError::Unreachable { .. })));
     }
 
     #[test]

@@ -35,11 +35,7 @@ pub fn best<'a>(net: &Network, candidates: &[&'a str]) -> Option<&'a str> {
 /// # Errors
 /// [`NetError::UnknownDevice`] if `from` is unknown;
 /// [`NetError::Unreachable`] if no candidate is reachable.
-pub fn nearest<'a>(
-    net: &Network,
-    from: &str,
-    candidates: &[&'a str],
-) -> Result<&'a str, NetError> {
+pub fn nearest<'a>(net: &Network, from: &str, candidates: &[&'a str]) -> Result<&'a str, NetError> {
     if net.device(from).is_none() {
         return Err(NetError::UnknownDevice(from.to_owned()));
     }
@@ -54,10 +50,9 @@ pub fn nearest<'a>(
             Err(_) => continue,
         }
     }
-    winner.map(|(c, _)| c).ok_or(NetError::Unreachable {
-        from: from.to_owned(),
-        to: candidates.join("|"),
-    })
+    winner
+        .map(|(c, _)| c)
+        .ok_or(NetError::Unreachable { from: from.to_owned(), to: candidates.join("|") })
 }
 
 #[cfg(test)]
@@ -71,8 +66,20 @@ mod tests {
         n.add_device(Device::new("pda", DeviceKind::Pda));
         n.add_device(Device::new("laptop", DeviceKind::Laptop));
         n.add_device(Device::new("server", DeviceKind::Server).with_load(0.99));
-        n.add_link(Link::new("pda", "laptop", LinkKind::Wireless, BandwidthProfile::Constant(100.0), 1));
-        n.add_link(Link::new("laptop", "server", LinkKind::Wired, BandwidthProfile::Constant(1000.0), 1));
+        n.add_link(Link::new(
+            "pda",
+            "laptop",
+            LinkKind::Wireless,
+            BandwidthProfile::Constant(100.0),
+            1,
+        ));
+        n.add_link(Link::new(
+            "laptop",
+            "server",
+            LinkKind::Wired,
+            BandwidthProfile::Constant(1000.0),
+            1,
+        ));
         n
     }
 
@@ -115,13 +122,7 @@ mod tests {
         let mut n = net();
         n.add_device(Device::new("island", DeviceKind::Pda));
         assert_eq!(nearest(&n, "pda", &["island", "laptop"]).unwrap(), "laptop");
-        assert!(matches!(
-            nearest(&n, "pda", &["island"]),
-            Err(NetError::Unreachable { .. })
-        ));
-        assert!(matches!(
-            nearest(&n, "ghost", &["laptop"]),
-            Err(NetError::UnknownDevice(_))
-        ));
+        assert!(matches!(nearest(&n, "pda", &["island"]), Err(NetError::Unreachable { .. })));
+        assert!(matches!(nearest(&n, "ghost", &["laptop"]), Err(NetError::UnknownDevice(_))));
     }
 }

@@ -125,8 +125,7 @@ impl Simulator {
                 applied.push((t, ev));
             }
             let drain = self.battery_drain_per_tick;
-            let names: Vec<String> =
-                self.net.devices().map(|d| d.name.clone()).collect();
+            let names: Vec<String> = self.net.devices().map(|d| d.name.clone()).collect();
             for n in names {
                 if let Some(d) = self.net.device_mut(&n) {
                     d.step_power(drain);

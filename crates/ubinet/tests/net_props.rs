@@ -1,7 +1,10 @@
 //! Network properties: hop-distance symmetry and triangle inequality over
 //! random topologies, transfer-time monotonicity, and BEST consistency.
+//!
+//! Randomised suites are opt-in: `cargo test -p ubinet --features slow-props`.
+#![cfg(feature = "slow-props")]
 
-use proptest::prelude::*;
+use adm_rng::{run_cases, Pcg32};
 use ubinet::device::{Device, DeviceKind};
 use ubinet::link::{BandwidthProfile, Link, LinkKind};
 use ubinet::net::Network;
@@ -27,65 +30,70 @@ fn network(n_devices: usize, edges: &[(usize, usize)], loads: &[f64]) -> Network
     net
 }
 
-proptest! {
-    /// d(x, y) == d(y, x), and d obeys the triangle inequality wherever
-    /// all three distances exist.
-    #[test]
-    fn hop_distance_is_a_metric(
-        edges in prop::collection::vec((0usize..6, 0usize..6), 0..12),
-        loads in prop::collection::vec(0.0f64..1.0, 6),
-    ) {
+fn edges(rng: &mut Pcg32, n: usize, lo: usize, hi: usize) -> Vec<(usize, usize)> {
+    (0..rng.index(hi - lo) + lo).map(|_| (rng.index(n), rng.index(n))).collect()
+}
+
+/// d(x, y) == d(y, x), and d obeys the triangle inequality wherever
+/// all three distances exist.
+#[test]
+fn hop_distance_is_a_metric() {
+    run_cases(0xe71, 64, |rng| {
+        let edges = edges(rng, 6, 0, 12);
+        let loads: Vec<f64> = (0..6).map(|_| rng.f64()).collect();
         let net = network(6, &edges, &loads);
         for x in 0..6 {
             for y in 0..6 {
                 let dxy = net.hop_distance(&format!("d{x}"), &format!("d{y}"));
                 let dyx = net.hop_distance(&format!("d{y}"), &format!("d{x}"));
-                prop_assert_eq!(dxy.is_ok(), dyx.is_ok());
+                assert_eq!(dxy.is_ok(), dyx.is_ok());
                 if let (Ok(a), Ok(b)) = (&dxy, &dyx) {
-                    prop_assert_eq!(a, b, "symmetry {} {}", x, y);
+                    assert_eq!(a, b, "symmetry {x} {y}");
                 }
                 if x == y {
-                    prop_assert_eq!(*dxy.as_ref().unwrap(), 0);
+                    assert_eq!(*dxy.as_ref().unwrap(), 0);
                 }
                 for z in 0..6 {
                     let dxz = net.hop_distance(&format!("d{x}"), &format!("d{z}"));
                     let dzy = net.hop_distance(&format!("d{z}"), &format!("d{y}"));
                     if let (Ok(a), Ok(b), Ok(c)) = (&dxy, &dxz, &dzy) {
-                        prop_assert!(a <= &(b + c), "triangle {x} {y} via {z}");
+                        assert!(a <= &(b + c), "triangle {x} {y} via {z}");
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    /// Transfer time is monotone in payload size.
-    #[test]
-    fn transfer_time_monotone_in_size(
-        edges in prop::collection::vec((0usize..5, 0usize..5), 1..10),
-        small in 1u64..10_000,
-        extra in 1u64..10_000,
-    ) {
+/// Transfer time is monotone in payload size.
+#[test]
+fn transfer_time_monotone_in_size() {
+    run_cases(0xe72, 128, |rng| {
+        let edges = edges(rng, 5, 1, 10);
+        let small = rng.below(9_999) + 1;
+        let extra = rng.below(9_999) + 1;
         let net = network(5, &edges, &[0.0; 5]);
         for x in 0..5 {
             for y in 0..5 {
                 let a = net.transfer_ticks(&format!("d{x}"), &format!("d{y}"), small, 0);
                 let b = net.transfer_ticks(&format!("d{x}"), &format!("d{y}"), small + extra, 0);
                 match (a, b) {
-                    (Ok(ta), Ok(tb)) => prop_assert!(tb >= ta),
+                    (Ok(ta), Ok(tb)) => assert!(tb >= ta),
                     (Err(_), Err(_)) => {}
-                    other => prop_assert!(false, "reachability changed with size: {other:?}"),
+                    other => panic!("reachability changed with size: {other:?}"),
                 }
             }
         }
-    }
+    });
+}
 
-    /// BEST always returns the candidate with maximal available capacity,
-    /// and never a dead device.
-    #[test]
-    fn best_is_argmax_of_available_capacity(
-        loads in prop::collection::vec(0.0f64..1.0, 4),
-        dead in prop::collection::vec(any::<bool>(), 4),
-    ) {
+/// BEST always returns the candidate with maximal available capacity,
+/// and never a dead device.
+#[test]
+fn best_is_argmax_of_available_capacity() {
+    run_cases(0xe73, 256, |rng| {
+        let loads: Vec<f64> = (0..4).map(|_| rng.f64()).collect();
+        let dead: Vec<bool> = (0..4).map(|_| rng.chance(0.5)).collect();
         let mut net = network(4, &[(0, 1), (1, 2), (2, 3)], &loads);
         for (i, &d) in dead.iter().enumerate() {
             net.device_mut(&format!("d{i}")).unwrap().alive = !d;
@@ -95,16 +103,16 @@ proptest! {
         match best(&net, &refs) {
             Some(winner) => {
                 let wcap = net.device(winner).unwrap().available_capacity();
-                prop_assert!(wcap > 0.0);
+                assert!(wcap > 0.0);
                 for n in &names {
-                    prop_assert!(net.device(n).unwrap().available_capacity() <= wcap);
+                    assert!(net.device(n).unwrap().available_capacity() <= wcap);
                 }
             }
             None => {
                 for n in &names {
-                    prop_assert!(net.device(n).unwrap().available_capacity() <= 0.0);
+                    assert!(net.device(n).unwrap().available_capacity() <= 0.0);
                 }
             }
         }
-    }
+    });
 }

@@ -20,7 +20,11 @@ fn main() {
     let docked = docked_session(&doc);
     let wireless = wireless_session(&doc);
     println!("docked session:   {} instances, {} bindings", docked.len(), docked.bindings.len());
-    println!("wireless session: {} instances, {} bindings", wireless.len(), wireless.bindings.len());
+    println!(
+        "wireless session: {} instances, {} bindings",
+        wireless.len(),
+        wireless.bindings.len()
+    );
     let base = flatten(&doc, "MobileCBMS", &[]).expect("base flattens");
     println!(
         "base (no mode) is deliberately incomplete: unbound requirements = {:?}",

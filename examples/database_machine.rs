@@ -36,10 +36,15 @@ fn main() {
 
     let pred = Pred::lt(1, Value::Int(1_000));
     println!("query: SELECT * FROM orders JOIN customers ON k WHERE orders.v < 1000\n");
-    println!("  batch | rows out | activations | boundary cyc | work cyc | overhead | trap-equivalent");
-    println!("  ------+----------+-------------+--------------+----------+----------+----------------");
+    println!(
+        "  batch | rows out | activations | boundary cyc | work cyc | overhead | trap-equivalent"
+    );
+    println!(
+        "  ------+----------+-------------+--------------+----------+----------+----------------"
+    );
     for batch in [1024u64, 256, 64, 16] {
-        let (_, cost) = dbm.run_spj("orders", "customers", &pred, batch).expect("tables registered");
+        let (_, cost) =
+            dbm.run_spj("orders", "customers", &pred, batch).expect("tables registered");
         println!(
             "  {batch:>5} | {:>8} | {:>11} | {:>12} | {:>8} | {:>7.1}% | {:>14}",
             cost.rows_out,

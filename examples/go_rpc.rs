@@ -5,12 +5,33 @@
 //! Run with: `cargo run -p adm-core --example go_rpc`
 
 use gokernel::kernels::all_kernels;
+use gokernel::sisr::SisrVerifier;
 use gokernel::table1::{memory_comparison, render_table1, table1_rows};
+use machine::isa::{Instr, Program};
 use machine::CostModel;
 
 fn main() {
     let model = CostModel::pentium();
     println!("{}", render_table1(&table1_rows(&model, 3)));
+
+    // The cost Go! pays instead of traps: the one-off SISR verification
+    // pipeline at load time, amortised across every subsequent call.
+    let verifier = SisrVerifier::new(model.clone());
+    let mut text = vec![Instr::MovImm(0, 0); 255];
+    text.push(Instr::Halt);
+    let img = verifier.verify_program(&Program::new(text)).expect("clean");
+    println!("SISR load-time verification of a 256-instruction component:");
+    for p in &img.report().passes {
+        println!("  {:<20} {:>6} cycles", p.pass.name(), p.cycles);
+    }
+    let trap_round_trip = model.trap_enter + model.trap_exit;
+    println!(
+        "  total {} cycles, one-off — repaid after ~{} calls that would each\n\
+         \x20 have trapped ({} cycles of trap overhead per round trip)\n",
+        img.scan_cycles(),
+        img.scan_cycles().div_ceil(trap_round_trip),
+        trap_round_trip
+    );
 
     println!("RPC anatomy (cycles by primitive):");
     for k in &mut all_kernels(&model) {

@@ -16,8 +16,7 @@ fn run(adaptive: bool) -> (Vec<u64>, usize, usize) {
     let mut server =
         PatiaServer::new(net, atoms, constraints, ServerConfig { adaptive, work_per_request: 400 });
     let crowd = FlashCrowd { from: 100, to: 500, target: AtomId(123), multiplier: 15.0 };
-    let mut gen = RequestGen::new(vec![AtomId(123), AtomId(153)], 1.1, 4.0, 2026)
-        .with_crowd(crowd);
+    let mut gen = RequestGen::new(vec![AtomId(123), AtomId(153)], 1.1, 4.0, 2026).with_crowd(crowd);
     let mut latencies = Vec::new();
     let mut switches = 0;
     for t in 1..=1500 {

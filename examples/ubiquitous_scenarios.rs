@@ -31,10 +31,8 @@ fn scenario_2() {
     println!("are swapped for the wireless ones and the stream continues compressed");
     println!("from the next safe point.\n");
     for (label, adaptive) in [("adaptive", true), ("static  ", false)] {
-        let r = system_adapt::run(&system_adapt::SystemAdaptParams {
-            adaptive,
-            ..Default::default()
-        });
+        let r =
+            system_adapt::run(&system_adapt::SystemAdaptParams { adaptive, ..Default::default() });
         println!(
             "  {label}: {:>7} ticks total, {:>6} bytes on air (of {}), switch@{:?}",
             r.total_ticks, r.bytes_sent, r.raw_bytes, r.switch_tick

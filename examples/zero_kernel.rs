@@ -14,18 +14,32 @@ use machine::CostModel;
 fn main() {
     println!("== Go! zero-kernel system ==\n");
 
-    // 1. SISR: the load-time scan that replaces the kernel-mode split.
+    // 1. SISR: the load-time verification pipeline that replaces the
+    //    kernel-mode split.
     let verifier = SisrVerifier::new(CostModel::pentium());
     let good = Program::new(vec![Instr::MovImm(0, 1), Instr::Add(0, 0), Instr::Halt]);
     let img = verifier.verify_program(&good).expect("clean code verifies");
     println!(
-        "SISR accepted a {}-instruction component (scan cost {} cycles, one-off)",
+        "SISR accepted a {}-instruction component (scan cost {} cycles, one-off):",
         good.len(),
         img.scan_cycles()
     );
+    for p in &img.report().passes {
+        println!("  pass {:<18} {:>3} cycles  proved clean", p.pass.name(), p.cycles);
+    }
     let evil = Program::new(vec![Instr::Nop, Instr::LoadSegReg(SegReg::Ds, 0), Instr::Halt]);
     let err = verifier.verify_program(&evil).unwrap_err();
-    println!("SISR rejected hostile code: {err}");
+    println!("SISR rejected privileged code: {err}");
+    // The pipeline proves more than privilege: control flow must stay inside
+    // the text, calls must balance, and statically-known addresses must stay
+    // inside the segment grant. All flaws are collected, not just the first.
+    let sneaky = Program::new(vec![
+        Instr::MovImm(0, 100_000), // constant address...
+        Instr::Store(0, 0),        // ...statically escapes the data segment
+        Instr::Ret,                // return with no matching call
+    ]);
+    let err = verifier.verify_program(&sneaky).unwrap_err();
+    println!("SISR rejected unprivileged-but-hostile code: {err}");
 
     // 2. Boot the library OS: every kernel service is a component.
     let mut os = LibOs::boot(CostModel::pentium(), 64 * 1024);

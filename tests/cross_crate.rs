@@ -49,14 +49,24 @@ fn session_manager_drives_runtime_from_simulator_readings() {
     let mut net = Network::new();
     net.add_device(Device::new("laptop", DeviceKind::Laptop));
     net.add_device(Device::new("sensor", DeviceKind::Sensor));
-    net.add_link(Link::new("laptop", "sensor", LinkKind::Wired, BandwidthProfile::Constant(100.0), 1));
+    net.add_link(Link::new(
+        "laptop",
+        "sensor",
+        LinkKind::Wired,
+        BandwidthProfile::Constant(100.0),
+        1,
+    ));
     let mut sim = Simulator::new(net, 0.001);
     sim.schedule(5, EnvEvent::SetDocked { device: "laptop".into(), docked: false });
 
     // Adaptation loop over the Figure 4 model.
     let mut board = GaugeBoard::new();
     board.add_monitor(Monitor::new("dock", 4));
-    board.add_gauge(Gauge { name: "docked".into(), monitor: "dock".into(), kind: GaugeKind::Latest });
+    board.add_gauge(Gauge {
+        name: "docked".into(),
+        monitor: "dock".into(),
+        kind: GaugeKind::Latest,
+    });
     let mut rules = RuleSet::new();
     rules.add(SwitchingRule {
         id: 1,
@@ -99,8 +109,7 @@ fn datacomp_metadata_feeds_the_optimizer() {
     catalog.register_with_stale_stats("a", t.clone(), 0.004);
     catalog.register_with_stale_stats("b", t, 0.004);
     let w = WorkCounter::new();
-    let (_, report) =
-        AdaptiveJoinExec::default().run(&catalog, "a", "b", 0, 0, true, &w).unwrap();
+    let (_, report) = AdaptiveJoinExec::default().run(&catalog, "a", "b", 0, 0, true, &w).unwrap();
     assert!(report.replans >= 1, "stale Figure 2 metadata must trigger re-planning");
 }
 
@@ -111,7 +120,13 @@ fn device_failure_breaks_paths_and_best_reroutes() {
     net.add_device(Device::new("pda", DeviceKind::Pda));
     net.add_device(Device::new("laptop", DeviceKind::Laptop));
     net.add_device(Device::new("server", DeviceKind::Server));
-    net.add_link(Link::new("pda", "laptop", LinkKind::Wireless, BandwidthProfile::Constant(50.0), 1));
+    net.add_link(Link::new(
+        "pda",
+        "laptop",
+        LinkKind::Wireless,
+        BandwidthProfile::Constant(50.0),
+        1,
+    ));
     net.add_link(Link::new("pda", "server", LinkKind::Wired, BandwidthProfile::Constant(500.0), 1));
     assert_eq!(ubinet::select::best(&net, &["laptop", "server"]), Some("server"));
     net.device_mut("server").unwrap().alive = false;

@@ -71,8 +71,7 @@ fn constraint_595_serves_by_bandwidth_band() {
 fn whole_fleet_survives_a_long_mixed_run() {
     let mut s = fleet(true);
     let crowd = FlashCrowd { from: 200, to: 600, target: AtomId(123), multiplier: 12.0 };
-    let mut gen =
-        RequestGen::new(vec![AtomId(123), AtomId(153)], 1.1, 6.0, 3).with_crowd(crowd);
+    let mut gen = RequestGen::new(vec![AtomId(123), AtomId(153)], 1.1, 6.0, 3).with_crowd(crowd);
     let mut served = 0usize;
     let mut arrived = 0usize;
     for t in 1..=2000 {
