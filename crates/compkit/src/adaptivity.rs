@@ -39,6 +39,24 @@ pub enum SwitchError {
     /// A plan step was inconsistent with the runtime (e.g. unbinding a
     /// binding that does not exist).
     Inconsistent(String),
+    /// A fault injector failed the step (chaos testing).
+    Injected {
+        /// The step that was failed (`bind a.p -- b.q`, `stop eth`, ...).
+        step: String,
+        /// The injector's reason.
+        reason: String,
+    },
+    /// The switch failed AND one or more rollback steps could not be
+    /// undone — the runtime is *not* restored. This never happens with a
+    /// healthy runtime (rollback only undoes steps that succeeded); it is
+    /// reachable under injected rollback faults and surfaces honestly
+    /// instead of panicking.
+    RollbackIncomplete {
+        /// The original failure that triggered the rollback.
+        cause: String,
+        /// Human-readable descriptions of the rollback steps left undone.
+        residue: Vec<String>,
+    },
 }
 
 impl fmt::Display for SwitchError {
@@ -50,11 +68,50 @@ impl fmt::Display for SwitchError {
             SwitchError::Inconsistent(s) => {
                 write!(f, "inconsistent plan: {s} (switch rolled back)")
             }
+            SwitchError::Injected { step, reason } => {
+                write!(f, "injected failure at `{step}`: {reason} (switch rolled back)")
+            }
+            SwitchError::RollbackIncomplete { cause, residue } => {
+                write!(f, "switch failed ({cause}) and rollback left {} step(s): ", residue.len())?;
+                write!(f, "{}", residue.join("; "))
+            }
         }
     }
 }
 
 impl std::error::Error for SwitchError {}
+
+/// Per-step fault injection for the transactional switch. Every method
+/// defaults to "no fault"; a chaos harness overrides the points it wants to
+/// break, returning `Some(reason)` to fail that step. Creation failures are
+/// injected through [`ComponentFactory`] instead (see
+/// [`crate::runtime::FlakyFactory`]).
+pub trait StepFaults: fmt::Debug {
+    /// Fail unbinding `b`?
+    fn fail_unbind(&mut self, _b: &Binding) -> Option<String> {
+        None
+    }
+    /// Fail stopping the named component?
+    fn fail_stop(&mut self, _name: &str) -> Option<String> {
+        None
+    }
+    /// Fail establishing `b`?
+    fn fail_bind(&mut self, _b: &Binding) -> Option<String> {
+        None
+    }
+    /// Fail a *rollback* step (described textually)? Only injectable faults
+    /// can make rollback fail; returning `Some` here exercises the
+    /// [`SwitchError::RollbackIncomplete`] path.
+    fn fail_rollback(&mut self, _step: &str) -> Option<String> {
+        None
+    }
+}
+
+/// The default injector: never faults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl StepFaults for NoFaults {}
 
 /// A successful switch report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,6 +131,7 @@ pub struct SwitchReport {
 pub struct AdaptivityManager {
     switches_committed: u64,
     switches_rolled_back: u64,
+    rollbacks_incomplete: u64,
 }
 
 impl AdaptivityManager {
@@ -95,6 +153,13 @@ impl AdaptivityManager {
         self.switches_rolled_back
     }
 
+    /// Rollbacks that themselves failed to complete (only reachable under
+    /// injected rollback faults; see [`SwitchError::RollbackIncomplete`]).
+    #[must_use]
+    pub fn rollbacks_incomplete(&self) -> u64 {
+        self.rollbacks_incomplete
+    }
+
     /// Execute `plan` against `runtime` transactionally.
     ///
     /// On success the runtime has exactly the plan's target shape, stopped
@@ -112,41 +177,94 @@ impl AdaptivityManager {
         states: &mut StateManager,
         now: u64,
     ) -> Result<SwitchReport, SwitchError> {
+        self.execute_with_faults(runtime, plan, factory, states, now, &mut NoFaults)
+    }
+
+    /// [`AdaptivityManager::execute`] with a fault injector gating every
+    /// step — the entry point chaos tests drive. With [`NoFaults`] the two
+    /// are identical; the unarmed production path costs one virtual call per
+    /// step that immediately returns `None`.
+    ///
+    /// # Errors
+    /// [`SwitchError`]. The runtime is restored on failure unless the
+    /// injector also failed rollback steps, in which case
+    /// [`SwitchError::RollbackIncomplete`] reports exactly what was left.
+    pub fn execute_with_faults(
+        &mut self,
+        runtime: &mut Runtime,
+        plan: &ReconfigurationPlan,
+        factory: &mut dyn ComponentFactory,
+        states: &mut StateManager,
+        now: u64,
+        faults: &mut dyn StepFaults,
+    ) -> Result<SwitchReport, SwitchError> {
         let mut journal: Vec<Done> = Vec::with_capacity(plan.len());
 
-        let result = self.try_execute(runtime, plan, factory, states, now, &mut journal);
+        let result = self.try_execute(runtime, plan, factory, states, now, &mut journal, faults);
         match result {
             Ok(report) => {
                 self.switches_committed += 1;
                 Ok(report)
             }
             Err(e) => {
-                // Back off: undo the journal in reverse.
+                // Back off: undo the journal in reverse. Rollback steps undo
+                // operations that succeeded moments ago, so against a healthy
+                // runtime they cannot fail; injected rollback faults (and
+                // nothing else) land in `residue` instead of a panic.
+                let mut residue: Vec<String> = Vec::new();
                 for step in journal.into_iter().rev() {
                     match step {
                         Done::Unbound(b) => {
-                            runtime.bind(b).expect("rollback rebind cannot fail");
+                            let desc = format!("rebind {} -- {}", b.from, b.to);
+                            if let Some(reason) = faults.fail_rollback(&desc) {
+                                residue.push(format!("{desc}: {reason}"));
+                            } else if let Err(e) = runtime.bind(b) {
+                                residue.push(format!("{desc}: {e}"));
+                            }
                         }
                         Done::Stopped { name, comp } => {
+                            let desc = format!("restart {name}");
+                            if let Some(reason) = faults.fail_rollback(&desc) {
+                                residue.push(format!("{desc}: {reason}"));
+                                continue;
+                            }
                             // The archive entry was created on stop; remove it
                             // again so rollback leaves no residue.
                             let _ = states.unarchive(&name);
-                            runtime.start(&name, comp).expect("rollback restart cannot fail");
+                            if let Err(e) = runtime.start(&name, comp) {
+                                residue.push(format!("{desc}: {e}"));
+                            }
                         }
                         Done::Started { name } => {
-                            let _ = runtime.stop(&name).expect("rollback stop cannot fail");
+                            let desc = format!("stop {name}");
+                            if let Some(reason) = faults.fail_rollback(&desc) {
+                                residue.push(format!("{desc}: {reason}"));
+                            } else if let Err(e) = runtime.stop(&name) {
+                                residue.push(format!("{desc}: {e}"));
+                            }
                         }
                         Done::Bound(b) => {
-                            runtime.unbind(&b).expect("rollback unbind cannot fail");
+                            let desc = format!("unbind {} -- {}", b.from, b.to);
+                            if let Some(reason) = faults.fail_rollback(&desc) {
+                                residue.push(format!("{desc}: {reason}"));
+                            } else if let Err(e) = runtime.unbind(&b) {
+                                residue.push(format!("{desc}: {e}"));
+                            }
                         }
                     }
                 }
                 self.switches_rolled_back += 1;
-                Err(e)
+                if residue.is_empty() {
+                    Err(e)
+                } else {
+                    self.rollbacks_incomplete += 1;
+                    Err(SwitchError::RollbackIncomplete { cause: e.to_string(), residue })
+                }
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn try_execute(
         &mut self,
         runtime: &mut Runtime,
@@ -155,15 +273,25 @@ impl AdaptivityManager {
         states: &mut StateManager,
         now: u64,
         journal: &mut Vec<Done>,
+        faults: &mut dyn StepFaults,
     ) -> Result<SwitchReport, SwitchError> {
         // 1. Unbind first: never leave a live binding to a stopping component.
         for b in &plan.unbind {
+            if let Some(reason) = faults.fail_unbind(b) {
+                return Err(SwitchError::Injected {
+                    step: format!("unbind {} -- {}", b.from, b.to),
+                    reason,
+                });
+            }
             runtime.unbind(b).map_err(|e| SwitchError::Inconsistent(e.to_string()))?;
             journal.push(Done::Unbound(b.clone()));
         }
         // 2. Stop, archiving state.
         let mut stopped = Vec::with_capacity(plan.stop.len());
         for (name, _ty) in &plan.stop {
+            if let Some(reason) = faults.fail_stop(name) {
+                return Err(SwitchError::Injected { step: format!("stop {name}"), reason });
+            }
             let comp = runtime.stop(name).map_err(|e| SwitchError::Inconsistent(e.to_string()))?;
             states.archive(name, comp.state.clone());
             journal.push(Done::Stopped { name: name.clone(), comp });
@@ -181,6 +309,12 @@ impl AdaptivityManager {
         }
         // 4. Bind last: all endpoints now exist.
         for b in &plan.bind {
+            if let Some(reason) = faults.fail_bind(b) {
+                return Err(SwitchError::Injected {
+                    step: format!("bind {} -- {}", b.from, b.to),
+                    reason,
+                });
+            }
             runtime.bind(b.clone()).map_err(|e| SwitchError::Inconsistent(e.to_string()))?;
             journal.push(Done::Bound(b.clone()));
         }
@@ -269,6 +403,92 @@ mod tests {
         let plan = adl::diff::ReconfigurationPlan::default();
         let report = am.execute(&mut rt, &plan, &mut BasicFactory, &mut sm, 2).unwrap();
         assert_eq!(report.steps, 0);
+    }
+
+    /// Fails a single named step kind on a matching component/binding, and
+    /// optionally every rollback step.
+    #[derive(Debug, Default)]
+    struct ScriptedFaults {
+        bind_to: Option<String>,
+        stop: Option<String>,
+        rollback_too: bool,
+    }
+
+    impl StepFaults for ScriptedFaults {
+        fn fail_stop(&mut self, name: &str) -> Option<String> {
+            (self.stop.as_deref() == Some(name)).then(|| "injected stop failure".into())
+        }
+        fn fail_bind(&mut self, b: &Binding) -> Option<String> {
+            let hit = b.to.instance.as_deref() == self.bind_to.as_deref();
+            hit.then(|| "injected bind failure".into())
+        }
+        fn fail_rollback(&mut self, _step: &str) -> Option<String> {
+            self.rollback_too.then(|| "injected rollback failure".into())
+        }
+    }
+
+    #[test]
+    fn injected_bind_failure_mid_plan_rolls_back_exactly() {
+        let (mut rt, mut sm, mut am) = boot_docked();
+        let before = rt.clone();
+        let doc = fig4_document();
+        let plan = diff(&rt.configuration(), &wireless_session(&doc));
+        assert!(!plan.bind.is_empty(), "switchover plan must bind something");
+        let target = plan.bind.last().unwrap().to.instance.clone();
+        let mut faults = ScriptedFaults { bind_to: target, ..ScriptedFaults::default() };
+        let err = am
+            .execute_with_faults(&mut rt, &plan, &mut BasicFactory, &mut sm, 4, &mut faults)
+            .unwrap_err();
+        assert!(matches!(err, SwitchError::Injected { ref step, .. } if step.starts_with("bind")));
+        assert_eq!(rt, before, "mid-plan bind failure must restore the runtime");
+        assert_eq!(am.rolled_back(), 1);
+        assert_eq!(am.rollbacks_incomplete(), 0);
+    }
+
+    #[test]
+    fn injected_stop_failure_rolls_back() {
+        let (mut rt, mut sm, mut am) = boot_docked();
+        let before = rt.clone();
+        let doc = fig4_document();
+        let plan = diff(&rt.configuration(), &wireless_session(&doc));
+        let mut faults = ScriptedFaults { stop: Some("eth".into()), ..ScriptedFaults::default() };
+        let err = am
+            .execute_with_faults(&mut rt, &plan, &mut BasicFactory, &mut sm, 4, &mut faults)
+            .unwrap_err();
+        assert!(matches!(err, SwitchError::Injected { ref step, .. } if step == "stop eth"));
+        assert_eq!(rt, before);
+    }
+
+    #[test]
+    fn injected_rollback_failure_is_reported_not_panicked() {
+        let (mut rt, mut sm, mut am) = boot_docked();
+        let doc = fig4_document();
+        let plan = diff(&rt.configuration(), &wireless_session(&doc));
+        let target = plan.bind.last().unwrap().to.instance.clone();
+        let mut faults = ScriptedFaults { bind_to: target, stop: None, rollback_too: true };
+        let err = am
+            .execute_with_faults(&mut rt, &plan, &mut BasicFactory, &mut sm, 4, &mut faults)
+            .unwrap_err();
+        let SwitchError::RollbackIncomplete { cause, residue } = err else {
+            panic!("expected RollbackIncomplete, got {err}");
+        };
+        assert!(cause.contains("injected bind failure"), "{cause}");
+        assert!(!residue.is_empty());
+        assert_eq!(am.rollbacks_incomplete(), 1);
+        assert_eq!(am.rolled_back(), 1);
+    }
+
+    #[test]
+    fn no_faults_injector_is_transparent() {
+        // execute() and execute_with_faults(NoFaults) behave identically.
+        let (mut rt, mut sm, mut am) = boot_docked();
+        let doc = fig4_document();
+        let plan = diff(&rt.configuration(), &wireless_session(&doc));
+        let report = am
+            .execute_with_faults(&mut rt, &plan, &mut BasicFactory, &mut sm, 5, &mut NoFaults)
+            .unwrap();
+        assert_eq!(rt.configuration(), wireless_session(&doc));
+        assert_eq!(report.stopped, vec!["eth", "opt"]);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod runtime;
 pub mod session;
 pub mod state;
 
-pub use adaptivity::{AdaptivityManager, SwitchError, SwitchReport};
+pub use adaptivity::{AdaptivityManager, NoFaults, StepFaults, SwitchError, SwitchReport};
 pub use gauge::{Gauge, GaugeBoard, GaugeKind};
 pub use monitor::{Monitor, Reading};
 pub use rules::{Action, Expr, RuleSet, SwitchingRule};

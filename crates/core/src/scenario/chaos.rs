@@ -1,0 +1,181 @@
+//! Chaos conformance harness: a seeded fault plan driven through the
+//! Patia fleet while the Table 2 constraints adapt around it.
+//!
+//! > "At an architectural level the system must be able to cope with units
+//! > failing – perhaps mid way through answering a query."
+//!
+//! [`run`] replays a [`FaultPlan`] against the paper fleet tick by tick —
+//! the driver lands that tick's faults *before* the server's tick, so the
+//! storyline is unambiguous — and returns a [`ChaosReport`] aggregating
+//! the server's per-tick [`TickStats`]. Everything is seeded: the same
+//! plan and workload seed produce an identical report, which the
+//! `chaos_e2e` determinism test asserts byte for byte.
+
+use faultsim::{FaultPlan, PatiaDriver};
+use patia::atom::AtomId;
+use patia::server::{PatiaServer, ServerConfig, TickStats};
+use patia::workload::{FlashCrowd, RequestGen};
+use std::collections::BTreeMap;
+
+/// Chaos run parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosParams {
+    /// The fault storyline to replay.
+    pub plan: FaultPlan,
+    /// Ticks to run.
+    pub ticks: u64,
+    /// Optional flash crowd riding on top of the faults.
+    pub crowd: Option<FlashCrowd>,
+    /// Baseline request rate per tick.
+    pub base_rate: f64,
+    /// Client bandwidth seen by constraint 595.
+    pub client_bandwidth_kbps: f64,
+    /// Whether the Table 2 constraints are active.
+    pub adaptive: bool,
+    /// Seed for the request generator (independent of the plan seed so a
+    /// fault timeline can be replayed under different workloads).
+    pub workload_seed: u64,
+}
+
+impl Default for ChaosParams {
+    fn default() -> Self {
+        Self {
+            plan: FaultPlan::new(0),
+            ticks: 300,
+            crowd: None,
+            base_rate: 4.0,
+            client_bandwidth_kbps: 500.0,
+            adaptive: true,
+            workload_seed: 2,
+        }
+    }
+}
+
+/// Aggregated outcome of a chaos run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// The rendered fault timeline ([`FaultPlan::render`]).
+    pub timeline: String,
+    /// The timeline's FNV fingerprint ([`FaultPlan::digest`]).
+    pub plan_digest: u64,
+    /// Every tick's stats, in order — determinism tests compare these
+    /// wholesale.
+    pub per_tick: Vec<TickStats>,
+    /// Requests that arrived.
+    pub arrivals: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests dropped (counted, never silent).
+    pub dropped: u64,
+    /// Requests still queued when the run ended.
+    pub queued_at_end: u64,
+    /// SWITCH events (migrations + spreads + evacuations) performed.
+    pub migrations: u64,
+    /// Agents evacuated off dead nodes.
+    pub evacuations: u64,
+    /// SWITCH attempts that failed (denied, unreachable, no destination).
+    pub failed_switches: u64,
+    /// Failed attempts that were retries of an earlier failure.
+    pub switch_retries: u64,
+    /// Requests served degraded while an incident was open.
+    pub degraded: u64,
+    /// Whether each atom's [`PatiaServer::switches`] counter equals the
+    /// switch events observed for it in the per-tick stats.
+    pub switches_consistent: bool,
+}
+
+impl ChaosReport {
+    /// The conservation invariant: every arrival is accounted for as
+    /// completed, dropped, or still queued — none silently lost.
+    #[must_use]
+    pub fn conserved(&self) -> bool {
+        self.arrivals == self.completed + self.dropped + self.queued_at_end
+    }
+}
+
+/// Replay `p.plan` against the paper fleet for `p.ticks` ticks.
+#[must_use]
+pub fn run(p: &ChaosParams) -> ChaosReport {
+    let (net, atoms, constraints) = ServerConfig::paper_fleet();
+    let config = ServerConfig { adaptive: p.adaptive, work_per_request: 400 };
+    let mut server = PatiaServer::new(net, atoms, constraints, config);
+    let driver = PatiaDriver::new(p.plan.clone());
+    driver.arm(&mut server);
+    let mut gen =
+        RequestGen::new(vec![AtomId(123), AtomId(153)], 1.0, p.base_rate, p.workload_seed);
+    if let Some(crowd) = p.crowd {
+        gen = gen.with_crowd(crowd);
+    }
+    let mut report = ChaosReport {
+        timeline: p.plan.render(),
+        plan_digest: p.plan.digest(),
+        per_tick: Vec::with_capacity(p.ticks as usize),
+        arrivals: 0,
+        completed: 0,
+        dropped: 0,
+        queued_at_end: 0,
+        migrations: 0,
+        evacuations: 0,
+        failed_switches: 0,
+        switch_retries: 0,
+        degraded: 0,
+        switches_consistent: false,
+    };
+    let mut per_atom: BTreeMap<AtomId, u32> = BTreeMap::new();
+    for t in 1..=p.ticks {
+        driver.apply(&mut server, t);
+        let requests = gen.tick(t);
+        let st = server.tick(&requests, p.client_bandwidth_kbps);
+        report.arrivals += st.arrivals as u64;
+        report.completed += st.latencies.len() as u64;
+        report.dropped += st.faults.dropped;
+        report.migrations += st.migrations.len() as u64;
+        report.evacuations += st.faults.evacuations;
+        report.failed_switches += st.faults.failed_switches;
+        report.switch_retries += st.faults.switch_retries;
+        report.degraded += st.faults.degraded;
+        for (atom, _, _) in &st.migrations {
+            *per_atom.entry(*atom).or_default() += 1;
+        }
+        report.per_tick.push(st);
+    }
+    report.queued_at_end = server.queued_requests();
+    report.switches_consistent = [AtomId(123), AtomId(153)]
+        .iter()
+        .all(|a| server.switches(*a) == per_atom.get(a).copied().unwrap_or(0));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultsim::Fault;
+
+    #[test]
+    fn fault_free_run_conserves_and_stays_consistent() {
+        let r = run(&ChaosParams { ticks: 150, ..ChaosParams::default() });
+        assert!(
+            r.conserved(),
+            "arrivals {} != {} + {} + {}",
+            r.arrivals,
+            r.completed,
+            r.dropped,
+            r.queued_at_end
+        );
+        assert!(r.switches_consistent);
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.failed_switches, 0);
+    }
+
+    #[test]
+    fn node_death_run_is_deterministic_and_conserved() {
+        let plan = FaultPlan::new(9)
+            .at(30, Fault::NodeDeath { node: "node1".into() })
+            .at(90, Fault::NodeRevival { node: "node1".into() });
+        let params = ChaosParams { plan, ticks: 200, ..ChaosParams::default() };
+        let (a, b) = (run(&params), run(&params));
+        assert_eq!(a, b, "same plan + workload seed must replay identically");
+        assert!(a.conserved());
+        assert!(a.switches_consistent);
+    }
+}

@@ -8,6 +8,7 @@
 //! adaptation flow the paper narrates, and returns a structured report the
 //! examples, tests and benches all share.
 
+pub mod chaos;
 pub mod failover;
 pub mod inter_query;
 pub mod intra_query;

@@ -53,7 +53,7 @@ pub use kernels::{
     ExtensibleKernel, GoKernel, Kernel, KernelKind, L4Kernel, MachKernel, MonolithicKernel,
 };
 pub use libos::{LibOs, LibOsError, ThreadId};
-pub use orb::{Orb, OrbError, RpcOutcome};
+pub use orb::{InvokeFaults, Orb, OrbError, RpcOutcome};
 pub use sisr::{
     Diagnostic, DiagnosticKind, Limits, Pass, PassReport, Severity, SisrVerifier, VerifiedImage,
     VerifyReport,

@@ -62,6 +62,13 @@ pub enum OrbError {
         /// The unverified entry point.
         entry: u32,
     },
+    /// An armed fault injector failed this invocation before the thread
+    /// migrated (chaos testing; see [`InvokeFaults`]). Caller state is
+    /// untouched — the failure is equivalent to the ORB refusing the call.
+    Injected {
+        /// The injector's reason.
+        reason: String,
+    },
 }
 
 impl From<VerifyReport> for OrbError {
@@ -81,6 +88,16 @@ pub struct RpcOutcome {
     pub breakdown: Vec<(&'static str, Cycles)>,
 }
 
+/// Invocation-level fault injection: consulted (when armed) at the top of
+/// every [`Orb::invoke`], before any machine state changes. Returning
+/// `Some(reason)` fails that call with [`OrbError::Injected`]. The unarmed
+/// ORB never consults an injector — the hot path stays a `None` check.
+pub trait InvokeFaults: std::fmt::Debug {
+    /// Should this invocation (the `call_index`-th since boot, 0-based)
+    /// fail, and why?
+    fn deny(&mut self, call_index: u64, caller: ComponentId, iface: InterfaceId) -> Option<String>;
+}
+
 /// The ORB: descriptor tables, loaded types/instances, the segment table,
 /// and the CPU the migrated thread runs on.
 #[derive(Debug)]
@@ -94,6 +111,8 @@ pub struct Orb {
     cpu: Cpu,
     next_base: u32,
     mem_limit: u32,
+    faults: Option<Box<dyn InvokeFaults>>,
+    invocations: u64,
 }
 
 /// Default per-instance data segment size.
@@ -129,7 +148,26 @@ impl Orb {
             cpu: Cpu::new(mem_bytes as usize, Mode::Kernel, model),
             next_base: 0,
             mem_limit: mem_bytes,
+            faults: None,
+            invocations: 0,
         }
+    }
+
+    /// Arm an invocation fault injector (chaos testing). Replaces any
+    /// previous injector.
+    pub fn arm_faults(&mut self, faults: Box<dyn InvokeFaults>) {
+        self.faults = Some(faults);
+    }
+
+    /// Disarm fault injection, restoring the zero-cost production path.
+    pub fn disarm_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Invocations attempted since boot (including injected failures).
+    #[must_use]
+    pub fn invocations(&self) -> u64 {
+        self.invocations
     }
 
     fn alloc(&mut self, bytes: u32) -> Result<u32, OrbError> {
@@ -265,6 +303,13 @@ impl Orb {
         iface: InterfaceId,
         args: &[u32],
     ) -> Result<RpcOutcome, OrbError> {
+        let call_index = self.invocations;
+        self.invocations += 1;
+        if let Some(f) = self.faults.as_mut() {
+            if let Some(reason) = f.deny(call_index, caller, iface) {
+                return Err(OrbError::Injected { reason });
+            }
+        }
         let model = self.cpu.model().clone();
         let start = self.cpu.cycles();
         let start_bd: Vec<(&'static str, Cycles)> = self.cpu.counter().breakdown().to_vec();
@@ -541,6 +586,37 @@ mod tests {
         // 1 interface × 32 B + 6 segment descriptors × 8 B (2 types' code +
         // 2 instances × data+stack).
         assert_eq!(orb.protection_bytes(), 32 + 6 * 8);
+    }
+
+    /// Denies a fixed set of call indices.
+    #[derive(Debug)]
+    struct DropCalls(std::collections::BTreeSet<u64>);
+
+    impl InvokeFaults for DropCalls {
+        fn deny(&mut self, i: u64, _c: ComponentId, _f: InterfaceId) -> Option<String> {
+            self.0.contains(&i).then(|| format!("call {i} dropped"))
+        }
+    }
+
+    #[test]
+    fn injected_invocation_faults_are_contained_and_disarmable() {
+        let (mut orb, caller, iface) = orb_with_pair(null_service(), 0);
+        orb.invoke(caller, iface, &[]).unwrap(); // call 0
+        let cycles_before = orb.cycles();
+        orb.arm_faults(Box::new(DropCalls([1, 2].into())));
+        for _ in 0..2 {
+            assert!(matches!(
+                orb.invoke(caller, iface, &[]),
+                Err(OrbError::Injected { ref reason }) if reason.contains("dropped")
+            ));
+        }
+        // An injected failure happens before the thread migrates: no cycles
+        // were charged and the ORB is fully functional afterwards.
+        assert_eq!(orb.cycles(), cycles_before);
+        assert_eq!(orb.invoke(caller, iface, &[]).unwrap().result, 7);
+        orb.disarm_faults();
+        assert_eq!(orb.invoke(caller, iface, &[]).unwrap().result, 7);
+        assert_eq!(orb.invocations(), 5);
     }
 
     #[test]

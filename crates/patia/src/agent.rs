@@ -57,11 +57,13 @@ impl ServiceAgent {
             let spend = front.remaining_work.min(budget);
             front.remaining_work -= spend;
             budget -= spend;
-            if front.remaining_work == 0 {
-                let done = self.queue.pop_front().expect("front exists");
-                self.served += 1;
-                completed.push((done.arrived_at, now));
+            if front.remaining_work > 0 {
+                break; // budget exhausted mid-request
             }
+            let arrived_at = front.arrived_at;
+            self.queue.pop_front();
+            self.served += 1;
+            completed.push((arrived_at, now));
         }
         completed
     }
@@ -130,6 +132,17 @@ mod tests {
         // Serving continues seamlessly on the new node.
         let done = a.step(2, 100);
         assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn zero_work_request_completes_immediately_without_panicking() {
+        let mut a = ServiceAgent::new(AtomId(1), "n");
+        a.accept(0, 0);
+        a.accept(0, 3);
+        let done = a.step(1, 5);
+        assert_eq!(done.len(), 2, "free request and the 3-unit one both finish");
+        assert!(a.queue.is_empty());
+        assert_eq!(a.served, 2);
     }
 
     #[test]

@@ -43,6 +43,6 @@ pub mod workload;
 pub use agent::ServiceAgent;
 pub use atom::{Atom, AtomId, AtomStore, AtomType};
 pub use constraint::{paper_table2, AtomConstraint, ConstraintLogic};
-pub use server::{PatiaServer, ServerConfig, TickStats};
+pub use server::{FaultCounters, PatiaServer, ServerConfig, SwitchGate, TickStats};
 pub use stream::{StreamCodec, StreamSession};
 pub use workload::{FlashCrowd, RequestGen};

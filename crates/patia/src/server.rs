@@ -84,6 +84,27 @@ impl ServerConfig {
     }
 }
 
+/// Fault and degradation counters for one tick. The server never panics on
+/// an injected or environmental fault; instead the event is counted here so
+/// chaos tests can assert exact, reproducible totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// SWITCH attempts that could not be carried out (denied by a gate,
+    /// destination unreachable, or no usable destination).
+    pub failed_switches: u64,
+    /// Failed SWITCH attempts that were themselves retries of an earlier
+    /// failure (attempt two onwards).
+    pub switch_retries: u64,
+    /// Agents moved off dead nodes through the SWITCH machinery.
+    pub evacuations: u64,
+    /// Requests served in degraded mode (smallest version) because their
+    /// atom was mid-incident.
+    pub degraded: u64,
+    /// Requests dropped because no agent could ever serve them (unknown
+    /// atom, or an atom with no holders).
+    pub dropped: u64,
+}
+
 /// Per-tick observable results.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TickStats {
@@ -99,6 +120,8 @@ pub struct TickStats {
     pub utilisation: BTreeMap<String, f64>,
     /// Version ids served this tick, per atom.
     pub versions_served: BTreeMap<AtomId, BTreeMap<u32, u64>>,
+    /// Fault and degradation events this tick.
+    pub faults: FaultCounters,
 }
 
 impl TickStats {
@@ -113,6 +136,29 @@ impl TickStats {
         let idx = ((v.len() - 1) as f64 * p).round() as usize;
         Some(v[idx])
     }
+}
+
+/// An injection point for SWITCH failures: consulted just before an agent
+/// migration or spread would be carried out. Returning `Some(reason)`
+/// denies the switch; the server counts the failure, backs off
+/// deterministically, and serves degraded instead of panicking. Production
+/// runs arm no gate, so the hook costs one `Option` check per switch.
+pub trait SwitchGate: std::fmt::Debug {
+    /// Decide whether the switch of `atom`'s agent from `from` to `to` at
+    /// `tick` fails. `None` lets it proceed.
+    fn deny(&mut self, tick: u64, atom: AtomId, from: &str, to: &str) -> Option<String>;
+}
+
+/// Backoff shift cap: retry windows grow 2, 4, 8, 16, 32 ticks and then
+/// stay at 32 — bounded and wall-clock-free, so a fault timeline replays
+/// identically from the same seed.
+const MAX_BACKOFF_SHIFT: u32 = 5;
+
+/// Retry bookkeeping for an atom whose last SWITCH attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RetryState {
+    attempts: u32,
+    next_at: u64,
 }
 
 /// The Patia server.
@@ -130,14 +176,19 @@ pub struct PatiaServer {
     pub board: GaugeBoard,
     config: ServerConfig,
     now: u64,
+    /// Injected CPU pressure per node (0..1 of capacity stolen).
+    pressure: BTreeMap<String, f64>,
+    /// Armed SWITCH-failure injector, if any.
+    gate: Option<Box<dyn SwitchGate>>,
+    /// Per-atom backoff state after failed switches.
+    retry: BTreeMap<AtomId, RetryState>,
 }
 
 impl PatiaServer {
     /// Build a server. One agent is created per atom, placed by constraint
-    /// 450 (`BEST`) where present, else on the atom's first holder.
-    ///
-    /// # Panics
-    /// If an atom has no holders.
+    /// 450 (`BEST`) where present, else on the atom's first holder. An atom
+    /// with no holders gets no agent: requests for it are counted as
+    /// dropped at serving time rather than panicking construction.
     #[must_use]
     pub fn new(
         net: Network,
@@ -164,7 +215,7 @@ impl PatiaServer {
         }
         let mut agents = BTreeMap::new();
         for id in atoms.ids().collect::<Vec<_>>() {
-            let atom = atoms.get(id).expect("id from iterator");
+            let Some(atom) = atoms.get(id) else { continue };
             let home = constraints
                 .iter()
                 .find_map(|c| match (&c.logic, c.atom == id) {
@@ -174,11 +225,88 @@ impl PatiaServer {
                     }
                     _ => None,
                 })
-                .or_else(|| atom.holders().first().map(|s| (*s).to_owned()))
-                .expect("atom must have a holder");
-            agents.insert(id, vec![ServiceAgent::new(id, &home)]);
+                .or_else(|| atom.holders().first().map(|s| (*s).to_owned()));
+            if let Some(home) = home {
+                agents.insert(id, vec![ServiceAgent::new(id, &home)]);
+            }
         }
-        Self { net, atoms, constraints, agents, board, config, now: 0 }
+        Self {
+            net,
+            atoms,
+            constraints,
+            agents,
+            board,
+            config,
+            now: 0,
+            pressure: BTreeMap::new(),
+            gate: None,
+            retry: BTreeMap::new(),
+        }
+    }
+
+    /// Arm a SWITCH-failure injector. Replaces any previous gate.
+    pub fn arm_switch_gate(&mut self, gate: Box<dyn SwitchGate>) {
+        self.gate = Some(gate);
+    }
+
+    /// Remove the SWITCH-failure injector; switches proceed normally again.
+    pub fn disarm_switch_gate(&mut self) {
+        self.gate = None;
+    }
+
+    /// Kill a node: it serves nothing until revived, and agents stranded on
+    /// it evacuate through the SWITCH machinery on the next tick. Returns
+    /// `false` if the node is unknown.
+    pub fn kill_node(&mut self, node: &str) -> bool {
+        match self.net.device_mut(node) {
+            Some(d) => {
+                d.alive = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Revive a previously killed node.
+    pub fn revive_node(&mut self, node: &str) -> bool {
+        match self.net.device_mut(node) {
+            Some(d) => {
+                d.alive = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Steal `fraction` (0..1) of a node's capacity — injected CPU
+    /// pressure. The node's utilisation rises accordingly, which is what
+    /// drives constraint 455 to SWITCH agents away.
+    pub fn inject_pressure(&mut self, node: &str, fraction: f64) {
+        self.pressure.insert(node.to_owned(), fraction.clamp(0.0, 1.0));
+    }
+
+    /// Remove injected CPU pressure from a node.
+    pub fn clear_pressure(&mut self, node: &str) {
+        self.pressure.remove(node);
+    }
+
+    /// Requests currently queued across every agent — the in-flight count
+    /// chaos tests use to assert conservation (arrivals = completed +
+    /// dropped + queued).
+    #[must_use]
+    pub fn queued_requests(&self) -> u64 {
+        self.agents.values().flatten().map(|a| a.queue.len() as u64).sum()
+    }
+
+    /// Whether an atom is mid-incident: a switch for it is backing off
+    /// after a failure, or one of its agents sits on a dead node. Degraded
+    /// atoms serve their smallest version rather than drop requests.
+    #[must_use]
+    pub fn is_degraded(&self, atom: AtomId) -> bool {
+        self.retry.contains_key(&atom)
+            || self.agents.get(&atom).is_some_and(|v| {
+                v.iter().any(|a| self.net.device(&a.node).is_none_or(|d| !d.alive))
+            })
     }
 
     /// The agents currently serving an atom (one unless the service has
@@ -199,6 +327,12 @@ impl PatiaServer {
     #[must_use]
     pub fn network(&self) -> &Network {
         &self.net
+    }
+
+    /// Mutable access to the fleet — how fault injectors drop links,
+    /// partition islands, and spike latencies underneath the server.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
     }
 
     /// Select which version of an atom to serve a client seeing
@@ -234,21 +368,47 @@ impl PatiaServer {
         a.versions.all().first().map(|v| v.id)
     }
 
-    /// One serving tick: accept `requests`, process, monitor, adapt.
+    /// One serving tick: accept `requests`, process, monitor, adapt. Faults
+    /// (dead nodes, denied switches, holderless atoms) never panic — they
+    /// surface as [`FaultCounters`] in the returned stats.
     pub fn tick(&mut self, requests: &[AtomId], client_bandwidth_kbps: f64) -> TickStats {
         self.now += 1;
         let now = self.now;
         let mut stats = TickStats { tick: now, arrivals: requests.len(), ..TickStats::default() };
 
+        // 0. Recover agents stranded on dead nodes before routing new work.
+        if self.config.adaptive {
+            self.evacuate_dead(now, &mut stats);
+        }
+
         // 1. Route arrivals to agents, selecting versions per constraint 595.
         for &atom in requests {
-            if let Some(version) = self.select_version(atom, client_bandwidth_kbps) {
+            if self.atoms.get(atom).is_none()
+                || self.agents.get(&atom).is_none_or(|v| v.is_empty())
+            {
+                // Unknown atom, or an atom no agent can ever serve: the
+                // drop is counted, not silent.
+                stats.faults.dropped += 1;
+                continue;
+            }
+            let degraded = self.config.adaptive && self.is_degraded(atom);
+            let version = if degraded {
+                // Graceful degradation: serve the smallest version rather
+                // than drop the request while the incident is resolved.
+                stats.faults.degraded += 1;
+                self.fallback_version(atom)
+            } else {
+                self.select_version(atom, client_bandwidth_kbps)
+            };
+            if let Some(version) = version {
                 *stats.versions_served.entry(atom).or_default().entry(version).or_default() += 1;
             }
-            // Route to the agent whose node has the least pending work per
-            // unit of capacity (capacity-weighted join-shortest-queue) —
+            // Route to the live agent whose node has the least pending work
+            // per unit of capacity (capacity-weighted join-shortest-queue) —
             // a typing-pool workstation must not receive a webserver-sized
-            // share of a flash crowd.
+            // share of a flash crowd. Agents on dead nodes are a last
+            // resort: the request then waits for evacuation instead of
+            // vanishing.
             let choice = self
                 .agents
                 .get(&atom)
@@ -256,25 +416,24 @@ impl PatiaServer {
                 .flatten()
                 .enumerate()
                 .map(|(i, a)| {
-                    let cap = self
-                        .net
-                        .device(&a.node)
-                        .map_or(1.0, |d| d.kind.nominal_capacity())
-                        .max(1.0);
-                    (i, a.queued_work() as f64 / cap)
+                    let dev = self.net.device(&a.node);
+                    let dead = u8::from(dev.is_none_or(|d| !d.alive));
+                    let cap = dev.map_or(1.0, |d| d.kind.nominal_capacity()).max(1.0);
+                    (i, dead, a.queued_work() as f64 / cap)
                 })
-                .min_by(|(_, x), (_, y)| x.total_cmp(y))
-                .map(|(i, _)| i);
+                .min_by(|(_, d1, w1), (_, d2, w2)| d1.cmp(d2).then(w1.total_cmp(w2)))
+                .map(|(i, _, _)| i);
             if let (Some(idx), Some(agents)) = (choice, self.agents.get_mut(&atom)) {
                 agents[idx].accept(now, self.config.work_per_request);
             }
         }
 
         // 2. Process: each node's capacity is shared among its agents.
+        //    Dead nodes have zero capacity; injected CPU pressure shrinks
+        //    the effective budget, which is what the gauges then see.
         let node_names: Vec<String> = self.net.devices().map(|d| d.name.clone()).collect();
         for node in &node_names {
-            let capacity =
-                self.net.device(node).map_or(0.0, |d| d.kind.nominal_capacity()).max(0.0) as u64;
+            let capacity = self.effective_capacity(node).max(0.0) as u64;
             let mut local: Vec<(AtomId, usize)> = self
                 .agents
                 .iter()
@@ -301,7 +460,9 @@ impl PatiaServer {
                 .collect();
             let share = if active.is_empty() { 0 } else { capacity / active.len() as u64 };
             for (id, i) in &active {
-                let agent = &mut self.agents.get_mut(id).expect("local agent")[*i];
+                let Some(agent) = self.agents.get_mut(id).and_then(|v| v.get_mut(*i)) else {
+                    continue;
+                };
                 for (arrived, done) in agent.step(now, share) {
                     stats.latencies.push(done - arrived);
                 }
@@ -314,7 +475,10 @@ impl PatiaServer {
             }
         }
 
-        // 3. Adapt: constraint 455 — SWITCH agents off saturated nodes.
+        // 3. Adapt: constraint 455 — SWITCH agents off saturated nodes. A
+        //    denied or impossible switch is counted, backed off (2, 4, ...
+        //    32 ticks, deterministic), and the atom serves degraded until
+        //    the switch lands or the pressure subsides.
         if self.config.adaptive {
             let gauges = self.board.snapshot();
             let constraints = self.constraints.clone();
@@ -334,23 +498,48 @@ impl PatiaServer {
                 else {
                     continue;
                 };
+                let from = agents[worst_idx].node.clone();
+                let occupied: Vec<String> = agents.iter().map(|a| a.node.clone()).collect();
                 if worst_util <= *threshold {
+                    // The pressure subsided on its own: obsolete any
+                    // backoff so the next incident starts fresh.
+                    self.retry.remove(&c.atom);
                     continue;
                 }
-                let occupied: Vec<String> = agents.iter().map(|a| a.node.clone()).collect();
+                if self.retry.get(&c.atom).is_some_and(|r| now < r.next_at) {
+                    continue; // waiting out the backoff window
+                }
                 let refs: Vec<&str> = candidates
                     .iter()
                     .map(String::as_str)
                     .filter(|n| !occupied.iter().any(|o| o == *n))
                     .collect();
-                let Some(dest) = best(&self.net, &refs) else { continue };
-                let dest_load = self.net.device(dest).map_or(1.0, |d| d.load);
+                if refs.is_empty() {
+                    continue; // fully spread — nowhere left to switch to
+                }
+                let Some(dest) = best(&self.net, &refs).map(str::to_owned) else {
+                    // Candidates remain but none is usable (dead or flat).
+                    self.note_switch_failure(c.atom, now, &mut stats);
+                    continue;
+                };
+                let dest_load = self.net.device(&dest).map_or(1.0, |d| d.load);
                 // Only act if the destination is meaningfully less loaded.
                 if dest_load >= worst_util - 0.2 {
                     continue;
                 }
-                let agents = self.agents.get_mut(&c.atom).expect("checked");
-                let from = agents[worst_idx].node.clone();
+                // Shipping the agent needs a live path — during a partition
+                // BEST still nominates an unreachable destination.
+                if self.net.hop_distance(&from, &dest).is_err() {
+                    self.note_switch_failure(c.atom, now, &mut stats);
+                    continue;
+                }
+                if let Some(gate) = self.gate.as_mut() {
+                    if gate.deny(now, c.atom, &from, &dest).is_some() {
+                        self.note_switch_failure(c.atom, now, &mut stats);
+                        continue;
+                    }
+                }
+                let Some(agents) = self.agents.get_mut(&c.atom) else { continue };
                 // A lightly-queued agent is a bystander on a busy node:
                 // SWITCH moves it whole. A heavily-queued agent *is* the
                 // load: SWITCH spreads the service — clone the agent onto
@@ -358,9 +547,9 @@ impl PatiaServer {
                 // processing state shipping the paper describes).
                 let queue_len = agents[worst_idx].queue.len();
                 if queue_len <= 2 {
-                    let _state_bytes = agents[worst_idx].migrate(dest);
+                    let _state_bytes = agents[worst_idx].migrate(&dest);
                 } else {
-                    let mut clone = ServiceAgent::new(c.atom, dest);
+                    let mut clone = ServiceAgent::new(c.atom, &dest);
                     let split = queue_len / 2;
                     for _ in 0..split {
                         if let Some(req) = agents[worst_idx].queue.pop_back() {
@@ -369,7 +558,8 @@ impl PatiaServer {
                     }
                     agents.push(clone);
                 }
-                stats.migrations.push((c.atom, from, dest.to_owned()));
+                self.retry.remove(&c.atom);
+                stats.migrations.push((c.atom, from, dest));
             }
         }
 
@@ -378,6 +568,105 @@ impl PatiaServer {
 
     fn record_util(&mut self, node: &str, util: f64, now: u64) {
         self.board.record(&format!("cpu:{node}"), now, util);
+    }
+
+    /// A node's capacity this tick: zero when dead, squeezed by injected
+    /// CPU pressure otherwise.
+    fn effective_capacity(&self, node: &str) -> f64 {
+        let Some(d) = self.net.device(node) else { return 0.0 };
+        if !d.alive {
+            return 0.0;
+        }
+        let squeeze = 1.0 - self.pressure.get(node).copied().unwrap_or(0.0).clamp(0.0, 1.0);
+        d.kind.nominal_capacity() * squeeze
+    }
+
+    /// The smallest version of an atom — what degraded mode serves.
+    fn fallback_version(&self, atom: AtomId) -> Option<u32> {
+        let a = self.atoms.get(atom)?;
+        a.versions
+            .all()
+            .iter()
+            .min_by(|x, y| x.size_bytes.cmp(&y.size_bytes).then(x.id.cmp(&y.id)))
+            .map(|v| v.id)
+    }
+
+    /// Record a failed SWITCH attempt: count it, and grow the atom's
+    /// deterministic backoff window.
+    fn note_switch_failure(&mut self, atom: AtomId, now: u64, stats: &mut TickStats) {
+        let r = self.retry.entry(atom).or_insert(RetryState { attempts: 0, next_at: now });
+        r.attempts = r.attempts.saturating_add(1);
+        r.next_at = now + (1u64 << r.attempts.min(MAX_BACKOFF_SHIFT));
+        stats.faults.failed_switches += 1;
+        if r.attempts > 1 {
+            stats.faults.switch_retries += 1;
+        }
+    }
+
+    /// Move agents off dead nodes — node-death recovery through the same
+    /// SWITCH machinery as constraint 455. Destinations are the atom's
+    /// replica holders plus its SWITCH candidates; state is recovered from
+    /// the destination's replica, so no live path from the corpse is
+    /// required. Failures (no destination, gate denial) back off like any
+    /// other failed switch.
+    fn evacuate_dead(&mut self, now: u64, stats: &mut TickStats) {
+        let stranded: Vec<(AtomId, usize, String)> = self
+            .agents
+            .iter()
+            .flat_map(|(id, v)| {
+                v.iter()
+                    .enumerate()
+                    .filter(|(_, a)| self.net.device(&a.node).is_none_or(|d| !d.alive))
+                    .map(|(i, a)| (*id, i, a.node.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (atom, idx, from) in stranded {
+            if self.retry.get(&atom).is_some_and(|r| now < r.next_at) {
+                continue;
+            }
+            let occupied: Vec<String> = self
+                .agents
+                .get(&atom)
+                .map(|v| v.iter().map(|a| a.node.clone()).collect())
+                .unwrap_or_default();
+            let mut cands: Vec<String> = self
+                .atoms
+                .get(atom)
+                .map(|a| a.holders().iter().map(|s| (*s).to_owned()).collect())
+                .unwrap_or_default();
+            for c in &self.constraints {
+                if c.atom != atom {
+                    continue;
+                }
+                if let ConstraintLogic::SwitchOnCpu { candidates, .. } = &c.logic {
+                    cands.extend(candidates.iter().cloned());
+                }
+            }
+            cands.sort();
+            cands.dedup();
+            let refs: Vec<&str> = cands
+                .iter()
+                .map(String::as_str)
+                .filter(|n| *n != from && !occupied.iter().any(|o| o == *n))
+                .collect();
+            let Some(dest) = best(&self.net, &refs).map(str::to_owned) else {
+                self.note_switch_failure(atom, now, stats);
+                continue;
+            };
+            if let Some(gate) = self.gate.as_mut() {
+                if gate.deny(now, atom, &from, &dest).is_some() {
+                    self.note_switch_failure(atom, now, stats);
+                    continue;
+                }
+            }
+            if let Some(agent) = self.agents.get_mut(&atom).and_then(|v| v.get_mut(idx)) {
+                let _state_bytes = agent.migrate(&dest);
+                self.retry.remove(&atom);
+                stats.faults.evacuations += 1;
+                stats.migrations.push((atom, from, dest));
+            }
+        }
     }
 }
 
@@ -495,5 +784,114 @@ mod tests {
         let st = s.tick(&[AtomId(999)], 100.0);
         assert_eq!(st.arrivals, 1);
         assert!(st.versions_served.is_empty());
+        assert_eq!(st.faults.dropped, 1, "the drop is counted, not silent");
+    }
+
+    /// A gate that denies every switch — the simplest chaos injector.
+    #[derive(Debug)]
+    struct DenyAll;
+    impl SwitchGate for DenyAll {
+        fn deny(&mut self, _tick: u64, _atom: AtomId, _from: &str, _to: &str) -> Option<String> {
+            Some("injected".to_owned())
+        }
+    }
+
+    #[test]
+    fn atom_without_holders_drops_requests_instead_of_panicking() {
+        let (net, mut atoms, constraints) = ServerConfig::paper_fleet();
+        atoms.insert(Atom::new(AtomId(7), "ghost.html", AtomType::Html, 1_000));
+        let mut s = PatiaServer::new(net, atoms, constraints, ServerConfig::default());
+        let st = s.tick(&[AtomId(7), AtomId(123)], 500.0);
+        assert_eq!(st.arrivals, 2);
+        assert_eq!(st.faults.dropped, 1);
+        assert_eq!(st.versions_served.keys().copied().collect::<Vec<_>>(), vec![AtomId(123)]);
+    }
+
+    #[test]
+    fn node_death_evacuates_agent_and_conserves_requests() {
+        let mut s = server(true);
+        let home = s.agents(AtomId(123))[0].node.clone();
+        let mut arrivals = 0u64;
+        let mut completed = 0u64;
+        let mut dropped = 0u64;
+        let mut evacuations = 0u64;
+        for t in 1..=120 {
+            if t == 10 {
+                assert!(s.kill_node(&home));
+            }
+            let reqs = if t <= 60 { vec![AtomId(123); 2] } else { Vec::new() };
+            let st = s.tick(&reqs, 500.0);
+            arrivals += st.arrivals as u64;
+            completed += st.latencies.len() as u64;
+            dropped += st.faults.dropped;
+            evacuations += st.faults.evacuations;
+        }
+        assert!(evacuations >= 1, "the stranded agent must move off the corpse");
+        for a in s.agents(AtomId(123)) {
+            assert_ne!(a.node, home, "no agent may remain on the dead node");
+        }
+        assert_eq!(
+            arrivals,
+            completed + dropped + s.queued_requests(),
+            "no request may be silently lost across a node death"
+        );
+        assert_eq!(dropped, 0, "evacuation means no drops were ever needed");
+    }
+
+    #[test]
+    fn denied_switches_back_off_and_serve_degraded() {
+        let crowd = FlashCrowd { from: 10, to: 220, target: AtomId(123), multiplier: 40.0 };
+        let mut gen = RequestGen::new(vec![AtomId(123)], 1.0, 4.0, 2).with_crowd(crowd);
+        let mut s = server(true);
+        s.arm_switch_gate(Box::new(DenyAll));
+        let mut failed = 0u64;
+        let mut retries = 0u64;
+        let mut degraded = 0u64;
+        for t in 1..=250 {
+            let st = s.tick(&gen.tick(t), 500.0);
+            failed += st.faults.failed_switches;
+            retries += st.faults.switch_retries;
+            degraded += st.faults.degraded;
+        }
+        assert!(failed >= 2, "the gate must have denied repeatedly (got {failed})");
+        assert!(retries >= 1, "later denials count as retries");
+        assert!(degraded >= 1, "requests during the incident serve degraded");
+        assert_eq!(s.agents(AtomId(123)).len(), 1, "denied switches must not spread");
+        assert_eq!(s.switches(AtomId(123)), 0);
+        // Exponential backoff caps the attempt rate well below one per tick.
+        assert!(failed < 60, "backoff must bound retry frequency (got {failed})");
+    }
+
+    #[test]
+    fn injected_cpu_pressure_drives_constraint_455() {
+        let mut s = server(true);
+        let home = s.agents(AtomId(123))[0].node.clone();
+        s.inject_pressure(&home, 0.95);
+        let mut migrations = 0;
+        for _ in 1..=60 {
+            migrations += s.tick(&[AtomId(123); 4], 500.0).migrations.len();
+        }
+        assert!(migrations >= 1, "pressure on {home} must push the agent away");
+        assert_ne!(s.agents(AtomId(123))[0].node, home);
+    }
+
+    #[test]
+    fn fault_timeline_is_deterministic_across_runs() {
+        let run = || {
+            let mut s = server(true);
+            let mut out = Vec::new();
+            for t in 1u64..=90 {
+                if t == 20 {
+                    s.kill_node("node1");
+                }
+                if t == 55 {
+                    s.revive_node("node1");
+                }
+                let reqs = vec![AtomId(123); usize::from(t % 3 == 0) * 3];
+                out.push(s.tick(&reqs, 500.0));
+            }
+            out
+        };
+        assert_eq!(run(), run(), "same inputs must yield byte-identical TickStats");
     }
 }

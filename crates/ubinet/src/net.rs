@@ -81,6 +81,62 @@ impl Network {
         &self.links
     }
 
+    /// Raise or drop every link joining `a` and `b`. Returns how many links
+    /// changed state — zero means the fault named a non-existent link, which
+    /// callers may want to surface.
+    pub fn set_link_up(&mut self, a: &str, b: &str, up: bool) -> usize {
+        let mut changed = 0;
+        for l in &mut self.links {
+            if l.connects(a, b) && l.up != up {
+                l.up = up;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Set the latency of every link joining `a` and `b` (a latency spike
+    /// sets a high value; recovery restores the original). Returns the
+    /// number of links rewritten.
+    pub fn set_latency(&mut self, a: &str, b: &str, latency: u64) -> usize {
+        let mut changed = 0;
+        for l in &mut self.links {
+            if l.connects(a, b) {
+                l.latency = latency;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Partition the network: every link with exactly one endpoint inside
+    /// `island` goes down, isolating the island from the rest. Links wholly
+    /// inside or wholly outside are untouched. Returns links taken down.
+    pub fn partition(&mut self, island: &[String]) -> usize {
+        self.set_boundary(island, false)
+    }
+
+    /// Heal a partition created by [`Network::partition`]: every link
+    /// crossing the island boundary comes back up. Returns links raised.
+    /// (A link that was independently down before the partition comes back
+    /// up too — healing is deliberately idempotent and coarse.)
+    pub fn heal(&mut self, island: &[String]) -> usize {
+        self.set_boundary(island, true)
+    }
+
+    fn set_boundary(&mut self, island: &[String], up: bool) -> usize {
+        let mut changed = 0;
+        for l in &mut self.links {
+            let a_in = island.contains(&l.a);
+            let b_in = island.contains(&l.b);
+            if a_in != b_in && l.up != up {
+                l.up = up;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
     /// Live neighbours of a device (links up, endpoint alive).
     fn neighbours<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
         self.links
@@ -252,6 +308,36 @@ mod tests {
         let mut n = net();
         n.device_mut("laptop").unwrap().alive = false;
         assert!(n.hop_distance("sensor", "pda").is_err());
+    }
+
+    #[test]
+    fn partition_isolates_island_and_heal_restores() {
+        let mut n = net();
+        let island = vec!["laptop".to_owned(), "pda".to_owned()];
+        let cut = n.partition(&island);
+        assert_eq!(cut, 2, "sensor-laptop and laptop-server cross the boundary");
+        assert!(n.hop_distance("sensor", "laptop").is_err());
+        assert!(n.hop_distance("laptop", "server").is_err());
+        assert_eq!(n.hop_distance("laptop", "pda").unwrap(), 1, "intra-island survives");
+        assert_eq!(n.heal(&island), 2);
+        assert!(n.hop_distance("sensor", "laptop").is_ok());
+    }
+
+    #[test]
+    fn set_link_up_reports_changes() {
+        let mut n = net();
+        assert_eq!(n.set_link_up("sensor", "laptop", false), 1);
+        assert_eq!(n.set_link_up("sensor", "laptop", false), 0, "already down");
+        assert_eq!(n.set_link_up("ghost", "laptop", false), 0, "no such link");
+        assert_eq!(n.set_link_up("sensor", "laptop", true), 1);
+    }
+
+    #[test]
+    fn set_latency_rewrites_matching_links() {
+        let mut n = net();
+        assert_eq!(n.set_latency("laptop", "server", 40), 1);
+        let (_, lat) = n.path_metrics("laptop", "server", 0).unwrap();
+        assert_eq!(lat, 40);
     }
 
     #[test]

@@ -44,6 +44,36 @@ pub enum EnvEvent {
         /// New profile.
         profile: BandwidthProfile,
     },
+    /// A link drops (`false`) or recovers (`true`) — the fault-injection
+    /// primitive behind link flaps.
+    SetLinkUp {
+        /// One endpoint.
+        a: String,
+        /// Other endpoint.
+        b: String,
+        /// New link state.
+        up: bool,
+    },
+    /// A link's latency changes (a latency spike sets a high value; the
+    /// recovery event restores the original).
+    SetLatency {
+        /// One endpoint.
+        a: String,
+        /// Other endpoint.
+        b: String,
+        /// New latency in ticks.
+        latency: u64,
+    },
+    /// A network partition: every link crossing the island boundary drops.
+    Partition {
+        /// Devices isolated from the rest of the network.
+        island: Vec<String>,
+    },
+    /// Heal a partition: links crossing the island boundary come back up.
+    Heal {
+        /// The island whose boundary links recover.
+        island: Vec<String>,
+    },
 }
 
 /// The simulator: a network plus a schedule of events.
@@ -106,6 +136,18 @@ impl Simulator {
                         l.profile = profile.clone();
                     }
                 }
+            }
+            EnvEvent::SetLinkUp { a, b, up } => {
+                self.net.set_link_up(a, b, *up);
+            }
+            EnvEvent::SetLatency { a, b, latency } => {
+                self.net.set_latency(a, b, *latency);
+            }
+            EnvEvent::Partition { island } => {
+                self.net.partition(island);
+            }
+            EnvEvent::Heal { island } => {
+                self.net.heal(island);
             }
         }
     }
@@ -240,6 +282,46 @@ mod tests {
         s.schedule(1, EnvEvent::SetAlive { device: "sensor".into(), alive: false });
         s.advance(1);
         assert!(!s.net.device("sensor").unwrap().alive);
+    }
+
+    #[test]
+    fn link_flap_events_drop_and_restore() {
+        let mut s = sim();
+        s.schedule(2, EnvEvent::SetLinkUp { a: "laptop".into(), b: "sensor".into(), up: false });
+        s.schedule(6, EnvEvent::SetLinkUp { a: "laptop".into(), b: "sensor".into(), up: true });
+        s.advance(3);
+        assert!(s.net.links().iter().all(|l| !l.up), "both laptop-sensor links drop");
+        assert!(s.net.hop_distance("laptop", "sensor").is_err());
+        s.advance(6);
+        assert!(s.net.links().iter().all(|l| l.up));
+        assert_eq!(s.net.hop_distance("laptop", "sensor").unwrap(), 1);
+    }
+
+    #[test]
+    fn latency_spike_event_rewrites_and_recovers() {
+        let mut s = sim();
+        let base = s.net.links()[0].latency;
+        s.schedule(1, EnvEvent::SetLatency { a: "laptop".into(), b: "sensor".into(), latency: 50 });
+        s.schedule(
+            4,
+            EnvEvent::SetLatency { a: "laptop".into(), b: "sensor".into(), latency: base },
+        );
+        s.advance(1);
+        assert_eq!(s.net.links()[0].latency, 50);
+        s.advance(4);
+        assert_eq!(s.net.links()[0].latency, base);
+    }
+
+    #[test]
+    fn partition_and_heal_events_toggle_boundary_links() {
+        let mut s = sim();
+        let island = vec!["sensor".to_owned()];
+        s.schedule(1, EnvEvent::Partition { island: island.clone() });
+        s.schedule(5, EnvEvent::Heal { island });
+        s.advance(1);
+        assert!(s.net.hop_distance("laptop", "sensor").is_err(), "island isolated");
+        s.advance(5);
+        assert!(s.net.hop_distance("laptop", "sensor").is_ok(), "healed");
     }
 
     #[test]
