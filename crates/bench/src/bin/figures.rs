@@ -7,6 +7,11 @@
 //! * Figures 4 & 5 — the ADL model and the switchover plan;
 //! * Figure 6 — the ORB invocation anatomy;
 //! * Figure 7 — Patia under flash crowd (see also `--bin table2`).
+//!
+//! Pass `--trace[=PATH]` to additionally replay the Figure 7 flash crowd
+//! with the observability hub armed and export the cycle-accounted trace
+//! as Chrome-trace JSON (open it in `chrome://tracing` or Perfetto).
+//! Defaults to `target/figures-trace.json`.
 
 use adl::figures::{docked_session, fig4_document, fig5_switchover, wireless_session};
 use adm_core::scenario::{failover, inter_query, intra_query, system_adapt};
@@ -146,6 +151,34 @@ fn extensions() {
     }
 }
 
+/// Replay the Figure 7 flash crowd with observability armed and write the
+/// Chrome-trace JSON to `path`. The run is fully seeded, so the exported
+/// trace is byte-identical across invocations.
+fn export_trace(path: &str) {
+    use adm_core::scenario::chaos::{run_observed, ChaosParams};
+    use patia::atom::AtomId;
+    use patia::workload::FlashCrowd;
+    println!("\n== Trace: Figure 7 flash crowd, cycle-accounted ==");
+    let params = ChaosParams {
+        ticks: 400,
+        crowd: Some(FlashCrowd { from: 50, to: 250, target: AtomId(123), multiplier: 30.0 }),
+        ..ChaosParams::default()
+    };
+    let (report, o) = run_observed(&params);
+    let (trace_digest, metrics_digest, events) = o.digests();
+    let json = obs::chrome::export(&o.tracer, "adm figures: flash crowd");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!(
+            "  wrote {path}: {events} events, {} bytes\n  trace digest {trace_digest:#018x}, metrics digest {metrics_digest:#018x}\n  {} arrivals / {} completed / {} migrations — load in chrome://tracing",
+            json.len(),
+            report.arrivals,
+            report.completed,
+            report.migrations
+        ),
+        Err(e) => println!("  could not write {path}: {e}"),
+    }
+}
+
 fn main() {
     fig1();
     fig2();
@@ -154,5 +187,15 @@ fn main() {
     fig6();
     scenarios();
     extensions();
+    let trace = std::env::args().find_map(|a| {
+        if a == "--trace" {
+            Some("target/figures-trace.json".to_owned())
+        } else {
+            a.strip_prefix("--trace=").map(str::to_owned)
+        }
+    });
+    if let Some(path) = trace {
+        export_trace(&path);
+    }
     println!("\n(Figure 7 / Table 2: run `cargo run -p adm-bench --bin table2`.)");
 }

@@ -4,13 +4,16 @@
 //! is asserted.
 
 use gokernel::kernels::all_kernels;
-use gokernel::table1::{memory_comparison, render_table1, table1_rows};
+use gokernel::table1::{
+    memory_comparison, render_table1, render_verification_row, table1_rows, verification_cost_row,
+};
 use machine::CostModel;
 
 fn main() {
     let model = CostModel::pentium();
     let rows = table1_rows(&model, 5);
     print!("{}", render_table1(&rows));
+    print!("{}", render_verification_row(&verification_cost_row(&model)));
 
     // Assert the reproduced shape.
     let measured: Vec<u64> = rows.iter().map(|r| r.measured_cycles).collect();

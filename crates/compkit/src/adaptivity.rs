@@ -15,6 +15,7 @@ use crate::runtime::{ComponentFactory, LiveComponent, Runtime};
 use crate::state::StateManager;
 use adl::ast::Binding;
 use adl::diff::ReconfigurationPlan;
+use obs::{ObsHandle, Primitive};
 use std::fmt;
 
 /// One journalled (completed) step, with what is needed to undo it.
@@ -132,6 +133,7 @@ pub struct AdaptivityManager {
     switches_committed: u64,
     switches_rolled_back: u64,
     rollbacks_incomplete: u64,
+    obs: Option<ObsHandle>,
 }
 
 impl AdaptivityManager {
@@ -139,6 +141,18 @@ impl AdaptivityManager {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Arm the observability hub: every switch then emits a
+    /// `compkit:switch` span (billed in scheduler steps) and feeds the
+    /// cumulative `compkit.switch.*` counters. Zero-cost when disarmed.
+    pub fn arm_obs(&mut self, obs: ObsHandle) {
+        self.obs = Some(obs);
+    }
+
+    /// Disarm observability.
+    pub fn disarm_obs(&mut self) {
+        self.obs = None;
     }
 
     /// Switches that committed.
@@ -200,13 +214,30 @@ impl AdaptivityManager {
     ) -> Result<SwitchReport, SwitchError> {
         let mut journal: Vec<Done> = Vec::with_capacity(plan.len());
 
+        let obs = self.obs.clone();
+        let span = obs.as_ref().map(|o| o.borrow_mut().begin("compkit", "switch"));
         let result = self.try_execute(runtime, plan, factory, states, now, &mut journal, faults);
         match result {
             Ok(report) => {
                 self.switches_committed += 1;
+                if let (Some(o), Some(span)) = (&obs, span) {
+                    let mut o = o.borrow_mut();
+                    o.charge(Primitive::SchedSteps(report.steps as u32));
+                    o.end_with(
+                        span,
+                        vec![
+                            ("outcome", "committed".to_owned()),
+                            ("steps", report.steps.to_string()),
+                            ("stopped", report.stopped.len().to_string()),
+                            ("started", report.started.len().to_string()),
+                        ],
+                    );
+                    o.metrics.counter_add("compkit.switch.committed", 1);
+                }
                 Ok(report)
             }
             Err(e) => {
+                let rolled_steps = journal.len();
                 // Back off: undo the journal in reverse. Rollback steps undo
                 // operations that succeeded moments ago, so against a healthy
                 // runtime they cannot fail; injected rollback faults (and
@@ -254,6 +285,23 @@ impl AdaptivityManager {
                     }
                 }
                 self.switches_rolled_back += 1;
+                if let (Some(o), Some(span)) = (&obs, span) {
+                    let mut o = o.borrow_mut();
+                    // The forward steps ran AND were undone: bill both.
+                    o.charge(Primitive::SchedSteps(2 * rolled_steps as u32));
+                    o.end_with(
+                        span,
+                        vec![
+                            ("outcome", "rolled_back".to_owned()),
+                            ("rolled_steps", rolled_steps.to_string()),
+                            ("cause", e.to_string()),
+                        ],
+                    );
+                    o.metrics.counter_add("compkit.switch.rolled_back", 1);
+                    if !residue.is_empty() {
+                        o.metrics.counter_add("compkit.switch.rollbacks_incomplete", 1);
+                    }
+                }
                 if residue.is_empty() {
                     Err(e)
                 } else {

@@ -149,6 +149,18 @@ impl GaugeBoard {
     pub fn monitor(&self, name: &str) -> Option<&Monitor> {
         self.monitors.get(name)
     }
+
+    /// Feed a batch of named readings into the board's monitors at `tick`
+    /// — the registry-to-board bridge: an observability registry exposes
+    /// its gauges (name, latest value) and the board's monitors whose
+    /// names match ingest them, so the paper's monitors→gauges pipeline
+    /// runs on real telemetry instead of hand-fed readings. Readings with
+    /// no matching monitor are ignored, like [`GaugeBoard::record`].
+    pub fn ingest_gauges<'a>(&mut self, readings: impl Iterator<Item = (&'a str, f64)>, tick: u64) {
+        for (name, value) in readings {
+            self.record(name, tick, value);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -246,5 +258,77 @@ mod tests {
         let mut b = GaugeBoard::new();
         b.record("ghost", 0, 1.0);
         assert!(b.snapshot().is_empty());
+    }
+
+    #[test]
+    fn zero_width_windows_yield_none() {
+        // A window of 0 readings aggregates nothing — it must be None, not
+        // a NaN mean or a panic.
+        let m = mon(&[1.0, 2.0, 3.0]);
+        assert_eq!(gauge(GaugeKind::WindowMean(0)).evaluate(&m), None);
+        assert_eq!(gauge(GaugeKind::WindowMax(0)).evaluate(&m), None);
+        assert_eq!(gauge(GaugeKind::Slope(0)).evaluate(&m), None);
+        assert_eq!(gauge(GaugeKind::Slope(1)).evaluate(&m), None);
+    }
+
+    #[test]
+    fn window_exactly_at_reading_count_is_the_full_history() {
+        let m = mon(&[2.0, 4.0, 6.0]);
+        assert_eq!(gauge(GaugeKind::WindowMean(3)).evaluate(&m), Some(4.0));
+        assert_eq!(gauge(GaugeKind::WindowMax(3)).evaluate(&m), Some(6.0));
+        // One more than available behaves identically, not out-of-bounds.
+        assert_eq!(gauge(GaugeKind::WindowMean(4)).evaluate(&m), Some(4.0));
+    }
+
+    #[test]
+    fn slope_with_exactly_two_points_is_the_secant() {
+        let mut m = Monitor::new("m", 8);
+        m.push(10, 1.0);
+        m.push(12, 5.0);
+        let v = gauge(GaugeKind::Slope(2)).evaluate(&m).unwrap();
+        assert!((v - 2.0).abs() < 1e-9, "rise 4 over run 2 ticks, got {v}");
+    }
+
+    #[test]
+    fn slope_over_identical_ticks_is_none_not_infinite() {
+        // Two readings in the same tick: zero run. Division must not occur.
+        let mut m = Monitor::new("m", 8);
+        m.push(5, 1.0);
+        m.push(5, 9.0);
+        assert_eq!(gauge(GaugeKind::Slope(2)).evaluate(&m), None);
+    }
+
+    #[test]
+    fn ewma_alpha_one_tracks_latest_exactly() {
+        let m = mon(&[3.0, 7.0, 2.0]);
+        assert_eq!(gauge(GaugeKind::Ewma(1.0)).evaluate(&m), Some(2.0));
+    }
+
+    #[test]
+    fn saturated_monitor_ring_keeps_only_the_newest_readings() {
+        // The bounded ring saturates: pushes beyond capacity evict the
+        // oldest readings, and every gauge aggregates the survivors only.
+        let mut m = Monitor::new("m", 3);
+        for (t, v) in [(0, 100.0), (1, 1.0), (2, 2.0), (3, 3.0)] {
+            m.push(t, v);
+        }
+        assert_eq!(gauge(GaugeKind::WindowMax(10)).evaluate(&m), Some(3.0));
+        assert_eq!(gauge(GaugeKind::WindowMean(10)).evaluate(&m), Some(2.0));
+        assert_eq!(gauge(GaugeKind::Latest).evaluate(&m), Some(3.0));
+    }
+
+    #[test]
+    fn ingest_gauges_feeds_matching_monitors_only() {
+        let mut b = GaugeBoard::new();
+        b.add_monitor(Monitor::new("cpu:node1", 8));
+        b.add_gauge(Gauge {
+            name: "util:node1".into(),
+            monitor: "cpu:node1".into(),
+            kind: GaugeKind::Latest,
+        });
+        let readings = [("cpu:node1", 0.7), ("cpu:ghost", 0.9)];
+        b.ingest_gauges(readings.iter().map(|&(n, v)| (n, v)), 1);
+        assert_eq!(b.gauge_value("util:node1"), Some(0.7));
+        assert!(b.monitor("cpu:ghost").is_none(), "unmatched readings are dropped");
     }
 }

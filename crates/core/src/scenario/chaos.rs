@@ -12,6 +12,7 @@
 //! `chaos_e2e` determinism test asserts byte for byte.
 
 use faultsim::{FaultPlan, PatiaDriver};
+use obs::{Obs, ObsHandle};
 use patia::atom::AtomId;
 use patia::server::{PatiaServer, ServerConfig, TickStats};
 use patia::workload::{FlashCrowd, RequestGen};
@@ -96,9 +97,29 @@ impl ChaosReport {
 /// Replay `p.plan` against the paper fleet for `p.ticks` ticks.
 #[must_use]
 pub fn run(p: &ChaosParams) -> ChaosReport {
+    run_inner(p, None)
+}
+
+/// Like [`run`], but with an [`Obs`] hub armed on the server so the run
+/// yields its full cycle-accounted trace and metrics registry alongside
+/// the report. Arming observability must not perturb the run: the report
+/// is equal to [`run`]'s for the same parameters (asserted in `obs_e2e`).
+#[must_use]
+pub fn run_observed(p: &ChaosParams) -> (ChaosReport, Obs) {
+    let handle = Obs::new(obs::CostModel::pentium()).into_handle();
+    let report = run_inner(p, Some(handle.clone()));
+    let obs = Obs::try_unwrap(handle)
+        .unwrap_or_else(|_| unreachable!("the server is dropped before the hub is unwrapped"));
+    (report, obs)
+}
+
+fn run_inner(p: &ChaosParams, obs: Option<ObsHandle>) -> ChaosReport {
     let (net, atoms, constraints) = ServerConfig::paper_fleet();
     let config = ServerConfig { adaptive: p.adaptive, work_per_request: 400 };
     let mut server = PatiaServer::new(net, atoms, constraints, config);
+    if let Some(h) = obs {
+        server.arm_obs(h);
+    }
     let driver = PatiaDriver::new(p.plan.clone());
     driver.arm(&mut server);
     let mut gen =

@@ -431,6 +431,17 @@ impl GoKernel {
         &self.orb
     }
 
+    /// Arm the observability hub on the underlying ORB: each `rpc` then
+    /// emits an invocation span whose duration is the measured cycle cost.
+    pub fn arm_obs(&mut self, obs: obs::ObsHandle) {
+        self.orb.arm_obs(obs);
+    }
+
+    /// Disarm observability on the underlying ORB.
+    pub fn disarm_obs(&mut self) {
+        self.orb.disarm_obs();
+    }
+
     fn invoke(&mut self) -> Result<crate::orb::RpcOutcome, OrbError> {
         self.orb.invoke(self.caller, self.iface, &[])
     }

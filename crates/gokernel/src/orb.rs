@@ -22,6 +22,7 @@ use crate::sisr::{Limits, SisrVerifier, VerifiedImage, VerifyReport};
 use machine::cost::{CostModel, Cycles, Primitive};
 use machine::cpu::{Cpu, CpuError, Mode, Stop};
 use machine::seg::{SegReg, Segment, SegmentKind, SegmentTable};
+use obs::ObsHandle;
 
 /// Errors the ORB can raise.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,6 +113,7 @@ pub struct Orb {
     next_base: u32,
     mem_limit: u32,
     faults: Option<Box<dyn InvokeFaults>>,
+    obs: Option<ObsHandle>,
     invocations: u64,
 }
 
@@ -149,6 +151,7 @@ impl Orb {
             next_base: 0,
             mem_limit: mem_bytes,
             faults: None,
+            obs: None,
             invocations: 0,
         }
     }
@@ -162,6 +165,19 @@ impl Orb {
     /// Disarm fault injection, restoring the zero-cost production path.
     pub fn disarm_faults(&mut self) {
         self.faults = None;
+    }
+
+    /// Arm the observability hub: every subsequent `load_type` emits a
+    /// verification span billing the SISR scan cycles, and every `invoke`
+    /// emits a span whose duration equals [`RpcOutcome::cycles`] exactly.
+    /// Same zero-cost-when-disarmed discipline as [`Orb::arm_faults`].
+    pub fn arm_obs(&mut self, obs: ObsHandle) {
+        self.obs = Some(obs);
+    }
+
+    /// Disarm observability, restoring the zero-cost production path.
+    pub fn disarm_obs(&mut self) {
+        self.obs = None;
     }
 
     /// Invocations attempted since boot (including injected failures).
@@ -187,6 +203,22 @@ impl Orb {
     /// [`OrbError::Rejected`] on scan failure, [`OrbError::OutOfMemory`].
     pub fn load_type(&mut self, name: &str, text: &[u8]) -> Result<TypeId, OrbError> {
         let image = self.verifier.verify(text)?;
+        if let Some(obs) = self.obs.clone() {
+            // The load-time verification bill: the cycles SISR spends so
+            // that run time needs no traps (the ROADMAP's Table 1
+            // verification-cost row).
+            let mut o = obs.borrow_mut();
+            let span = o.begin("gokernel", format!("verify:{name}"));
+            o.advance(image.scan_cycles());
+            let mut args: Vec<(&'static str, String)> =
+                vec![("cycles", image.scan_cycles().to_string())];
+            for p in &image.report().passes {
+                args.push((p.pass.name(), p.cycles.to_string()));
+            }
+            o.end_with(span, args);
+            o.metrics.counter_add("orb.verify.images", 1);
+            o.metrics.counter_add("orb.verify.cycles", image.scan_cycles());
+        }
         self.install_type(name, image)
     }
 
@@ -307,6 +339,11 @@ impl Orb {
         self.invocations += 1;
         if let Some(f) = self.faults.as_mut() {
             if let Some(reason) = f.deny(call_index, caller, iface) {
+                if let Some(obs) = self.obs.as_ref() {
+                    let mut o = obs.borrow_mut();
+                    o.instant("gokernel", "invoke:injected", vec![("reason", reason.clone())]);
+                    o.metrics.counter_add("orb.invoke.injected", 1);
+                }
                 return Err(OrbError::Injected { reason });
             }
         }
@@ -398,6 +435,24 @@ impl Orb {
         self.cpu.counter_mut().charge(Primitive::BranchIndirect, &model);
 
         let cycles = self.cpu.cycles() - start;
+        if let Some(obs) = self.obs.clone() {
+            // The span rides the ORB's own cycle counter: its duration is
+            // RpcOutcome::cycles to the cycle, so traces reproduce Table 1
+            // numbers exactly.
+            let mut o = obs.borrow_mut();
+            let span = o.begin_at("gokernel", "invoke", start);
+            o.end_at_with(
+                span,
+                start + cycles,
+                vec![
+                    ("call", call_index.to_string()),
+                    ("iface", iface.0.to_string()),
+                    ("cycles", cycles.to_string()),
+                ],
+            );
+            o.metrics.counter_add("orb.invocations", 1);
+            o.metrics.observe("orb.invoke.cycles", cycles);
+        }
         match run {
             Ok(Stop::Halted) | Ok(Stop::Trap(_)) => {
                 let mut breakdown = Vec::new();

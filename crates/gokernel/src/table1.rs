@@ -13,8 +13,9 @@
 //! harness reports both paper and measured values side by side.
 
 use crate::component::Rights;
-use crate::kernels::{all_kernels, KernelKind};
+use crate::kernels::{all_kernels, GoKernel, Kernel, KernelKind, L4Kernel};
 use crate::orb::Orb;
+use crate::sisr::SisrVerifier;
 use machine::cost::{CostModel, Cycles};
 use machine::isa::{Instr, Program};
 use machine::paging::{AddressSpace, PageFlags, PAGE_SIZE};
@@ -83,6 +84,58 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
         ));
     }
     s
+}
+
+/// The load-time verification-cost row the ROADMAP asks for: what SISR
+/// spends **once per image** so every subsequent call can skip the trap
+/// machinery, and how few calls amortise it against the cheapest
+/// trap-based alternative (L4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerificationRow {
+    /// Cycles SISR spends scanning the null service image at load time.
+    pub verify_cycles: Cycles,
+    /// Go!'s measured null-RPC cost under the same model.
+    pub go_call_cycles: Cycles,
+    /// L4's measured null-RPC cost under the same model.
+    pub l4_call_cycles: Cycles,
+    /// Calls after which the one-off scan has paid for itself:
+    /// `ceil(verify / (l4 - go))`.
+    pub breakeven_calls: u64,
+}
+
+/// Regenerate the verification-cost row under a cost model, using the same
+/// null service as the Table 1 Go! row.
+///
+/// # Panics
+/// Never in practice: the null service always verifies.
+#[must_use]
+pub fn verification_cost_row(model: &CostModel) -> VerificationRow {
+    let null = Program::new(vec![Instr::Halt]).to_bytes();
+    let image = SisrVerifier::new(model.clone()).verify(&null).expect("null text verifies");
+    let verify_cycles = image.scan_cycles();
+    let go_call_cycles = GoKernel::new(model.clone()).null_rpc();
+    let l4_call_cycles = L4Kernel::new(model.clone()).null_rpc();
+    let per_call_saving = l4_call_cycles.saturating_sub(go_call_cycles).max(1);
+    VerificationRow {
+        verify_cycles,
+        go_call_cycles,
+        l4_call_cycles,
+        breakeven_calls: verify_cycles.div_ceil(per_call_saving),
+    }
+}
+
+/// Render the verification row as an addendum to Table 1.
+#[must_use]
+pub fn render_verification_row(r: &VerificationRow) -> String {
+    format!(
+        "Load-time verification (SISR, null service): {} cycles once;\n\
+         per-call saving vs L4: {} cycles ({} vs {}); breakeven after {} calls\n",
+        r.verify_cycles,
+        r.l4_call_cycles - r.go_call_cycles,
+        r.l4_call_cycles,
+        r.go_call_cycles,
+        r.breakeven_calls
+    )
 }
 
 /// The memory half of the Go! claim: protection bytes per interface for
@@ -179,6 +232,25 @@ mod tests {
             assert!(s.contains(r.kind.name()));
             assert!(s.contains(&r.measured_cycles.to_string()));
         }
+    }
+
+    #[test]
+    fn verification_row_amortises_quickly() {
+        let r = verification_cost_row(&CostModel::pentium());
+        assert!(r.verify_cycles > 0, "the scan must cost something");
+        assert!(r.go_call_cycles < r.l4_call_cycles);
+        // The one-off scan pays for itself within a handful of calls — the
+        // whole point of moving protection to load time.
+        assert!(
+            (1..=20).contains(&r.breakeven_calls),
+            "breakeven after {} calls (verify {} cycles, saving {} per call)",
+            r.breakeven_calls,
+            r.verify_cycles,
+            r.l4_call_cycles - r.go_call_cycles
+        );
+        let s = render_verification_row(&r);
+        assert!(s.contains(&r.verify_cycles.to_string()));
+        assert!(s.contains(&r.breakeven_calls.to_string()));
     }
 
     #[test]

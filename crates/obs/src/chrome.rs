@@ -1,0 +1,147 @@
+//! Chrome-trace-format JSON exporter.
+//!
+//! Serialises a [`Tracer`] event log into the Trace Event Format that
+//! `chrome://tracing` and Perfetto load directly. Timestamps in that
+//! format are microseconds; we map **1 cycle ≡ 1 µs**, so the viewer's
+//! time axis reads directly in cycles. JSON is hand-written — the
+//! workspace has no serde and builds fully offline.
+
+use crate::span::{EventKind, Tracer};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON string literal.
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Export the event log as a Chrome trace JSON document.
+///
+/// Every category gets its own thread row (`tid`), assigned in sorted
+/// category order so the document is deterministic. Thread-name metadata
+/// events label each row with its category.
+#[must_use]
+pub fn export(tracer: &Tracer, process_name: &str) -> String {
+    let mut tids = BTreeMap::new();
+    for e in tracer.events() {
+        let next = tids.len() + 1;
+        tids.entry(e.cat).or_insert(next);
+    }
+    // Re-number in sorted category order so insertion order cannot leak in.
+    for (i, (_, tid)) in tids.iter_mut().enumerate() {
+        *tid = i + 1;
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let push_sep = |out: &mut String, first: &mut bool| {
+        if *first {
+            *first = false;
+        } else {
+            out.push_str(",\n");
+        }
+    };
+
+    push_sep(&mut out, &mut first);
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"",
+    );
+    escape(process_name, &mut out);
+    out.push_str("\"}}");
+    for (cat, tid) in &tids {
+        push_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\""
+        );
+        escape(cat, &mut out);
+        out.push_str("\"}}");
+    }
+
+    for e in tracer.events() {
+        push_sep(&mut out, &mut first);
+        let tid = tids[e.cat];
+        let ph = match e.kind {
+            EventKind::Complete => "X",
+            EventKind::Instant => "i",
+        };
+        let _ = write!(out, "{{\"ph\":\"{ph}\",\"pid\":1,\"tid\":{tid},\"ts\":{},", e.ts);
+        if e.kind == EventKind::Complete {
+            let _ = write!(out, "\"dur\":{},", e.dur);
+        } else {
+            out.push_str("\"s\":\"t\",");
+        }
+        out.push_str("\"cat\":\"");
+        escape(e.cat, &mut out);
+        out.push_str("\",\"name\":\"");
+        escape(&e.name, &mut out);
+        out.push_str("\",\"args\":{");
+        for (i, (k, v)) in e.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape(k, &mut out);
+            out.push_str("\":\"");
+            escape(v, &mut out);
+            out.push('"');
+        }
+        out.push_str("}}");
+    }
+
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_json_metacharacters() {
+        let mut s = String::new();
+        escape("a\"b\\c\nd\te\u{1}", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn exports_complete_and_instant_events() {
+        let mut t = Tracer::new();
+        let s = t.begin_at("gokernel", "invoke", 100);
+        t.end_at_with(s, 173, vec![("cycles", "73".to_owned())]);
+        t.instant("patia", "switch", 500, Vec::new());
+        let json = export(&t, "adm");
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":100,\"dur\":73,"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"cycles\":\"73\""));
+        assert!(json.contains("\"name\":\"adm\""));
+        // Categories get distinct, sorted thread rows.
+        assert!(
+            json.contains("\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"gokernel\"}")
+        );
+        assert!(json.contains("\"tid\":2,\"name\":\"thread_name\",\"args\":{\"name\":\"patia\"}"));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let mut t = Tracer::new();
+        t.instant("b", "two", 2, Vec::new());
+        t.instant("a", "one", 1, Vec::new());
+        let x = export(&t, "p");
+        let y = export(&t, "p");
+        assert_eq!(x, y);
+    }
+}

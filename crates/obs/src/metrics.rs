@@ -1,0 +1,272 @@
+//! The unified metrics registry: counters, gauges and histograms with
+//! stable ordering and a deterministic digest.
+//!
+//! Every layer of the stack bills its telemetry here — ORB invocations,
+//! Patia fault counters, ubinet environment events, compkit switch
+//! outcomes — instead of keeping ad-hoc per-crate counters. Names are the
+//! only namespace (`orb.invocations`, `patia.switch.failed`,
+//! `cpu:node1`...); storage is `BTreeMap`, so [`MetricsRegistry::render`]
+//! is byte-stable and [`MetricsRegistry::digest`] can be asserted across
+//! runs the same way `faultsim` asserts fault-plan digests.
+//!
+//! Counter semantics are uniformly **cumulative**: `counter_add` only ever
+//! grows a counter (saturating at `u64::MAX`), and nothing resets on read.
+//! Per-interval deltas belong to the caller's own report types (e.g.
+//! `patia`'s per-tick `TickStats`), never to the registry.
+
+use crate::fnv1a;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` holds samples whose bit length is `i` (bucket 0 is the value
+/// zero, bucket 1 is 1, bucket 2 is 2–3, bucket 3 is 4–7, ...). Log2
+/// buckets keep the histogram tiny, deterministic, and merge-free while
+/// still separating a 73-cycle Go! RPC from a 55,000-cycle BSD one.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest sample seen (`u64::MAX` until the first record).
+    pub min: u64,
+    /// Largest sample seen.
+    pub max: u64,
+    /// Bucket index → sample count.
+    pub buckets: BTreeMap<u32, u64>,
+}
+
+impl Histogram {
+    /// The bucket index a value lands in: its bit length.
+    #[must_use]
+    pub fn bucket_of(value: u64) -> u32 {
+        64 - value.leading_zeros()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+        *self.buckets.entry(Self::bucket_of(value)).or_default() += 1;
+    }
+
+    /// Mean sample value, `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// An immutable, ordering-stable snapshot of a registry — what golden-trace
+/// tests compare and commit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counters, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, name-sorted.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+/// The unified registry of counters, gauges and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add to a cumulative counter, creating it at zero first. Saturates at
+    /// `u64::MAX` rather than wrapping, so a runaway bill can never make a
+    /// counter appear to reset.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        let c = self.counters.entry(name.to_owned()).or_default();
+        *c = c.saturating_add(delta);
+    }
+
+    /// Read a counter (0 when absent — counters are born at zero).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Read a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Iterate gauges name-sorted — the feed `compkit::GaugeBoard` ingests
+    /// so the paper's monitors→gauges pipeline reads real telemetry.
+    pub fn gauges_iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Record one sample into a histogram, creating it empty first.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms.entry(name.to_owned()).or_default().record(value);
+    }
+
+    /// Read a histogram.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Total metrics registered (counters + gauges + histograms).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Whether nothing has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot the registry with stable (name-sorted) ordering.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: self.histograms.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        }
+    }
+
+    /// Render the registry as stable text — one metric per line, sections
+    /// in a fixed order, names sorted. Two runs of the same seeded scenario
+    /// must render byte-identically; the golden-trace tier asserts it.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("metrics\n");
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "  counter {k} = {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "  gauge {k} = {v}");
+        }
+        for (k, h) in &self.histograms {
+            let _ = write!(
+                out,
+                "  histogram {k} count={} sum={} min={} max={} buckets=[",
+                h.count, h.sum, h.min, h.max
+            );
+            for (i, (b, n)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                let _ = write!(out, "{b}:{n}");
+            }
+            out.push_str("]\n");
+        }
+        out
+    }
+
+    /// FNV-1a fingerprint of [`MetricsRegistry::render`].
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        fnv1a(self.render().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_cumulative_and_saturating() {
+        let mut r = MetricsRegistry::new();
+        assert_eq!(r.counter("x"), 0, "counters are born at zero");
+        r.counter_add("x", 3);
+        r.counter_add("x", 4);
+        assert_eq!(r.counter("x"), 7, "adds accumulate; nothing resets on read");
+        r.counter_add("x", u64::MAX);
+        assert_eq!(r.counter("x"), u64::MAX, "saturates instead of wrapping");
+        r.counter_add("x", 1);
+        assert_eq!(r.counter("x"), u64::MAX);
+    }
+
+    #[test]
+    fn gauges_keep_latest() {
+        let mut r = MetricsRegistry::new();
+        r.gauge_set("util", 0.25);
+        r.gauge_set("util", 0.75);
+        assert_eq!(r.gauge("util"), Some(0.75));
+        assert_eq!(r.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(73), 7);
+        assert_eq!(Histogram::bucket_of(55_000), 16);
+        let mut h = Histogram::default();
+        for v in [0, 1, 73, 73, 55_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 55_000);
+        assert_eq!(h.buckets[&7], 2);
+        assert_eq!(h.mean(), Some((73 + 73 + 55_000 + 1) as f64 / 5.0));
+    }
+
+    #[test]
+    fn render_is_name_sorted_and_digest_is_stable() {
+        let build = |order_flipped: bool| {
+            let mut r = MetricsRegistry::new();
+            let names = if order_flipped { ["b", "a"] } else { ["a", "b"] };
+            for n in names {
+                r.counter_add(n, 1);
+                r.gauge_set(n, 0.5);
+                r.observe(n, 9);
+            }
+            r
+        };
+        let (x, y) = (build(false), build(true));
+        assert_eq!(x.render(), y.render(), "insertion order must not leak into the render");
+        assert_eq!(x.digest(), y.digest());
+        let rendered = x.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[1], "  counter a = 1");
+        assert_eq!(lines[2], "  counter b = 1");
+    }
+
+    #[test]
+    fn snapshot_equality_tracks_content() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.counter_add("k", 2);
+        b.counter_add("k", 2);
+        assert_eq!(a.snapshot(), b.snapshot());
+        b.counter_add("k", 1);
+        assert_ne!(a.snapshot(), b.snapshot());
+    }
+}

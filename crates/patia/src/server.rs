@@ -6,6 +6,7 @@ use crate::atom::{Atom, AtomId, AtomStore, AtomType};
 use crate::constraint::{paper_table2, AtomConstraint, ConstraintLogic};
 use compkit::gauge::{Gauge, GaugeBoard, GaugeKind};
 use compkit::monitor::Monitor;
+use obs::{ObsHandle, Primitive};
 use std::collections::BTreeMap;
 use ubinet::device::{Device, DeviceKind};
 use ubinet::link::{BandwidthProfile, Link, LinkKind};
@@ -105,6 +106,19 @@ pub struct FaultCounters {
     pub dropped: u64,
 }
 
+impl FaultCounters {
+    /// Fold a per-tick delta into this accumulator — how the server keeps
+    /// its cumulative [`PatiaServer::fault_totals`] consistent with the
+    /// per-tick deltas in [`TickStats::faults`].
+    pub fn absorb(&mut self, delta: &FaultCounters) {
+        self.failed_switches += delta.failed_switches;
+        self.switch_retries += delta.switch_retries;
+        self.evacuations += delta.evacuations;
+        self.degraded += delta.degraded;
+        self.dropped += delta.dropped;
+    }
+}
+
 /// Per-tick observable results.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TickStats {
@@ -182,6 +196,12 @@ pub struct PatiaServer {
     gate: Option<Box<dyn SwitchGate>>,
     /// Per-atom backoff state after failed switches.
     retry: BTreeMap<AtomId, RetryState>,
+    /// Armed observability hub, if any.
+    obs: Option<ObsHandle>,
+    /// Cumulative fault counters since boot. [`TickStats::faults`] is
+    /// always the per-tick *delta*; this (and the metrics registry, when
+    /// armed) is always the running *total* — one uniform semantics.
+    totals: FaultCounters,
 }
 
 impl PatiaServer {
@@ -241,7 +261,31 @@ impl PatiaServer {
             pressure: BTreeMap::new(),
             gate: None,
             retry: BTreeMap::new(),
+            obs: None,
+            totals: FaultCounters::default(),
         }
+    }
+
+    /// Arm the observability hub: each tick then runs inside a `patia:tick`
+    /// span, SWITCH/migration/evacuation events become trace instants with
+    /// cycle bills, the `patia.*` registry counters accumulate, and node
+    /// utilisation flows monitors-from-registry (see
+    /// [`PatiaServer::tick`]). Zero-cost when disarmed, like
+    /// [`PatiaServer::arm_switch_gate`].
+    pub fn arm_obs(&mut self, obs: ObsHandle) {
+        self.obs = Some(obs);
+    }
+
+    /// Disarm observability; gauge readings go straight to the board again.
+    pub fn disarm_obs(&mut self) {
+        self.obs = None;
+    }
+
+    /// Cumulative fault counters since boot (sum of every tick's
+    /// [`TickStats::faults`] delta).
+    #[must_use]
+    pub fn fault_totals(&self) -> FaultCounters {
+        self.totals
     }
 
     /// Arm a SWITCH-failure injector. Replaces any previous gate.
@@ -375,6 +419,8 @@ impl PatiaServer {
         self.now += 1;
         let now = self.now;
         let mut stats = TickStats { tick: now, arrivals: requests.len(), ..TickStats::default() };
+        let obs = self.obs.clone();
+        let tick_span = obs.as_ref().map(|o| o.borrow_mut().begin("patia", format!("tick:{now}")));
 
         // 0. Recover agents stranded on dead nodes before routing new work.
         if self.config.adaptive {
@@ -383,8 +429,7 @@ impl PatiaServer {
 
         // 1. Route arrivals to agents, selecting versions per constraint 595.
         for &atom in requests {
-            if self.atoms.get(atom).is_none()
-                || self.agents.get(&atom).is_none_or(|v| v.is_empty())
+            if self.atoms.get(atom).is_none() || self.agents.get(&atom).is_none_or(|v| v.is_empty())
             {
                 // Unknown atom, or an atom no agent can ever serve: the
                 // drop is counted, not silent.
@@ -425,6 +470,10 @@ impl PatiaServer {
                 .map(|(i, _, _)| i);
             if let (Some(idx), Some(agents)) = (choice, self.agents.get_mut(&atom)) {
                 agents[idx].accept(now, self.config.work_per_request);
+                if let Some(o) = &obs {
+                    // Routing one arrival is one scheduler decision.
+                    o.borrow_mut().charge(Primitive::SchedSteps(1));
+                }
             }
         }
 
@@ -465,6 +514,9 @@ impl PatiaServer {
                 };
                 for (arrived, done) in agent.step(now, share) {
                     stats.latencies.push(done - arrived);
+                    if let Some(o) = &obs {
+                        o.borrow_mut().charge(Primitive::Store);
+                    }
                 }
             }
             let util = if capacity == 0 { 1.0 } else { (demand as f64 / capacity as f64).min(1.0) };
@@ -473,6 +525,15 @@ impl PatiaServer {
             if let Some(d) = self.net.device_mut(node) {
                 d.load = util;
             }
+        }
+        // When armed, utilisation was published to the metrics registry;
+        // the gauge board's monitors now ingest it from there — the
+        // paper's monitors→gauges pipeline reading real telemetry. The
+        // registry gauge names equal the monitor names (`cpu:<node>`), so
+        // the board sees byte-identical readings either way.
+        if let Some(o) = &obs {
+            let o = o.borrow();
+            self.board.ingest_gauges(o.metrics.gauges_iter(), now);
         }
 
         // 3. Adapt: constraint 455 — SWITCH agents off saturated nodes. A
@@ -547,7 +608,22 @@ impl PatiaServer {
                 // processing state shipping the paper describes).
                 let queue_len = agents[worst_idx].queue.len();
                 if queue_len <= 2 {
-                    let _state_bytes = agents[worst_idx].migrate(&dest);
+                    let state_bytes = agents[worst_idx].migrate(&dest);
+                    if let Some(o) = &obs {
+                        let mut o = o.borrow_mut();
+                        // Shipping the agent's state is a word copy.
+                        o.charge(Primitive::CopyWords(state_bytes as u32 / 4));
+                        o.instant(
+                            "patia",
+                            "switch:migrate",
+                            vec![
+                                ("atom", c.atom.0.to_string()),
+                                ("from", from.clone()),
+                                ("to", dest.clone()),
+                                ("state_bytes", state_bytes.to_string()),
+                            ],
+                        );
+                    }
                 } else {
                     let mut clone = ServiceAgent::new(c.atom, &dest);
                     let split = queue_len / 2;
@@ -557,17 +633,67 @@ impl PatiaServer {
                         }
                     }
                     agents.push(clone);
+                    if let Some(o) = &obs {
+                        let mut o = o.borrow_mut();
+                        // A spread ships a fresh agent header plus the
+                        // split half of the queue.
+                        o.charge(Primitive::CopyWords(16 + 6 * split as u32));
+                        o.instant(
+                            "patia",
+                            "switch:spread",
+                            vec![
+                                ("atom", c.atom.0.to_string()),
+                                ("from", from.clone()),
+                                ("to", dest.clone()),
+                                ("split", split.to_string()),
+                            ],
+                        );
+                    }
                 }
                 self.retry.remove(&c.atom);
                 stats.migrations.push((c.atom, from, dest));
             }
         }
 
+        // Uniform counter semantics: `stats.faults` stays the per-tick
+        // delta; the running totals (and, when armed, the registry
+        // counters) absorb it.
+        self.totals.absorb(&stats.faults);
+        if let Some(o) = &obs {
+            let mut o = o.borrow_mut();
+            o.metrics.counter_add("patia.requests.arrived", stats.arrivals as u64);
+            o.metrics.counter_add("patia.requests.completed", stats.latencies.len() as u64);
+            o.metrics.counter_add("patia.requests.dropped", stats.faults.dropped);
+            o.metrics.counter_add("patia.requests.degraded", stats.faults.degraded);
+            o.metrics.counter_add("patia.switch.performed", stats.migrations.len() as u64);
+            o.metrics.counter_add("patia.switch.failed", stats.faults.failed_switches);
+            o.metrics.counter_add("patia.switch.retries", stats.faults.switch_retries);
+            o.metrics.counter_add("patia.switch.evacuations", stats.faults.evacuations);
+            for &l in &stats.latencies {
+                o.metrics.observe("patia.latency_ticks", l);
+            }
+            if let Some(span) = tick_span {
+                o.end_with(
+                    span,
+                    vec![
+                        ("arrivals", stats.arrivals.to_string()),
+                        ("completed", stats.latencies.len().to_string()),
+                        ("migrations", stats.migrations.len().to_string()),
+                    ],
+                );
+            }
+        }
         stats
     }
 
     fn record_util(&mut self, node: &str, util: f64, now: u64) {
-        self.board.record(&format!("cpu:{node}"), now, util);
+        if let Some(obs) = &self.obs {
+            // Armed: publish to the registry under the monitor's own name;
+            // the board ingests it from there after the node loop.
+            obs.borrow_mut().metrics.gauge_set(&format!("cpu:{node}"), util);
+        } else {
+            self.board.record(&format!("cpu:{node}"), now, util);
+        }
     }
 
     /// A node's capacity this tick: zero when dead, squeezed by injected
@@ -600,6 +726,19 @@ impl PatiaServer {
         stats.faults.failed_switches += 1;
         if r.attempts > 1 {
             stats.faults.switch_retries += 1;
+        }
+        if let Some(obs) = &self.obs {
+            let mut o = obs.borrow_mut();
+            o.charge(Primitive::Branch);
+            o.instant(
+                "patia",
+                "switch:failed",
+                vec![
+                    ("atom", atom.0.to_string()),
+                    ("attempt", r.attempts.to_string()),
+                    ("next_at", r.next_at.to_string()),
+                ],
+            );
         }
     }
 
@@ -661,9 +800,25 @@ impl PatiaServer {
                 }
             }
             if let Some(agent) = self.agents.get_mut(&atom).and_then(|v| v.get_mut(idx)) {
-                let _state_bytes = agent.migrate(&dest);
+                let state_bytes = agent.migrate(&dest);
                 self.retry.remove(&atom);
                 stats.faults.evacuations += 1;
+                if let Some(obs) = &self.obs {
+                    let mut o = obs.borrow_mut();
+                    // State is recovered from the destination's replica:
+                    // still a word copy, just sourced remotely.
+                    o.charge(Primitive::CopyWords(state_bytes as u32 / 4));
+                    o.instant(
+                        "patia",
+                        "switch:evacuate",
+                        vec![
+                            ("atom", atom.0.to_string()),
+                            ("from", from.clone()),
+                            ("to", dest.clone()),
+                            ("state_bytes", state_bytes.to_string()),
+                        ],
+                    );
+                }
                 stats.migrations.push((atom, from, dest));
             }
         }
@@ -873,6 +1028,77 @@ mod tests {
         }
         assert!(migrations >= 1, "pressure on {home} must push the agent away");
         assert_ne!(s.agents(AtomId(123))[0].node, home);
+    }
+
+    /// Regression: fault-counter semantics must be uniform — TickStats
+    /// carries per-tick *deltas* and `fault_totals()` the running *total*,
+    /// so summing the deltas must reproduce the total exactly.
+    #[test]
+    fn fault_totals_are_the_sum_of_tick_deltas() {
+        let crowd = FlashCrowd { from: 10, to: 160, target: AtomId(123), multiplier: 40.0 };
+        let mut gen = RequestGen::new(vec![AtomId(123)], 1.0, 4.0, 2).with_crowd(crowd);
+        let mut s = server(true);
+        s.arm_switch_gate(Box::new(DenyAll));
+        let mut summed = FaultCounters::default();
+        for t in 1..=200 {
+            if t == 30 {
+                s.kill_node("node3");
+            }
+            if t == 90 {
+                s.revive_node("node3");
+            }
+            let mut reqs = gen.tick(t);
+            reqs.push(AtomId(999)); // guaranteed drop each tick
+            let st = s.tick(&reqs, 500.0);
+            summed.absorb(&st.faults);
+        }
+        let totals = s.fault_totals();
+        assert_eq!(totals, summed, "cumulative totals must equal the sum of per-tick deltas");
+        assert!(totals.failed_switches >= 1, "the scenario must exercise failures");
+        assert!(totals.dropped >= 200);
+    }
+
+    /// Arming observability must not perturb behaviour: TickStats and the
+    /// gauge board are identical whether readings flow directly or through
+    /// the metrics registry.
+    #[test]
+    fn armed_observability_does_not_perturb_the_server() {
+        let run = |armed: bool| {
+            let crowd = FlashCrowd { from: 20, to: 150, target: AtomId(123), multiplier: 30.0 };
+            let mut gen = RequestGen::new(vec![AtomId(123)], 1.0, 4.0, 3).with_crowd(crowd);
+            let mut s = server(true);
+            let obs = armed.then(|| {
+                let h = obs::Obs::new(obs::CostModel::pentium()).into_handle();
+                s.arm_obs(h.clone());
+                h
+            });
+            let mut out = Vec::new();
+            for t in 1..=200 {
+                if t == 40 {
+                    s.kill_node("node1");
+                }
+                if t == 120 {
+                    s.revive_node("node1");
+                }
+                out.push(s.tick(&gen.tick(t), 500.0));
+            }
+            (out, s.board.snapshot(), s.fault_totals(), obs)
+        };
+        let (stats_off, board_off, totals_off, _) = run(false);
+        let (stats_on, board_on, totals_on, obs) = run(true);
+        assert_eq!(stats_off, stats_on, "TickStats must not depend on observability");
+        assert_eq!(board_off, board_on, "gauge-from-registry must feed identical readings");
+        assert_eq!(totals_off, totals_on);
+        // And the registry's cumulative counters agree with the totals.
+        let o = obs.unwrap();
+        let o = o.borrow();
+        assert_eq!(o.metrics.counter("patia.switch.failed"), totals_on.failed_switches);
+        assert_eq!(o.metrics.counter("patia.switch.evacuations"), totals_on.evacuations);
+        assert_eq!(o.metrics.counter("patia.requests.degraded"), totals_on.degraded);
+        assert_eq!(o.metrics.counter("patia.requests.dropped"), totals_on.dropped);
+        let arrived: u64 = stats_on.iter().map(|st| st.arrivals as u64).sum();
+        assert_eq!(o.metrics.counter("patia.requests.arrived"), arrived);
+        assert!(o.tracer.events().iter().any(|e| e.name.starts_with("tick:")));
     }
 
     #[test]

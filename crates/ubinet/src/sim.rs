@@ -9,6 +9,7 @@
 
 use crate::link::BandwidthProfile;
 use crate::net::Network;
+use obs::{ObsHandle, Primitive};
 use std::collections::BTreeMap;
 
 /// An environmental event.
@@ -76,7 +77,27 @@ pub enum EnvEvent {
     },
 }
 
+impl EnvEvent {
+    /// A stable short label for tracing and metric names.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            EnvEvent::SetDocked { .. } => "set_docked",
+            EnvEvent::SetLoad { .. } => "set_load",
+            EnvEvent::SetAlive { .. } => "set_alive",
+            EnvEvent::SetBandwidth { .. } => "set_bandwidth",
+            EnvEvent::SetLinkUp { .. } => "set_link_up",
+            EnvEvent::SetLatency { .. } => "set_latency",
+            EnvEvent::Partition { .. } => "partition",
+            EnvEvent::Heal { .. } => "heal",
+        }
+    }
+}
+
 /// The simulator: a network plus a schedule of events.
+///
+/// Cloning a simulator with an armed observability hub shares the hub (the
+/// handle is reference-counted) — both clones then write to one trace.
 #[derive(Debug, Clone, Default)]
 pub struct Simulator {
     /// The environment's topology and device states.
@@ -84,6 +105,7 @@ pub struct Simulator {
     schedule: Vec<(u64, EnvEvent)>,
     now: u64,
     battery_drain_per_tick: f64,
+    obs: Option<ObsHandle>,
 }
 
 impl Simulator {
@@ -91,7 +113,19 @@ impl Simulator {
     /// fully-loaded mobile devices.
     #[must_use]
     pub fn new(net: Network, battery_drain_per_tick: f64) -> Self {
-        Self { net, schedule: Vec::new(), now: 0, battery_drain_per_tick }
+        Self { net, schedule: Vec::new(), now: 0, battery_drain_per_tick, obs: None }
+    }
+
+    /// Arm the observability hub: every applied event then emits an
+    /// instant trace marker and bumps its `ubinet.events.*` counter.
+    /// Zero-cost when disarmed, like the fault-injection hooks.
+    pub fn arm_obs(&mut self, obs: ObsHandle) {
+        self.obs = Some(obs);
+    }
+
+    /// Disarm observability.
+    pub fn disarm_obs(&mut self) {
+        self.obs = None;
     }
 
     /// Current tick.
@@ -164,6 +198,16 @@ impl Simulator {
             };
             for (t, ev) in due {
                 self.apply(&ev);
+                if let Some(obs) = &self.obs {
+                    let mut o = obs.borrow_mut();
+                    o.charge(Primitive::Branch);
+                    o.instant(
+                        "ubinet",
+                        ev.label(),
+                        vec![("tick", t.to_string()), ("now", self.now.to_string())],
+                    );
+                    o.metrics.counter_add(&format!("ubinet.events.{}", ev.label()), 1);
+                }
                 applied.push((t, ev));
             }
             let drain = self.battery_drain_per_tick;

@@ -20,6 +20,64 @@ fn table2_has_the_three_paper_rows() {
     assert!(matches!(rows[2].logic, ConstraintLogic::BandwidthVersion { .. }));
 }
 
+/// The paper's Table 2 parameters are fixed history: constraint 455 fires
+/// at 90 % processor utilisation, constraint 595 bands bandwidth strictly
+/// between 30 and 100 Kbps, and both page constraints govern atom 123
+/// while the video constraint governs atom 153.
+#[test]
+fn table2_carries_the_paper_parameters_exactly() {
+    let rows = paper_table2();
+    assert_eq!(rows[0].atom, AtomId(123));
+    assert_eq!(rows[1].atom, AtomId(123));
+    assert_eq!(rows[2].atom, AtomId(153));
+    let ConstraintLogic::SelectBest { candidates } = &rows[0].logic else {
+        panic!("row 450 is Select BEST")
+    };
+    assert_eq!(candidates, &["node1".to_owned(), "node2".to_owned()]);
+    let ConstraintLogic::SwitchOnCpu { threshold, candidates } = &rows[1].logic else {
+        panic!("row 455 is SWITCH on cpu")
+    };
+    assert!((threshold - 0.9).abs() < f64::EPSILON, "the paper's 90% threshold");
+    assert_eq!(candidates, &["node1".to_owned(), "node2".to_owned()]);
+    let ConstraintLogic::BandwidthVersion { lo, hi, preferred, fallback } = &rows[2].logic else {
+        panic!("row 595 is bandwidth-banded")
+    };
+    assert_eq!((*lo, *hi), (30.0, 100.0), "the paper's > 30 < 100 Kbps band");
+    assert_eq!(preferred, &[1, 2, 3]);
+    assert_eq!(*fallback, 4);
+}
+
+/// The metrics registry reports the same numbers the tick loop observes:
+/// a flash-crowd run with observability armed bills every arrival,
+/// completion, and migration into counters that match the TickStats sums.
+#[test]
+fn registry_reports_the_flash_crowd_numbers() {
+    let mut s = fleet(true);
+    let hub = obs::Obs::new(obs::CostModel::pentium()).into_handle();
+    s.arm_obs(hub.clone());
+    let crowd = FlashCrowd { from: 50, to: 450, target: AtomId(123), multiplier: 15.0 };
+    let mut gen = RequestGen::new(vec![AtomId(123)], 1.0, 4.0, 77).with_crowd(crowd);
+    let (mut arrived, mut completed, mut migrations) = (0u64, 0u64, 0u64);
+    for t in 1..=1500 {
+        let st = s.tick(&gen.tick(t), 64.0);
+        arrived += st.arrivals as u64;
+        completed += st.latencies.len() as u64;
+        migrations += st.migrations.len() as u64;
+    }
+    s.disarm_obs();
+    let o = obs::Obs::try_unwrap(hub).expect("server disarmed, hub has one owner");
+    assert_eq!(o.metrics.counter("patia.requests.arrived"), arrived);
+    assert_eq!(o.metrics.counter("patia.requests.completed"), completed);
+    assert!(migrations >= 1, "the crowd must force at least one SWITCH");
+    assert!(
+        o.tracer.events().iter().filter(|e| e.name.starts_with("switch:")).count() as u64
+            >= migrations,
+        "every SWITCH must leave a trace event"
+    );
+    let h = o.metrics.histogram("patia.latency_ticks").expect("latency histogram");
+    assert_eq!(h.count, completed);
+}
+
 #[test]
 fn constraint_450_places_the_agent_on_a_candidate() {
     let s = fleet(true);
