@@ -1,0 +1,158 @@
+//! The benchmark-trajectory bin: replay the paper's workloads with the
+//! observability hub armed, fold each trace through the
+//! cycle-attribution profiler, and emit a stable `BENCH_adm.json` —
+//! virtual-cycle totals, per-layer attribution, span/event counts.
+//!
+//! Three workloads, all fully seeded so every number is a deterministic
+//! replay, not a wall-clock measurement:
+//!
+//! * **Table 1** — null-RPC cycle cost per kernel plus the SISR
+//!   load-time verification row;
+//! * **flash crowd** — the Table 2 / Figure 7 scenario
+//!   (`scenario::chaos::paper_flash_crowd`, the same definition the
+//!   golden-trace tier and `figures --trace/--flame` run);
+//! * **chaos matrix** — the CI chaos storylines
+//!   (`scenario::chaos::ci_chaos`) under seeds 17, 42, 20260806.
+//!
+//! Modes:
+//!
+//! * `bench` — print the snapshot JSON to stdout;
+//! * `bench --update` — rewrite the committed baseline `BENCH_adm.json`
+//!   (normally via `cargo xtask update-goldens`);
+//! * `bench --check` — compare this run against the committed baseline
+//!   under the gate tolerances ([`adm_bench::gate`]) and exit non-zero
+//!   on any out-of-tolerance drift (the CI `bench-gate` job).
+
+use adm_bench::gate::{compare, BenchSnapshot, Tolerance};
+use adm_core::scenario::chaos::{ci_chaos, paper_flash_crowd, run_observed, ChaosParams};
+use gokernel::kernels::KernelKind;
+use gokernel::table1::{table1_rows, verification_cost_row};
+use machine::CostModel;
+use obs::Profile;
+use std::path::PathBuf;
+
+/// The chaos seeds with committed goldens — keep in lockstep with the CI
+/// matrix and `tests/obs_e2e.rs`.
+const CHAOS_SEEDS: [u64; 3] = [17, 42, 20260806];
+
+/// The committed baseline, at the workspace root next to README.md.
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_adm.json")
+}
+
+/// A short metric-key segment for a Table 1 kernel row.
+fn kernel_key(kind: KernelKind) -> &'static str {
+    match kind {
+        KernelKind::Monolithic => "bsd",
+        KernelKind::Mach => "mach",
+        KernelKind::L4 => "l4",
+        KernelKind::Go => "go",
+    }
+}
+
+/// Metric-key segment for a profiler category (`(idle)` → `idle`).
+fn category_key(cat: &str) -> String {
+    cat.chars().filter(|c| c.is_ascii_alphanumeric() || *c == '_').collect()
+}
+
+/// Record one observed scenario under `prefix`: clock, per-category
+/// self-cycle attribution, and the structural counts.
+fn record_scenario(snap: &mut BenchSnapshot, prefix: &str, params: &ChaosParams) {
+    let (report, o) = run_observed(params);
+    let profile = Profile::build(o.tracer.events(), o.clock());
+    assert_eq!(
+        profile.self_total(),
+        o.clock(),
+        "{prefix}: the profile must partition the virtual clock"
+    );
+    snap.set(format!("{prefix}.cycles.clock"), o.clock());
+    for (cat, cycles) in profile.per_category() {
+        snap.set(format!("{prefix}.cycles.self.{}", category_key(&cat)), cycles);
+    }
+    let spans = o.tracer.events().iter().filter(|e| e.kind == obs::EventKind::Complete).count();
+    snap.set(format!("{prefix}.counts.events"), o.tracer.events().len() as u64);
+    snap.set(format!("{prefix}.counts.spans"), spans as u64);
+    snap.set(format!("{prefix}.counts.completed"), report.completed);
+    snap.set(format!("{prefix}.counts.switches"), report.migrations);
+    snap.set(format!("{prefix}.counts.reconfigs_committed"), report.reconfigs_committed);
+}
+
+/// Replay every workload into one snapshot.
+fn measure() -> BenchSnapshot {
+    let mut snap = BenchSnapshot::new();
+
+    // Table 1: per-kernel null-RPC cycles plus the verification row.
+    let model = CostModel::pentium();
+    for row in table1_rows(&model, 3) {
+        snap.set(format!("table1.cycles.{}", kernel_key(row.kind)), row.measured_cycles);
+    }
+    let v = verification_cost_row(&model);
+    snap.set("table1.cycles.verify", v.verify_cycles);
+    snap.set("table1.counts.breakeven_calls", v.breakeven_calls);
+
+    // The flash crowd and the chaos matrix.
+    record_scenario(&mut snap, "flash_crowd", &paper_flash_crowd());
+    for seed in CHAOS_SEEDS {
+        record_scenario(&mut snap, &format!("chaos.seed{seed}"), &ci_chaos(seed));
+    }
+    snap
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str);
+    let snap = measure();
+    let json = snap.to_json();
+    match mode {
+        None => print!("{json}"),
+        Some("--update") => {
+            let path = baseline_path();
+            std::fs::write(&path, &json).expect("write baseline");
+            println!("wrote {} ({} metrics)", path.display(), snap.values().len());
+        }
+        Some("--check") => {
+            let path = baseline_path();
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                println!(
+                    "FAIL: cannot read baseline {} ({e}); \
+                     commit one with `cargo xtask update-goldens`",
+                    path.display()
+                );
+                std::process::exit(1);
+            });
+            let baseline = BenchSnapshot::from_json(&text).unwrap_or_else(|e| {
+                println!("FAIL: malformed baseline {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            let tol = Tolerance::default();
+            let violations = compare(&baseline, &snap, &tol);
+            if violations.is_empty() {
+                println!(
+                    "bench-gate OK: {} metrics within tolerance (cycles ±{}% or {} cycles; counts exact)",
+                    baseline.values().len(),
+                    tol.cycle_pct,
+                    tol.cycle_floor
+                );
+                return;
+            }
+            println!(
+                "bench-gate FAIL: {} metric(s) out of tolerance vs {}:",
+                violations.len(),
+                path.display()
+            );
+            for v in &violations {
+                println!("  {v}");
+            }
+            println!(
+                "\nfull drift:\n{}",
+                obs::diff::unified(&text, &json, "BENCH_adm.json (baseline)", "this run")
+            );
+            println!("if intentional, re-baseline with `cargo xtask update-goldens`");
+            std::process::exit(1);
+        }
+        Some(other) => {
+            println!("unknown argument {other:?}; usage: bench [--update|--check]");
+            std::process::exit(2);
+        }
+    }
+}

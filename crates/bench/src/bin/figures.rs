@@ -12,6 +12,14 @@
 //! with the observability hub armed and export the cycle-accounted trace
 //! as Chrome-trace JSON (open it in `chrome://tracing` or Perfetto).
 //! Defaults to `target/figures-trace.json`.
+//!
+//! Pass `--flame[=PATH]` to fold the same trace through the
+//! cycle-attribution profiler and write inferno-compatible folded stacks
+//! (`inferno-flamegraph < PATH > flame.svg`, or any folded-stack viewer).
+//! Defaults to `target/figures-flame.folded`. The summed leaf cycles of
+//! the folded stacks equal the tracer's final virtual clock — asserted
+//! on every export, because the profile is a partition of the run, not a
+//! sampling estimate.
 
 use adl::figures::{docked_session, fig4_document, fig5_switchover, wireless_session};
 use adm_core::scenario::{failover, inter_query, intra_query, system_adapt};
@@ -155,16 +163,9 @@ fn extensions() {
 /// Chrome-trace JSON to `path`. The run is fully seeded, so the exported
 /// trace is byte-identical across invocations.
 fn export_trace(path: &str) {
-    use adm_core::scenario::chaos::{run_observed, ChaosParams};
-    use patia::atom::AtomId;
-    use patia::workload::FlashCrowd;
+    use adm_core::scenario::chaos::{paper_flash_crowd, run_observed};
     println!("\n== Trace: Figure 7 flash crowd, cycle-accounted ==");
-    let params = ChaosParams {
-        ticks: 400,
-        crowd: Some(FlashCrowd { from: 50, to: 250, target: AtomId(123), multiplier: 30.0 }),
-        ..ChaosParams::default()
-    };
-    let (report, o) = run_observed(&params);
+    let (report, o) = run_observed(&paper_flash_crowd());
     let (trace_digest, metrics_digest, events) = o.digests();
     let json = obs::chrome::export(&o.tracer, "adm figures: flash crowd");
     match std::fs::write(path, &json) {
@@ -175,6 +176,42 @@ fn export_trace(path: &str) {
             report.completed,
             report.migrations
         ),
+        Err(e) => println!("  could not write {path}: {e}"),
+    }
+}
+
+/// Fold the flash-crowd trace through the cycle-attribution profiler and
+/// write inferno-compatible folded stacks to `path`. Asserts the profile
+/// partitions the virtual clock: summed leaf cycles == final clock.
+fn export_flame(path: &str) {
+    use adm_core::scenario::chaos::{paper_flash_crowd, run_observed};
+    use obs::Profile;
+    println!("\n== Flame: Figure 7 flash crowd, cycle attribution ==");
+    let (_, o) = run_observed(&paper_flash_crowd());
+    let profile = Profile::build(o.tracer.events(), o.clock());
+    let folded = profile.folded();
+    let leaf_sum: u64 = folded
+        .lines()
+        .map(|l| l.rsplit(' ').next().and_then(|n| n.parse::<u64>().ok()).unwrap_or(0))
+        .sum();
+    assert_eq!(
+        leaf_sum,
+        o.clock(),
+        "folded leaf cycles must partition the tracer's final virtual clock"
+    );
+    match std::fs::write(path, &folded) {
+        Ok(()) => {
+            println!(
+                "  wrote {path}: {} stacks, {leaf_sum} leaf cycles == final clock {}",
+                folded.lines().count(),
+                o.clock()
+            );
+            println!("  per-layer self cycles:");
+            for (cat, cycles) in profile.per_category() {
+                println!("    {cat:<10} {cycles:>8}");
+            }
+            println!("  render with `inferno-flamegraph < {path} > flame.svg`");
+        }
         Err(e) => println!("  could not write {path}: {e}"),
     }
 }
@@ -196,6 +233,16 @@ fn main() {
     });
     if let Some(path) = trace {
         export_trace(&path);
+    }
+    let flame = std::env::args().find_map(|a| {
+        if a == "--flame" {
+            Some("target/figures-flame.folded".to_owned())
+        } else {
+            a.strip_prefix("--flame=").map(str::to_owned)
+        }
+    });
+    if let Some(path) = flame {
+        export_flame(&path);
     }
     println!("\n(Figure 7 / Table 2: run `cargo run -p adm-bench --bin table2`.)");
 }

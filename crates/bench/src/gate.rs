@@ -1,0 +1,247 @@
+//! Benchmark-trajectory gate: a stable benchmark snapshot, its JSON
+//! form, and the tolerance compare CI runs against the committed
+//! baseline (`BENCH_adm.json`).
+//!
+//! The snapshot is a *flat* map of dotted metric names to integers —
+//! virtual-cycle totals, per-layer attribution from [`obs::Profile`],
+//! and span/event counts. Flat on purpose: the JSON stays trivially
+//! diffable, and the in-tree parser (the workspace builds with zero
+//! external dependencies, so no serde) only has to understand one shape.
+//!
+//! # Tolerance policy
+//!
+//! A metric's *name* declares how it is gated:
+//!
+//! * any key with a `cycles` segment (`flash_crowd.cycles.clock`,
+//!   `table1.cycles.go`) is a virtual-cycle total: the current value may
+//!   drift from the baseline by at most
+//!   [`Tolerance::cycle_pct`] percent or [`Tolerance::cycle_floor`]
+//!   cycles, whichever allowance is larger. The floor keeps tiny
+//!   baselines (a 73-cycle RPC) from failing on a one-cycle wobble; the
+//!   percentage catches hot-path regressions on the big totals.
+//! * every other key (the `counts.*` families) is structural — event,
+//!   span, and switch counts are exact replays of a seeded scenario, so
+//!   they must match exactly.
+//! * a key present on one side only always fails: silently dropping a
+//!   scenario from the bench would otherwise read as "no regression".
+//!
+//! Intentional changes re-baseline with `cargo xtask update-goldens`
+//! (which rewrites `BENCH_adm.json` alongside the trace goldens).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A flat, stably-ordered benchmark snapshot: dotted metric name →
+/// integer value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BenchSnapshot {
+    values: BTreeMap<String, u64>,
+}
+
+impl BenchSnapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one metric. Keys are dotted identifiers; quotes and
+    /// backslashes are rejected so the JSON writer never needs escaping.
+    ///
+    /// # Panics
+    /// Panics if `key` contains `"` or `\` or a newline.
+    pub fn set(&mut self, key: impl Into<String>, value: u64) {
+        let key = key.into();
+        assert!(
+            !key.contains(['"', '\\', '\n']),
+            "snapshot keys are plain dotted identifiers: {key:?}"
+        );
+        self.values.insert(key, value);
+    }
+
+    /// The recorded metrics, name-sorted.
+    #[must_use]
+    pub fn values(&self) -> &BTreeMap<String, u64> {
+        &self.values
+    }
+
+    /// Render as JSON: one sorted `"key": value` pair per line, so the
+    /// committed baseline diffs line-by-line in review.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            let sep = if i + 1 == self.values.len() { "" } else { "," };
+            let _ = writeln!(out, "  \"{k}\": {v}{sep}");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parse the JSON form written by [`BenchSnapshot::to_json`].
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed line. The parser is
+    /// deliberately strict — the file is machine-written, so any surprise
+    /// shape means the baseline was hand-edited or corrupted.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let mut snap = Self::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line == "{" || line == "}" {
+                continue;
+            }
+            let line = line.strip_suffix(',').unwrap_or(line);
+            let rest = line.strip_prefix('"').ok_or_else(|| {
+                format!("line {}: expected \"key\": value, got {line:?}", lineno + 1)
+            })?;
+            let (key, rest) = rest
+                .split_once('"')
+                .ok_or_else(|| format!("line {}: unterminated key in {line:?}", lineno + 1))?;
+            let value = rest
+                .strip_prefix(':')
+                .map(str::trim)
+                .ok_or_else(|| format!("line {}: missing ':' in {line:?}", lineno + 1))?;
+            let value: u64 = value
+                .parse()
+                .map_err(|e| format!("line {}: bad integer {value:?} ({e})", lineno + 1))?;
+            if snap.values.insert(key.to_owned(), value).is_some() {
+                return Err(format!("line {}: duplicate key {key:?}", lineno + 1));
+            }
+        }
+        if snap.values.is_empty() {
+            return Err("no metrics found".to_owned());
+        }
+        Ok(snap)
+    }
+}
+
+/// The gate's explicit tolerances — see the module docs for the policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Maximum relative drift, in percent, for `cycles` metrics.
+    pub cycle_pct: f64,
+    /// Minimum absolute drift allowance, in cycles, for `cycles` metrics.
+    pub cycle_floor: u64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Self { cycle_pct: 2.0, cycle_floor: 64 }
+    }
+}
+
+impl Tolerance {
+    /// The drift allowance for `key` at `baseline`: cycle metrics get
+    /// `max(floor, pct% of baseline)`, everything else gets zero.
+    #[must_use]
+    pub fn allowance(&self, key: &str, baseline: u64) -> u64 {
+        if key.split('.').any(|seg| seg == "cycles") {
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            let pct = (baseline as f64 * self.cycle_pct / 100.0).floor() as u64;
+            pct.max(self.cycle_floor)
+        } else {
+            0
+        }
+    }
+}
+
+/// Compare `current` against `baseline` under `tol`. Returns the list of
+/// violations — empty means the gate passes.
+#[must_use]
+pub fn compare(baseline: &BenchSnapshot, current: &BenchSnapshot, tol: &Tolerance) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (key, &want) in baseline.values() {
+        match current.values().get(key) {
+            None => {
+                violations.push(format!("{key}: present in baseline but missing from this run"));
+            }
+            Some(&got) => {
+                let allowed = tol.allowance(key, want);
+                let drift = got.abs_diff(want);
+                if drift > allowed {
+                    violations.push(format!(
+                        "{key}: {got} vs baseline {want} (drift {drift} > allowed {allowed})"
+                    ));
+                }
+            }
+        }
+    }
+    for key in current.values().keys() {
+        if !baseline.values().contains_key(key) {
+            violations.push(format!("{key}: present in this run but missing from baseline"));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pairs: &[(&str, u64)]) -> BenchSnapshot {
+        let mut s = BenchSnapshot::new();
+        for (k, v) in pairs {
+            s.set(*k, *v);
+        }
+        s
+    }
+
+    #[test]
+    fn json_round_trips_and_is_sorted() {
+        let s = snap(&[("b.counts.events", 2), ("a.cycles.clock", 100)]);
+        let json = s.to_json();
+        assert_eq!(
+            json, "{\n  \"a.cycles.clock\": 100,\n  \"b.counts.events\": 2\n}\n",
+            "sorted, one pair per line"
+        );
+        assert_eq!(BenchSnapshot::from_json(&json).expect("round trip"), s);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_baselines() {
+        assert!(BenchSnapshot::from_json("{}").is_err(), "empty snapshot is suspicious");
+        assert!(BenchSnapshot::from_json("{\n  nonsense\n}").is_err());
+        assert!(BenchSnapshot::from_json("{\n  \"k\": 1.5\n}").is_err(), "integers only");
+        let dup = "{\n  \"k\": 1,\n  \"k\": 2\n}";
+        assert!(BenchSnapshot::from_json(dup).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn cycle_keys_get_relative_tolerance_with_floor() {
+        let tol = Tolerance::default();
+        assert_eq!(tol.allowance("flash_crowd.cycles.clock", 1_000_000), 20_000, "2%");
+        assert_eq!(tol.allowance("table1.cycles.go", 73), 64, "floor beats 2% of 73");
+        assert_eq!(tol.allowance("flash_crowd.counts.events", 1_000_000), 0, "counts are exact");
+        assert_eq!(tol.allowance("recycles.total", 1_000_000), 0, "whole segment match only");
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance_and_fails_beyond() {
+        let tol = Tolerance::default();
+        let base = snap(&[("s.cycles.clock", 100_000), ("s.counts.events", 400)]);
+        let ok = snap(&[("s.cycles.clock", 101_500), ("s.counts.events", 400)]);
+        assert!(compare(&base, &ok, &tol).is_empty(), "1.5% cycle drift passes");
+        let slow = snap(&[("s.cycles.clock", 103_000), ("s.counts.events", 400)]);
+        let v = compare(&base, &slow, &tol);
+        assert_eq!(v.len(), 1, "3% cycle drift fails: {v:?}");
+        assert!(v[0].contains("s.cycles.clock"));
+        let restructured = snap(&[("s.cycles.clock", 100_000), ("s.counts.events", 401)]);
+        assert_eq!(compare(&base, &restructured, &tol).len(), 1, "counts are exact");
+    }
+
+    #[test]
+    fn missing_and_extra_keys_always_fail() {
+        let tol = Tolerance::default();
+        let base = snap(&[("a.cycles.clock", 10), ("b.counts.events", 1)]);
+        let cur = snap(&[("a.cycles.clock", 10), ("c.counts.events", 1)]);
+        let v = compare(&base, &cur, &tol);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v
+            .iter()
+            .any(|x| x.contains("b.counts.events") && x.contains("missing from this run")));
+        assert!(v
+            .iter()
+            .any(|x| x.contains("c.counts.events") && x.contains("missing from baseline")));
+    }
+}

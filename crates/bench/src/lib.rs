@@ -14,6 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
+
 /// Render a labelled two-column table of (label, value) rows.
 #[must_use]
 pub fn kv_table(title: &str, rows: &[(String, String)]) -> String {

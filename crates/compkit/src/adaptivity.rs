@@ -230,6 +230,8 @@ impl AdaptivityManager {
                             ("steps", report.steps.to_string()),
                             ("stopped", report.stopped.len().to_string()),
                             ("started", report.started.len().to_string()),
+                            ("unbinds", plan.unbind.len().to_string()),
+                            ("binds", plan.bind.len().to_string()),
                         ],
                     );
                     o.metrics.counter_add("compkit.switch.committed", 1);

@@ -11,10 +11,15 @@
 //! plan and workload seed produce an identical report, which the
 //! `chaos_e2e` determinism test asserts byte for byte.
 
-use faultsim::{FaultPlan, PatiaDriver};
-use obs::{Obs, ObsHandle};
+use adl::ast::{Binding, PortRef};
+use adl::diff::ReconfigurationPlan;
+use compkit::adaptivity::AdaptivityManager;
+use compkit::runtime::{BasicFactory, Runtime};
+use compkit::state::StateManager;
+use faultsim::{FaultPlan, FaultSpace, PatiaDriver};
+use obs::{Obs, ObsHandle, Primitive, Profile};
 use patia::atom::AtomId;
-use patia::server::{PatiaServer, ServerConfig, TickStats};
+use patia::server::{PatiaServer, ServerConfig, SwitchKind, TickStats};
 use patia::workload::{FlashCrowd, RequestGen};
 use std::collections::BTreeMap;
 
@@ -52,6 +57,47 @@ impl Default for ChaosParams {
     }
 }
 
+/// The Table 2 flash-crowd scenario: no injected faults, just the paper's
+/// load spike on atom 123 with the constraints adapting around it. One
+/// definition shared by the golden-trace tier, `figures --trace/--flame`,
+/// and the bench-trajectory gate, so they all measure the same run.
+#[must_use]
+pub fn paper_flash_crowd() -> ChaosParams {
+    ChaosParams {
+        plan: FaultPlan::new(0),
+        ticks: 400,
+        crowd: Some(FlashCrowd { from: 50, to: 250, target: AtomId(123), multiplier: 30.0 }),
+        ..ChaosParams::default()
+    }
+}
+
+/// The CI chaos matrix scenario: a seeded random fault storyline over the
+/// paper fleet plus a flash crowd (mirrors `chaos_e2e` scenario 7). The
+/// golden seeds are 17, 42, and 20260806.
+#[must_use]
+pub fn ci_chaos(seed: u64) -> ChaosParams {
+    let fleet: Vec<String> =
+        ["node1", "node2", "node3", "wp1", "wp2"].iter().map(|s| (*s).to_owned()).collect();
+    let space = FaultSpace {
+        links: vec![
+            ("node1".to_owned(), "node2".to_owned()),
+            ("node2".to_owned(), "node3".to_owned()),
+            ("node1".to_owned(), "wp1".to_owned()),
+        ],
+        nodes: fleet,
+        atoms: vec![123, 153],
+        components: Vec::new(),
+        horizon: 250,
+        incidents: 10,
+    };
+    ChaosParams {
+        plan: FaultPlan::random(seed, &space),
+        ticks: 300,
+        crowd: Some(FlashCrowd { from: 60, to: 180, target: AtomId(123), multiplier: 20.0 }),
+        ..ChaosParams::default()
+    }
+}
+
 /// Aggregated outcome of a chaos run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChaosReport {
@@ -83,6 +129,13 @@ pub struct ChaosReport {
     /// Whether each atom's [`PatiaServer::switches`] counter equals the
     /// switch events observed for it in the per-tick stats.
     pub switches_consistent: bool,
+    /// Reconfiguration transactions the compkit Adaptivity Manager
+    /// committed while mirroring the run (the boot transaction plus one
+    /// per SWITCH event).
+    pub reconfigs_committed: u64,
+    /// Reconfiguration transactions that rolled back (zero in a healthy
+    /// run: the glue's plans are always consistent with the runtime).
+    pub reconfigs_rolled_back: u64,
 }
 
 impl ChaosReport {
@@ -108,20 +161,84 @@ pub fn run(p: &ChaosParams) -> ChaosReport {
 pub fn run_observed(p: &ChaosParams) -> (ChaosReport, Obs) {
     let handle = Obs::new(obs::CostModel::pentium()).into_handle();
     let report = run_inner(p, Some(handle.clone()));
-    let obs = Obs::try_unwrap(handle)
+    let mut obs = Obs::try_unwrap(handle)
         .unwrap_or_else(|_| unreachable!("the server is dropped before the hub is unwrapped"));
+    // Fold the finished trace into the cycle-attribution profile and
+    // publish the per-category totals, so the metric snapshot and the
+    // trace agree on where the cycles went (`profile.self_cycles.*`).
+    Profile::build(obs.tracer.events(), obs.clock()).publish(&mut obs.metrics);
     (report, obs)
+}
+
+/// The glue component instance standing for a fleet node.
+fn host_instance(node: &str) -> String {
+    format!("host:{node}")
+}
+
+/// The glue component instance standing for an atom's service.
+fn atom_instance(atom: AtomId) -> String {
+    format!("atom:{}", atom.0)
+}
+
+/// The binding that records "this atom's service runs on this node".
+fn glue_binding(atom: AtomId, node: &str) -> Binding {
+    Binding {
+        from: PortRef::on(&atom_instance(atom), "route"),
+        to: PortRef::on(&host_instance(node), "slot"),
+    }
 }
 
 fn run_inner(p: &ChaosParams, obs: Option<ObsHandle>) -> ChaosReport {
     let (net, atoms, constraints) = ServerConfig::paper_fleet();
     let config = ServerConfig { adaptive: p.adaptive, work_per_request: 400 };
     let mut server = PatiaServer::new(net, atoms, constraints, config);
-    if let Some(h) = obs {
-        server.arm_obs(h);
+    if let Some(h) = &obs {
+        server.arm_obs(h.clone());
     }
     let driver = PatiaDriver::new(p.plan.clone());
     driver.arm(&mut server);
+
+    // The component-runtime mirror: one `host:<node>` instance per fleet
+    // device, one `atom:<id>` instance per served atom, and a
+    // `route -- slot` binding recording each agent placement. Every SWITCH
+    // the server performs is then re-expressed as a transactional
+    // reconfiguration through the Adaptivity Manager — the paper's
+    // "migration encloses a committed bind/unbind transaction" — and the
+    // glue runs identically armed or disarmed, so it cannot perturb the
+    // report.
+    let mut rt = Runtime::new();
+    let mut am = AdaptivityManager::new();
+    let mut sm = StateManager::new();
+    let mut factory = BasicFactory;
+    if let Some(h) = &obs {
+        am.arm_obs(h.clone());
+    }
+    let mut boot = ReconfigurationPlan::default();
+    for d in server.network().devices() {
+        boot.start.push((host_instance(&d.name), "Host".to_owned()));
+    }
+    for atom in server.served_atoms() {
+        boot.start.push((atom_instance(atom), "Agent".to_owned()));
+        for agent in server.agents(atom) {
+            boot.bind.push(glue_binding(atom, &agent.node));
+        }
+    }
+    let boot_span = obs.as_ref().map(|o| {
+        let mut o = o.borrow_mut();
+        let s = o.begin("chaos", "boot");
+        o.charge(Primitive::Branch);
+        s
+    });
+    let booted = am.execute(&mut rt, &boot, &mut factory, &mut sm, 0);
+    if let (Some(o), Some(span)) = (&obs, boot_span) {
+        o.borrow_mut().end_with(
+            span,
+            vec![
+                ("outcome", if booted.is_ok() { "committed" } else { "rolled_back" }.to_owned()),
+                ("instances", boot.start.len().to_string()),
+            ],
+        );
+    }
     let mut gen =
         RequestGen::new(vec![AtomId(123), AtomId(153)], 1.0, p.base_rate, p.workload_seed);
     if let Some(crowd) = p.crowd {
@@ -141,6 +258,8 @@ fn run_inner(p: &ChaosParams, obs: Option<ObsHandle>) -> ChaosReport {
         switch_retries: 0,
         degraded: 0,
         switches_consistent: false,
+        reconfigs_committed: 0,
+        reconfigs_rolled_back: 0,
     };
     let mut per_atom: BTreeMap<AtomId, u32> = BTreeMap::new();
     for t in 1..=p.ticks {
@@ -155,8 +274,38 @@ fn run_inner(p: &ChaosParams, obs: Option<ObsHandle>) -> ChaosReport {
         report.failed_switches += st.faults.failed_switches;
         report.switch_retries += st.faults.switch_retries;
         report.degraded += st.faults.degraded;
-        for (atom, _, _) in &st.migrations {
-            *per_atom.entry(*atom).or_default() += 1;
+        for ev in &st.migrations {
+            *per_atom.entry(ev.atom).or_default() += 1;
+            // Mirror the SWITCH as a transactional reconfiguration: a
+            // migration or evacuation moves the placement binding; a
+            // spread adds one (the source agent stays).
+            let mut plan = ReconfigurationPlan::default();
+            if ev.kind != SwitchKind::Spread {
+                plan.unbind.push(glue_binding(ev.atom, &ev.from));
+            }
+            plan.bind.push(glue_binding(ev.atom, &ev.to));
+            let span = obs.as_ref().map(|o| {
+                let mut o = o.borrow_mut();
+                let s = o.begin("chaos", "migration");
+                o.charge(Primitive::Branch);
+                s
+            });
+            let result = am.execute(&mut rt, &plan, &mut factory, &mut sm, t);
+            if let (Some(o), Some(span)) = (&obs, span) {
+                o.borrow_mut().end_with(
+                    span,
+                    vec![
+                        ("atom", ev.atom.0.to_string()),
+                        ("kind", ev.kind.instant_name().to_owned()),
+                        ("from", ev.from.clone()),
+                        ("to", ev.to.clone()),
+                        (
+                            "outcome",
+                            if result.is_ok() { "committed" } else { "rolled_back" }.to_owned(),
+                        ),
+                    ],
+                );
+            }
         }
         report.per_tick.push(st);
     }
@@ -164,6 +313,8 @@ fn run_inner(p: &ChaosParams, obs: Option<ObsHandle>) -> ChaosReport {
     report.switches_consistent = [AtomId(123), AtomId(153)]
         .iter()
         .all(|a| server.switches(*a) == per_atom.get(a).copied().unwrap_or(0));
+    report.reconfigs_committed = am.committed();
+    report.reconfigs_rolled_back = am.rolled_back();
     report
 }
 

@@ -441,6 +441,11 @@ impl Orb {
             // numbers exactly.
             let mut o = obs.borrow_mut();
             let span = o.begin_at("gokernel", "invoke", start);
+            let outcome = match &run {
+                Ok(Stop::Halted) | Ok(Stop::Trap(_)) => "ok",
+                Ok(Stop::OutOfFuel) => "runaway",
+                Err(_) => "fault",
+            };
             o.end_at_with(
                 span,
                 start + cycles,
@@ -448,6 +453,7 @@ impl Orb {
                     ("call", call_index.to_string()),
                     ("iface", iface.0.to_string()),
                     ("cycles", cycles.to_string()),
+                    ("outcome", outcome.to_owned()),
                 ],
             );
             o.metrics.counter_add("orb.invocations", 1);

@@ -117,6 +117,34 @@ mod tests {
     }
 
     #[test]
+    fn escapes_every_control_character_and_passes_unicode() {
+        for c in (0u32..0x20).filter_map(char::from_u32) {
+            let mut s = String::new();
+            escape(&c.to_string(), &mut s);
+            assert!(s.starts_with('\\'), "control {:#04x} must be escaped, got {s:?}", c as u32);
+            assert!(s.is_ascii(), "escapes are pure ASCII: {s:?}");
+        }
+        let mut s = String::new();
+        escape("naïve — ünïcode 🚀", &mut s);
+        assert_eq!(s, "naïve — ünïcode 🚀", "non-control unicode passes through verbatim");
+    }
+
+    #[test]
+    fn export_escapes_hostile_names_and_args_end_to_end() {
+        // Span names and arg values are open strings (node names, error
+        // messages); the exported document must stay valid JSON whatever
+        // they contain.
+        let mut t = Tracer::new();
+        let s = t.begin_at("patia", "tick \"zero\"\n", 0);
+        t.end_at_with(s, 10, vec![("cause", "path\\to\u{7}\tnode".to_owned())]);
+        let json = export(&t, "quote \" backslash \\");
+        assert!(json.contains("\"name\":\"tick \\\"zero\\\"\\n\""), "{json}");
+        assert!(json.contains("\"cause\":\"path\\\\to\\u0007\\tnode\""), "{json}");
+        assert!(json.contains("\"name\":\"quote \\\" backslash \\\\\""), "{json}");
+        assert!(!json.contains('\u{7}'), "no raw control bytes leak into the document");
+    }
+
+    #[test]
     fn exports_complete_and_instant_events() {
         let mut t = Tracer::new();
         let s = t.begin_at("gokernel", "invoke", 100);

@@ -14,6 +14,14 @@
 //!   pipeline ingests its gauges instead of hand-fed readings.
 //! * [`chrome`] — a Chrome-trace-format JSON exporter for the event log
 //!   (`bench figures --trace`).
+//! * [`profile`] — a cycle-attribution profiler that folds the span
+//!   stream into an aggregated call tree with self/total accounting and
+//!   inferno-compatible folded stacks (`bench figures --flame`).
+//! * [`query`] — a combinator query engine over the event log, used by
+//!   tests to assert causal invariants (*precedes*, *within*,
+//!   *encloses*) instead of eyeballing renders.
+//! * [`diff`] — a minimal unified line diff so golden-trace and
+//!   bench-gate failures show *what* drifted, not just digests.
 //!
 //! # Arming
 //!
@@ -39,11 +47,16 @@
 //! ```
 
 pub mod chrome;
+pub mod diff;
 pub mod metrics;
+pub mod profile;
+pub mod query;
 pub mod span;
 
 pub use machine::cost::{CostModel, Cycles, Primitive};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use profile::{Profile, ProfileNode};
+pub use query::{Query, Violation};
 pub use span::{EventKind, SpanId, TraceEvent, Tracer};
 
 use std::cell::RefCell;

@@ -1,0 +1,474 @@
+//! Trace-query engine: causal invariants over the event log.
+//!
+//! A deterministic trace is only useful if something *reads* it. This
+//! module gives tests a small combinator API over [`TraceEvent`] streams
+//! — filter by category, name, and args; select spans or instants — plus
+//! the temporal checks the paper's Adaptation Framework implies:
+//!
+//! * [`Query::each_within`] — every selected event lies inside some span
+//!   of a cover set (*within*);
+//! * [`Query::each_preceded_within`] — every selected event is preceded
+//!   by a related witness event inside its innermost enclosing span
+//!   (*precedes* scoped by *within*);
+//! * [`Query::each_preceded_by`] — unscoped *precedes* with a caller
+//!   relation (used e.g. for retry chains);
+//! * [`Query::each_encloses`] — every selected span contains at least one
+//!   matching inner event (*encloses*);
+//! * [`Query::pairwise_disjoint`] — selected spans never overlap;
+//! * [`Query::dur_equals_arg`] — a span's duration equals one of its own
+//!   structured args (ties the trace to the measurement that emitted it).
+//!
+//! Checks return `Result<(), Violation>`: the violation carries the
+//! offending event rendered in the tracer's own line format, so a failing
+//! invariant reads like a trace excerpt, not an index.
+//!
+//! Queries borrow the event log; nothing is copied but `(index, &event)`
+//! pairs. The log index (completion order) breaks timestamp ties, keeping
+//! every check deterministic.
+
+use crate::span::{EventKind, TraceEvent};
+use crate::Cycles;
+use std::fmt;
+
+/// A failed invariant: which check, and the event(s) that broke it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The check that failed.
+    pub check: &'static str,
+    /// Human-readable detail, including the offending event(s) rendered
+    /// in the tracer's line format.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.check, self.detail)
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Render one event in the tracer's line format for violation messages.
+fn render_event(e: &TraceEvent) -> String {
+    let mut s = match e.kind {
+        EventKind::Complete => format!("@{:010}+{:06} {}:{}", e.ts, e.dur, e.cat, e.name),
+        EventKind::Instant => format!("@{:010}!       {}:{}", e.ts, e.cat, e.name),
+    };
+    for (k, v) in &e.args {
+        s.push_str(&format!(" {k}={v}"));
+    }
+    s
+}
+
+/// A filtered view over an event log: `(log index, event)` pairs in
+/// completion order. Combinators narrow the selection; checks consume it.
+#[derive(Debug, Clone)]
+pub struct Query<'a> {
+    events: Vec<(usize, &'a TraceEvent)>,
+}
+
+impl<'a> Query<'a> {
+    /// Select every event of `log` (completion order, indices attached).
+    #[must_use]
+    pub fn over(log: &'a [TraceEvent]) -> Self {
+        Self { events: log.iter().enumerate().collect() }
+    }
+
+    /// The selected `(log index, event)` pairs.
+    #[must_use]
+    pub fn events(&self) -> &[(usize, &'a TraceEvent)] {
+        &self.events
+    }
+
+    /// Number of selected events.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is selected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Keep events whose category equals `cat`.
+    #[must_use]
+    pub fn cat(self, cat: &str) -> Self {
+        self.filter(|e| e.cat == cat)
+    }
+
+    /// Keep events whose name equals `name`.
+    #[must_use]
+    pub fn name(self, name: &str) -> Self {
+        self.filter(|e| e.name == name)
+    }
+
+    /// Keep events whose name starts with `prefix` (instance-suffixed
+    /// names like `tick:17` select with `name_prefix("tick:")`).
+    #[must_use]
+    pub fn name_prefix(self, prefix: &str) -> Self {
+        self.filter(|e| e.name.starts_with(prefix))
+    }
+
+    /// Keep complete spans only.
+    #[must_use]
+    pub fn spans(self) -> Self {
+        self.filter(|e| e.kind == EventKind::Complete)
+    }
+
+    /// Keep instant markers only.
+    #[must_use]
+    pub fn instants(self) -> Self {
+        self.filter(|e| e.kind == EventKind::Instant)
+    }
+
+    /// Keep events carrying arg `key` with value `value`.
+    #[must_use]
+    pub fn arg(self, key: &str, value: &str) -> Self {
+        self.filter(|e| e.args.iter().any(|(k, v)| *k == key && v == value))
+    }
+
+    /// Keep events satisfying an arbitrary predicate.
+    #[must_use]
+    pub fn filter(mut self, pred: impl Fn(&TraceEvent) -> bool) -> Self {
+        self.events.retain(|(_, e)| pred(e));
+        self
+    }
+
+    /// **within**: every selected event's `[ts, ts+dur]` lies inside some
+    /// span selected by `cover`.
+    ///
+    /// # Errors
+    /// Returns the first uncovered event.
+    pub fn each_within(&self, cover: &Query<'_>) -> Result<(), Violation> {
+        for (_, e) in &self.events {
+            if enclosing(cover, e.ts, e.ts + e.dur).is_none() {
+                return Err(Violation {
+                    check: "each_within",
+                    detail: format!("event not inside any cover span: {}", render_event(e)),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// **precedes ∧ within**: for every selected *marker* event there is a
+    /// `witness` event with `witness.ts <= marker.ts`, inside the
+    /// marker's innermost enclosing `cover` span, such that
+    /// `related(witness, marker)` holds.
+    ///
+    /// This is the paper's gauge→decision causality: every SWITCH instant
+    /// must see a same-atom CPU-gauge breach earlier in its own tick.
+    ///
+    /// # Errors
+    /// Returns the first marker without a scope or witness.
+    pub fn each_preceded_within(
+        &self,
+        witnesses: &Query<'_>,
+        cover: &Query<'_>,
+        related: impl Fn(&TraceEvent, &TraceEvent) -> bool,
+    ) -> Result<(), Violation> {
+        for (_, marker) in &self.events {
+            let Some(scope) = enclosing(cover, marker.ts, marker.ts + marker.dur) else {
+                return Err(Violation {
+                    check: "each_preceded_within",
+                    detail: format!("marker outside every cover span: {}", render_event(marker)),
+                });
+            };
+            let found = witnesses.events.iter().any(|(_, w)| {
+                w.ts >= scope.ts
+                    && w.ts + w.dur <= scope.ts + scope.dur
+                    && w.ts <= marker.ts
+                    && related(w, marker)
+            });
+            if !found {
+                return Err(Violation {
+                    check: "each_preceded_within",
+                    detail: format!(
+                        "no related witness precedes marker inside its scope\n  marker: {}\n  scope:  {}",
+                        render_event(marker),
+                        render_event(scope)
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// **precedes**: for every selected event there is an earlier (or
+    /// simultaneous, earlier in completion order) `witness` with
+    /// `related(witness, event)`.
+    ///
+    /// # Errors
+    /// Returns the first event with no related predecessor.
+    pub fn each_preceded_by(
+        &self,
+        witnesses: &Query<'_>,
+        related: impl Fn(&TraceEvent, &TraceEvent) -> bool,
+    ) -> Result<(), Violation> {
+        for (mi, marker) in &self.events {
+            let found = witnesses.events.iter().any(|(wi, w)| {
+                (w.ts < marker.ts || (w.ts == marker.ts && wi < mi)) && related(w, marker)
+            });
+            if !found {
+                return Err(Violation {
+                    check: "each_preceded_by",
+                    detail: format!("no related predecessor for: {}", render_event(marker)),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// **encloses**: every selected span contains at least one `inner`
+    /// event (fully, by interval containment) with `related(outer, inner)`.
+    ///
+    /// # Errors
+    /// Returns the first span with no related inner event.
+    pub fn each_encloses(
+        &self,
+        inner: &Query<'_>,
+        related: impl Fn(&TraceEvent, &TraceEvent) -> bool,
+    ) -> Result<(), Violation> {
+        for (_, outer) in &self.events {
+            let found = inner.events.iter().any(|(_, i)| {
+                i.ts >= outer.ts && i.ts + i.dur <= outer.ts + outer.dur && related(outer, i)
+            });
+            if !found {
+                return Err(Violation {
+                    check: "each_encloses",
+                    detail: format!(
+                        "span encloses no matching inner event: {}",
+                        render_event(outer)
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// **disjoint**: no two selected spans overlap (sharing an endpoint is
+    /// allowed — `[0,10)` and `[10,20)` are disjoint).
+    ///
+    /// # Errors
+    /// Returns the first overlapping pair.
+    pub fn pairwise_disjoint(&self) -> Result<(), Violation> {
+        let mut intervals: Vec<(Cycles, Cycles, &TraceEvent)> =
+            self.events.iter().map(|(_, e)| (e.ts, e.ts + e.dur, *e)).collect();
+        intervals.sort_by_key(|&(ts, end, _)| (ts, end));
+        for w in intervals.windows(2) {
+            let (_, end_a, a) = w[0];
+            let (ts_b, _, b) = w[1];
+            if ts_b < end_a {
+                return Err(Violation {
+                    check: "pairwise_disjoint",
+                    detail: format!(
+                        "spans overlap\n  first:  {}\n  second: {}",
+                        render_event(a),
+                        render_event(b)
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Every selected span's duration equals the integer value of its own
+    /// arg `key` — the trace agrees with the measurement it annotates.
+    ///
+    /// # Errors
+    /// Returns the first span whose arg is missing, non-numeric, or
+    /// different from its duration.
+    pub fn dur_equals_arg(&self, key: &str) -> Result<(), Violation> {
+        for (_, e) in &self.events {
+            let Some((_, v)) = e.args.iter().find(|(k, _)| *k == key) else {
+                return Err(Violation {
+                    check: "dur_equals_arg",
+                    detail: format!("span lacks arg '{key}': {}", render_event(e)),
+                });
+            };
+            match v.parse::<Cycles>() {
+                Ok(cycles) if cycles == e.dur => {}
+                _ => {
+                    return Err(Violation {
+                        check: "dur_equals_arg",
+                        detail: format!("dur != {key}: {}", render_event(e)),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The innermost (shortest) span of `cover` containing `[ts, end]`.
+fn enclosing<'a, 'b>(cover: &'b Query<'a>, ts: Cycles, end: Cycles) -> Option<&'b TraceEvent> {
+    cover
+        .events
+        .iter()
+        .map(|(_, e)| *e)
+        .filter(|e| e.kind == EventKind::Complete && e.ts <= ts && end <= e.ts + e.dur)
+        .min_by_key(|e| e.dur)
+}
+
+/// The value of structured arg `key` on `e`, if present — the free
+/// function form used inside `related` closures.
+#[must_use]
+pub fn arg<'e>(e: &'e TraceEvent, key: &str) -> Option<&'e str> {
+    e.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Tracer;
+
+    /// tick span [0,100) holding breach@10 and switch@20; a second tick
+    /// [100,200) holding a switch@150 with no breach.
+    fn sample() -> Tracer {
+        let mut t = Tracer::new();
+        let tick1 = t.begin_at("patia", "tick:1", 0);
+        t.instant("patia", "gauge:breach", 10, vec![("atom", "123".to_owned())]);
+        t.instant("patia", "switch:migrate", 20, vec![("atom", "123".to_owned())]);
+        t.end_at(tick1, 100);
+        let tick2 = t.begin_at("patia", "tick:2", 100);
+        t.instant("patia", "switch:migrate", 150, vec![("atom", "7".to_owned())]);
+        t.end_at(tick2, 200);
+        t
+    }
+
+    #[test]
+    fn combinators_narrow_the_selection() {
+        let t = sample();
+        let q = Query::over(t.events());
+        assert_eq!(q.count(), 5);
+        assert_eq!(q.clone().cat("patia").spans().count(), 2);
+        assert_eq!(q.clone().name_prefix("switch:").count(), 2);
+        assert_eq!(q.clone().name("gauge:breach").count(), 1);
+        assert_eq!(q.clone().instants().arg("atom", "123").count(), 2);
+        assert!(q.filter(|e| e.ts > 1_000).is_empty());
+    }
+
+    #[test]
+    fn within_accepts_covered_and_rejects_uncovered() {
+        let t = sample();
+        let all = Query::over(t.events());
+        let ticks = all.clone().name_prefix("tick:");
+        let switches = all.clone().name_prefix("switch:");
+        switches.each_within(&ticks).expect("every switch is inside a tick");
+        let mut t2 = Tracer::new();
+        t2.instant("patia", "switch:migrate", 999, Vec::new());
+        let stray = Query::over(t2.events());
+        let err = stray.each_within(&ticks).expect_err("stray instant is uncovered");
+        assert_eq!(err.check, "each_within");
+        assert!(err.detail.contains("switch:migrate"), "{err}");
+    }
+
+    #[test]
+    fn preceded_within_demands_a_scoped_related_witness() {
+        let t = sample();
+        let all = Query::over(t.events());
+        let ticks = all.clone().name_prefix("tick:");
+        let breaches = all.clone().name("gauge:breach");
+        let same_atom = |w: &TraceEvent, m: &TraceEvent| arg(w, "atom") == arg(m, "atom");
+
+        // switch@20 in tick1: breach@10 for the same atom precedes it.
+        all.clone()
+            .name_prefix("switch:")
+            .filter(|e| e.ts < 100)
+            .each_preceded_within(&breaches, &ticks, same_atom)
+            .expect("tick1's switch is justified");
+
+        // switch@150 in tick2: tick2 holds no breach at all.
+        let err = all
+            .clone()
+            .name_prefix("switch:")
+            .filter(|e| e.ts >= 100)
+            .each_preceded_within(&breaches, &ticks, same_atom)
+            .expect_err("tick2's switch has no witness");
+        assert_eq!(err.check, "each_preceded_within");
+        assert!(err.detail.contains("tick:2"), "scope is rendered: {err}");
+
+        // The breach in tick1 does not justify a different atom either.
+        let err = all
+            .name_prefix("switch:")
+            .filter(|e| e.ts < 100)
+            .each_preceded_within(&breaches, &ticks, |w, _| arg(w, "atom") == Some("999"))
+            .expect_err("relation must hold");
+        assert_eq!(err.check, "each_preceded_within");
+    }
+
+    #[test]
+    fn preceded_by_uses_completion_order_on_ties() {
+        let mut t = Tracer::new();
+        t.instant("c", "first", 50, Vec::new());
+        t.instant("c", "second", 50, Vec::new());
+        let all = Query::over(t.events());
+        let firsts = all.clone().name("first");
+        let seconds = all.clone().name("second");
+        seconds.each_preceded_by(&firsts, |_, _| true).expect("log order breaks the tie");
+        let err = firsts.each_preceded_by(&seconds, |_, _| true).expect_err("not the other way");
+        assert_eq!(err.check, "each_preceded_by");
+    }
+
+    #[test]
+    fn encloses_demands_a_contained_related_event() {
+        let mut t = Tracer::new();
+        let mig = t.begin_at("chaos", "migration", 0);
+        let sw = t.begin_at("compkit", "switch", 10);
+        t.end_at_with(sw, 30, vec![("outcome", "committed".to_owned())]);
+        t.end_at(mig, 40);
+        let empty_mig = t.begin_at("chaos", "migration", 50);
+        t.end_at(empty_mig, 60);
+        let all = Query::over(t.events());
+        let migs = all.clone().cat("chaos").name("migration");
+        let commits = all.clone().cat("compkit").arg("outcome", "committed");
+        migs.clone()
+            .filter(|e| e.ts < 50)
+            .each_encloses(&commits, |_, _| true)
+            .expect("first migration encloses a commit");
+        let err = migs.each_encloses(&commits, |_, _| true).expect_err("second one is empty");
+        assert_eq!(err.check, "each_encloses");
+    }
+
+    #[test]
+    fn disjoint_allows_touching_but_not_overlap() {
+        let t = sample();
+        Query::over(t.events()).name_prefix("tick:").pairwise_disjoint().expect("ticks abut");
+        let mut t2 = Tracer::new();
+        let a = t2.begin_at("c", "a", 0);
+        let b = t2.begin_at("c", "b", 5);
+        t2.end_at(a, 10);
+        t2.end_at(b, 15);
+        let err = Query::over(t2.events()).pairwise_disjoint().expect_err("overlap");
+        assert_eq!(err.check, "pairwise_disjoint");
+        assert!(err.detail.contains("c:a") && err.detail.contains("c:b"), "{err}");
+    }
+
+    #[test]
+    fn dur_equals_arg_ties_span_to_measurement() {
+        let mut t = Tracer::new();
+        let ok = t.begin_at("gokernel", "invoke", 0);
+        t.end_at_with(ok, 73, vec![("cycles", "73".to_owned())]);
+        Query::over(t.events()).dur_equals_arg("cycles").expect("dur matches its own arg");
+        let bad = t.begin_at("gokernel", "invoke", 100);
+        t.end_at_with(bad, 180, vec![("cycles", "73".to_owned())]);
+        let err = Query::over(t.events()).dur_equals_arg("cycles").expect_err("mismatch");
+        assert_eq!(err.check, "dur_equals_arg");
+        let missing = Query::over(t.events()).dur_equals_arg("nope").expect_err("missing arg");
+        assert!(missing.detail.contains("lacks arg"), "{missing}");
+    }
+
+    #[test]
+    fn violations_render_the_tracer_line_format() {
+        let mut t = Tracer::new();
+        t.instant("patia", "switch:migrate", 9000, vec![("atom", "123".to_owned())]);
+        let err =
+            Query::over(t.events()).each_within(&Query::over(&[])).expect_err("no cover at all");
+        assert!(
+            err.detail.contains("@0000009000!       patia:switch:migrate atom=123"),
+            "violation quotes the trace line: {err}"
+        );
+    }
+}

@@ -68,6 +68,20 @@ impl Tracer {
         Self::default()
     }
 
+    /// An empty tracer with `capacity` event slots pre-allocated.
+    ///
+    /// Purely an allocation hint: the event log, its render, and its
+    /// digest are functions of what was *recorded*, never of arena
+    /// capacity — asserted by the digest-stability tests.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: Vec::with_capacity(capacity),
+            open: Vec::with_capacity(capacity.min(64)),
+            free: Vec::new(),
+        }
+    }
+
     /// Open a span starting at `ts`.
     pub fn begin_at(&mut self, cat: &'static str, name: impl Into<String>, ts: Cycles) -> SpanId {
         let span = OpenSpan { ts, cat, name: name.into() };
@@ -218,5 +232,37 @@ mod tests {
         let mut t = Tracer::new();
         let s = t.begin_at("x", "bad", 100);
         t.end_at(s, 99);
+    }
+
+    /// Replay the same span storyline into a tracer built with the given
+    /// arena capacity.
+    fn replay(capacity: Option<usize>) -> Tracer {
+        let mut t = capacity.map_or_else(Tracer::new, Tracer::with_capacity);
+        for i in 0..10u64 {
+            let tick = t.begin_at("patia", format!("tick:{i}"), i * 100);
+            let inner = t.begin_at("compkit", "switch", i * 100 + 10);
+            t.end_at_with(inner, i * 100 + 40, vec![("outcome", "committed".to_owned())]);
+            t.instant("patia", "gauge:breach", i * 100 + 50, vec![("atom", "123".to_owned())]);
+            t.end_at(tick, i * 100 + 90);
+        }
+        t
+    }
+
+    #[test]
+    fn digest_is_independent_of_arena_capacity() {
+        // Identical replays must fingerprint identically whether the
+        // arena grows from empty, is exactly sized, or is grossly
+        // over-provisioned: capacity is an allocation hint, not state.
+        let baseline = replay(None);
+        for capacity in [0, 1, 30, 4096] {
+            let t = replay(Some(capacity));
+            assert_eq!(t.render(), baseline.render(), "capacity {capacity} changed the render");
+            assert_eq!(t.digest(), baseline.digest(), "capacity {capacity} changed the digest");
+            assert_eq!(
+                crate::fnv1a(t.render().as_bytes()),
+                baseline.digest(),
+                "digest stays the FNV-1a of the render"
+            );
+        }
     }
 }

@@ -119,6 +119,44 @@ impl FaultCounters {
     }
 }
 
+/// What kind of SWITCH the server performed — the discriminator trace
+/// queries and the reconfiguration glue dispatch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchKind {
+    /// A lightly-queued agent moved whole to the destination.
+    Migrate,
+    /// The service cloned onto an additional node, splitting the queue.
+    Spread,
+    /// A stranded agent moved off a dead node.
+    Evacuate,
+}
+
+impl SwitchKind {
+    /// The trace-instant name this kind emits (`switch:migrate`, ...).
+    #[must_use]
+    pub fn instant_name(self) -> &'static str {
+        match self {
+            Self::Migrate => "switch:migrate",
+            Self::Spread => "switch:spread",
+            Self::Evacuate => "switch:evacuate",
+        }
+    }
+}
+
+/// One SWITCH carried out during a tick: which atom's agent moved (or
+/// spread), what kind of switch it was, and between which nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchEvent {
+    /// The atom whose agent switched.
+    pub atom: AtomId,
+    /// Migration, spread, or evacuation.
+    pub kind: SwitchKind,
+    /// Source node.
+    pub from: String,
+    /// Destination node.
+    pub to: String,
+}
+
 /// Per-tick observable results.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TickStats {
@@ -128,8 +166,8 @@ pub struct TickStats {
     pub arrivals: usize,
     /// Requests completed, with their latencies in ticks.
     pub latencies: Vec<u64>,
-    /// Agent migrations performed this tick (atom, from, to).
-    pub migrations: Vec<(AtomId, String, String)>,
+    /// SWITCH events performed this tick.
+    pub migrations: Vec<SwitchEvent>,
     /// Per-node utilisation after processing.
     pub utilisation: BTreeMap<String, f64>,
     /// Version ids served this tick, per atom.
@@ -305,6 +343,7 @@ impl PatiaServer {
         match self.net.device_mut(node) {
             Some(d) => {
                 d.alive = false;
+                self.fault_instant("fault:node_death", node);
                 true
             }
             None => false,
@@ -316,6 +355,7 @@ impl PatiaServer {
         match self.net.device_mut(node) {
             Some(d) => {
                 d.alive = true;
+                self.fault_instant("fault:node_revival", node);
                 true
             }
             None => false,
@@ -327,11 +367,30 @@ impl PatiaServer {
     /// drives constraint 455 to SWITCH agents away.
     pub fn inject_pressure(&mut self, node: &str, fraction: f64) {
         self.pressure.insert(node.to_owned(), fraction.clamp(0.0, 1.0));
+        self.fault_instant("fault:pressure", node);
     }
 
     /// Remove injected CPU pressure from a node.
     pub fn clear_pressure(&mut self, node: &str) {
         self.pressure.remove(node);
+        self.fault_instant("fault:pressure_release", node);
+    }
+
+    /// Record an injected-fault marker when armed. Deliberately *not*
+    /// billed: the fault is environmental, not work the machine performed,
+    /// and un-spanned charges would open idle gaps in the cycle
+    /// attribution (see `obs::profile`).
+    fn fault_instant(&mut self, name: &'static str, node: &str) {
+        if let Some(o) = &self.obs {
+            o.borrow_mut().instant("patia", name, vec![("node", node.to_owned())]);
+        }
+    }
+
+    /// The atoms currently served by at least one agent, in id order —
+    /// what the reconfiguration glue boots component instances for.
+    #[must_use]
+    pub fn served_atoms(&self) -> Vec<AtomId> {
+        self.agents.iter().filter(|(_, v)| !v.is_empty()).map(|(id, _)| *id).collect()
     }
 
     /// Requests currently queued across every agent — the in-flight count
@@ -567,6 +626,22 @@ impl PatiaServer {
                     self.retry.remove(&c.atom);
                     continue;
                 }
+                // The gauge crossed the constraint's threshold: this is
+                // the monitors→gauges decision point, and the trace must
+                // show it *before* whatever SWITCH it provokes.
+                if let Some(o) = &obs {
+                    let mut o = o.borrow_mut();
+                    o.charge(Primitive::Branch);
+                    o.instant(
+                        "patia",
+                        "gauge:breach",
+                        vec![
+                            ("atom", c.atom.0.to_string()),
+                            ("node", from.clone()),
+                            ("util", format!("{worst_util:.3}")),
+                        ],
+                    );
+                }
                 if self.retry.get(&c.atom).is_some_and(|r| now < r.next_at) {
                     continue; // waiting out the backoff window
                 }
@@ -607,6 +682,7 @@ impl PatiaServer {
                 // the destination and split the queue (the data AND
                 // processing state shipping the paper describes).
                 let queue_len = agents[worst_idx].queue.len();
+                let kind = if queue_len <= 2 { SwitchKind::Migrate } else { SwitchKind::Spread };
                 if queue_len <= 2 {
                     let state_bytes = agents[worst_idx].migrate(&dest);
                     if let Some(o) = &obs {
@@ -651,7 +727,7 @@ impl PatiaServer {
                     }
                 }
                 self.retry.remove(&c.atom);
-                stats.migrations.push((c.atom, from, dest));
+                stats.migrations.push(SwitchEvent { atom: c.atom, kind, from, to: dest });
             }
         }
 
@@ -819,7 +895,12 @@ impl PatiaServer {
                         ],
                     );
                 }
-                stats.migrations.push((atom, from, dest));
+                stats.migrations.push(SwitchEvent {
+                    atom,
+                    kind: SwitchKind::Evacuate,
+                    from,
+                    to: dest,
+                });
             }
         }
     }

@@ -92,6 +92,33 @@ impl EnvEvent {
             EnvEvent::Heal { .. } => "heal",
         }
     }
+
+    /// Structured key/value arguments describing the event — what trace
+    /// queries filter on (which device failed, which link flapped, ...).
+    #[must_use]
+    pub fn args(&self) -> Vec<(&'static str, String)> {
+        match self {
+            EnvEvent::SetDocked { device, docked } => {
+                vec![("device", device.clone()), ("docked", docked.to_string())]
+            }
+            EnvEvent::SetLoad { device, load } => {
+                vec![("device", device.clone()), ("load", format!("{load:.3}"))]
+            }
+            EnvEvent::SetAlive { device, alive } => {
+                vec![("device", device.clone()), ("alive", alive.to_string())]
+            }
+            EnvEvent::SetBandwidth { a, b, .. } => vec![("a", a.clone()), ("b", b.clone())],
+            EnvEvent::SetLinkUp { a, b, up } => {
+                vec![("a", a.clone()), ("b", b.clone()), ("up", up.to_string())]
+            }
+            EnvEvent::SetLatency { a, b, latency } => {
+                vec![("a", a.clone()), ("b", b.clone()), ("latency", latency.to_string())]
+            }
+            EnvEvent::Partition { island } | EnvEvent::Heal { island } => {
+                vec![("island", island.join("+"))]
+            }
+        }
+    }
 }
 
 /// The simulator: a network plus a schedule of events.
@@ -201,11 +228,9 @@ impl Simulator {
                 if let Some(obs) = &self.obs {
                     let mut o = obs.borrow_mut();
                     o.charge(Primitive::Branch);
-                    o.instant(
-                        "ubinet",
-                        ev.label(),
-                        vec![("tick", t.to_string()), ("now", self.now.to_string())],
-                    );
+                    let mut args = vec![("tick", t.to_string()), ("now", self.now.to_string())];
+                    args.extend(ev.args());
+                    o.instant("ubinet", ev.label(), args);
                     o.metrics.counter_add(&format!("ubinet.events.{}", ev.label()), 1);
                 }
                 applied.push((t, ev));

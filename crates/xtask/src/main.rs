@@ -1,0 +1,88 @@
+//! Workspace task runner, invoked as `cargo xtask <task>` (the alias
+//! lives in `.cargo/config.toml`). Tasks:
+//!
+//! * `update-goldens` — regenerate every committed deterministic
+//!   artifact: the golden-trace snapshots in `tests/goldens/` (one leg
+//!   per CI chaos seed, replacing the raw
+//!   `UPDATE_GOLDENS=1 CHAOS_SEED=<seed> cargo test …` incantation) and
+//!   the benchmark-trajectory baseline `BENCH_adm.json`.
+//! * `bench-gate` — replay the benchmark trajectory and compare it to
+//!   the committed `BENCH_adm.json` under the gate tolerances; exits
+//!   non-zero on drift (what the CI `bench-gate` job runs).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The chaos seeds with committed goldens — keep in lockstep with the CI
+/// matrix in `.github/workflows/ci.yml` and `tests/obs_e2e.rs`.
+const GOLDEN_SEEDS: [u64; 3] = [17, 42, 20260806];
+
+/// The workspace root (this crate lives at `<root>/crates/xtask`).
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Run one cargo invocation at the workspace root, echoing it first;
+/// exits the whole task on failure so partial regenerations are loud.
+fn run_cargo(args: &[&str], envs: &[(&str, String)]) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    let rendered: Vec<String> = envs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    println!("$ {} {} {}", rendered.join(" "), cargo, args.join(" "));
+    let status = Command::new(&cargo)
+        .args(args)
+        .envs(envs.iter().map(|(k, v)| (*k, v.as_str())))
+        .current_dir(workspace_root())
+        .status()
+        .unwrap_or_else(|e| {
+            println!("failed to spawn {cargo}: {e}");
+            std::process::exit(1);
+        });
+    if !status.success() {
+        println!("task step failed ({status}); stopping");
+        std::process::exit(status.code().unwrap_or(1));
+    }
+}
+
+/// Regenerate the golden-trace snapshots (one obs_e2e run per CI seed,
+/// under `UPDATE_GOLDENS=1`) and the bench baseline.
+fn update_goldens() {
+    for seed in GOLDEN_SEEDS {
+        run_cargo(
+            &["test", "-q", "-p", "adm-core", "--test", "obs_e2e"],
+            &[("UPDATE_GOLDENS", "1".to_owned()), ("CHAOS_SEED", seed.to_string())],
+        );
+    }
+    run_cargo(
+        &["run", "--release", "-q", "-p", "adm-bench", "--bin", "bench", "--", "--update"],
+        &[],
+    );
+    println!("goldens and BENCH_adm.json regenerated; review the diff before committing");
+}
+
+/// Run the benchmark-trajectory gate against the committed baseline.
+fn bench_gate() {
+    run_cargo(
+        &["run", "--release", "-q", "-p", "adm-bench", "--bin", "bench", "--", "--check"],
+        &[],
+    );
+}
+
+fn main() {
+    let task = std::env::args().nth(1);
+    match task.as_deref() {
+        Some("update-goldens") => update_goldens(),
+        Some("bench-gate") => bench_gate(),
+        other => {
+            if let Some(t) = other {
+                println!("unknown task {t:?}\n");
+            }
+            println!(
+                "usage: cargo xtask <task>\n\n\
+                 tasks:\n  \
+                 update-goldens  regenerate tests/goldens/ and BENCH_adm.json\n  \
+                 bench-gate      compare a fresh bench run against BENCH_adm.json"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -9,14 +9,11 @@
 //! Regenerate the goldens after an intentional change with:
 //!
 //! ```text
-//! UPDATE_GOLDENS=1 cargo test -p adm-core --test obs_e2e
+//! cargo xtask update-goldens
 //! ```
 
-use adm_core::scenario::chaos::{run, run_observed, ChaosParams};
-use faultsim::{FaultPlan, FaultSpace};
+use adm_core::scenario::chaos::{ci_chaos, paper_flash_crowd, run, run_observed, ChaosParams};
 use obs::Obs;
-use patia::atom::AtomId;
-use patia::workload::FlashCrowd;
 use std::path::PathBuf;
 
 /// The seed the chaos determinism golden runs under; CI overrides it per
@@ -35,40 +32,16 @@ fn goldens_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens")
 }
 
-/// The Table 2 flash-crowd scenario: no injected faults, just the paper's
-/// load spike on atom 123 with the constraints adapting around it.
+/// The Table 2 flash-crowd scenario — shared with `figures` and the bench
+/// gate via `scenario::chaos`.
 fn flash_crowd_params() -> ChaosParams {
-    ChaosParams {
-        plan: FaultPlan::new(0),
-        ticks: 400,
-        crowd: Some(FlashCrowd { from: 50, to: 250, target: AtomId(123), multiplier: 30.0 }),
-        ..ChaosParams::default()
-    }
+    paper_flash_crowd()
 }
 
-/// The chaos determinism scenario (mirrors `chaos_e2e` scenario 7): a
-/// seeded random fault storyline over the paper fleet plus a flash crowd.
+/// The chaos determinism scenario (mirrors `chaos_e2e` scenario 7) —
+/// shared via `scenario::chaos`.
 fn chaos_params(seed: u64) -> ChaosParams {
-    let fleet: Vec<String> =
-        ["node1", "node2", "node3", "wp1", "wp2"].iter().map(|s| (*s).to_owned()).collect();
-    let space = FaultSpace {
-        links: vec![
-            ("node1".to_owned(), "node2".to_owned()),
-            ("node2".to_owned(), "node3".to_owned()),
-            ("node1".to_owned(), "wp1".to_owned()),
-        ],
-        nodes: fleet,
-        atoms: vec![123, 153],
-        components: Vec::new(),
-        horizon: 250,
-        incidents: 10,
-    };
-    ChaosParams {
-        plan: FaultPlan::random(seed, &space),
-        ticks: 300,
-        crowd: Some(FlashCrowd { from: 60, to: 180, target: AtomId(123), multiplier: 20.0 }),
-        ..ChaosParams::default()
-    }
+    ci_chaos(seed)
 }
 
 /// Render the run's observability snapshot in the golden format: a small
@@ -125,14 +98,17 @@ fn assert_golden(name: &str, seed: u64, params: &ChaosParams) {
     }
     let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         panic!(
-            "missing golden {} ({e}); regenerate with UPDATE_GOLDENS=1 cargo test -p adm-core --test obs_e2e",
+            "missing golden {} ({e}); regenerate with `cargo xtask update-goldens`",
             path.display()
         )
     });
-    assert_eq!(
-        got, want,
+    // A drifted golden fails with a unified diff of the snapshot, not just
+    // digest values — the reviewer sees *which* metric or digest moved.
+    assert!(
+        got == want,
         "{name}: observability snapshot drifted from the committed golden; if the change \
-         is intentional, regenerate with UPDATE_GOLDENS=1"
+         is intentional, regenerate with `cargo xtask update-goldens`\n{}",
+        obs::diff::unified(&want, &got, &format!("golden {name}.txt"), "this run")
     );
 }
 
@@ -174,6 +150,49 @@ fn registry_counters_agree_with_the_report() {
     assert_eq!(o.metrics.counter("patia.requests.degraded"), r.degraded);
     let h = o.metrics.histogram("patia.latency_ticks").expect("latency histogram exists");
     assert_eq!(h.count, r.completed, "every completion is observed exactly once");
+}
+
+/// The profiler's attribution and the published metrics must agree: the
+/// `profile.self_cycles.*` counters `run_observed` writes into the
+/// registry equal a fresh fold of the same trace, name for name and
+/// cycle for cycle, and they partition the final virtual clock. This is
+/// the `figures --trace` / metrics-snapshot equivalence the bench gate
+/// relies on.
+#[test]
+fn profiler_attribution_agrees_with_published_metrics() {
+    for (name, params) in
+        [("flash-crowd", flash_crowd_params()), ("chaos-seed-42", chaos_params(42))]
+    {
+        let (_, o) = run_observed(&params);
+        let profile = obs::Profile::build(o.tracer.events(), o.clock());
+        let per_cat = profile.per_category();
+        assert!(!per_cat.is_empty(), "{name}: attribution must be non-trivial");
+        for (cat, cycles) in &per_cat {
+            assert_eq!(
+                o.metrics.counter(&format!("profile.self_cycles.{cat}")),
+                *cycles,
+                "{name}: published counter for {cat} matches a fresh fold"
+            );
+        }
+        assert_eq!(o.metrics.counter("profile.clock"), o.clock());
+        assert_eq!(
+            per_cat.values().sum::<u64>(),
+            o.clock(),
+            "{name}: per-category self cycles partition the clock"
+        );
+        // No stray profile.* counters beyond the fold's categories.
+        let published = o
+            .metrics
+            .render()
+            .lines()
+            .filter(|l| l.trim_start().starts_with("counter profile.self_cycles."))
+            .count();
+        assert_eq!(
+            published,
+            per_cat.len(),
+            "{name}: registry holds exactly the fold's categories"
+        );
+    }
 }
 
 /// The Chrome-trace exporter must be as deterministic as the trace it
