@@ -12,7 +12,11 @@
 //!   (`scenario::chaos::paper_flash_crowd`, the same definition the
 //!   golden-trace tier and `figures --trace/--flame` run);
 //! * **chaos matrix** — the CI chaos storylines
-//!   (`scenario::chaos::ci_chaos`) under seeds 17, 42, 20260806.
+//!   (`scenario::chaos::ci_chaos`) under seeds 17, 42, 20260806;
+//! * **crash replay** — the `scenario::crashrep` recovery matrix (same
+//!   seeds × every crash point), pricing journal recovery: total
+//!   `compkit:recover` span cycles plus the landed-outcome and
+//!   undo-work counts.
 //!
 //! Modes:
 //!
@@ -25,6 +29,7 @@
 
 use adm_bench::gate::{compare, BenchSnapshot, Tolerance};
 use adm_core::scenario::chaos::{ci_chaos, paper_flash_crowd, run_observed, ChaosParams};
+use adm_core::scenario::crashrep;
 use gokernel::kernels::KernelKind;
 use gokernel::table1::{table1_rows, verification_cost_row};
 use machine::CostModel;
@@ -77,6 +82,43 @@ fn record_scenario(snap: &mut BenchSnapshot, prefix: &str, params: &ChaosParams)
     snap.set(format!("{prefix}.counts.reconfigs_committed"), report.reconfigs_committed);
 }
 
+/// Record the crash-replay matrix under `crashrep.*`: how much recovery
+/// costs on the virtual clock (summed `compkit:recover` span cycles
+/// across every cell) and the structural outcome counts the recovery
+/// invariant fixes exactly.
+fn record_crashrep(snap: &mut BenchSnapshot) {
+    let mut recovery_cycles = 0u64;
+    let mut committed = 0u64;
+    let mut rolled_back = 0u64;
+    let mut scanned = 0u64;
+    let mut undone = 0u64;
+    let mut cells = 0u64;
+    for &seed in &crashrep::CRASH_SEEDS {
+        for &point in &crashrep::crash_points() {
+            let (cell, o) = crashrep::run_cell_observed(seed, point);
+            assert!(cell.consistent(), "bench cell must recover cleanly: {}", cell.render_line());
+            recovery_cycles += o
+                .tracer
+                .events()
+                .iter()
+                .filter(|e| e.cat == "compkit" && e.name == "recover")
+                .map(|e| e.dur)
+                .sum::<u64>();
+            committed += u64::from(cell.committed());
+            rolled_back += u64::from(cell.rolled_back());
+            scanned += cell.records_scanned as u64;
+            undone += cell.undone as u64;
+            cells += 1;
+        }
+    }
+    snap.set("crashrep.cycles.recovery", recovery_cycles);
+    snap.set("crashrep.counts.cells", cells);
+    snap.set("crashrep.counts.committed", committed);
+    snap.set("crashrep.counts.rolled_back", rolled_back);
+    snap.set("crashrep.counts.records_scanned", scanned);
+    snap.set("crashrep.counts.steps_undone", undone);
+}
+
 /// Replay every workload into one snapshot.
 fn measure() -> BenchSnapshot {
     let mut snap = BenchSnapshot::new();
@@ -95,6 +137,9 @@ fn measure() -> BenchSnapshot {
     for seed in CHAOS_SEEDS {
         record_scenario(&mut snap, &format!("chaos.seed{seed}"), &ci_chaos(seed));
     }
+
+    // The crash-replay recovery matrix.
+    record_crashrep(&mut snap);
     snap
 }
 

@@ -10,22 +10,23 @@
 //! every completed step; on any failure it replays the journal backwards,
 //! restoring the exact prior runtime (including the stopped components'
 //! state, which was archived in the State Manager before removal).
+//!
+//! With [`AdaptivityManager::attach_journal`] the same step records are
+//! also written through to a durable write-ahead
+//! [`crate::journal::AdaptationJournal`], and
+//! [`AdaptivityManager::recover`] replays it after a crash — see the
+//! [`crate::journal`] module docs for the record discipline and crash
+//! model.
 
-use crate::runtime::{ComponentFactory, LiveComponent, Runtime};
+use crate::journal::{
+    AdaptationJournal, CrashHook, CrashSite, NoCrash, RecoveryOutcome, RecoveryReport, StepRecord,
+};
+use crate::runtime::{ComponentFactory, Runtime};
 use crate::state::StateManager;
 use adl::ast::Binding;
 use adl::diff::ReconfigurationPlan;
 use obs::{ObsHandle, Primitive};
 use std::fmt;
-
-/// One journalled (completed) step, with what is needed to undo it.
-#[derive(Debug, Clone)]
-enum Done {
-    Unbound(Binding),
-    Stopped { name: String, comp: LiveComponent },
-    Started { name: String },
-    Bound(Binding),
-}
 
 /// Why a switch failed (and was rolled back).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +59,14 @@ pub enum SwitchError {
         /// Human-readable descriptions of the rollback steps left undone.
         residue: Vec<String>,
     },
+    /// A scripted crash killed the node mid-transaction (only reachable
+    /// with an attached journal and a firing [`CrashHook`]). Nothing was
+    /// rolled back and no outcome counter moved: the journal holds the
+    /// truth and [`AdaptivityManager::recover`] settles it.
+    Crashed {
+        /// The record boundary the node died at.
+        site: String,
+    },
 }
 
 impl fmt::Display for SwitchError {
@@ -75,6 +84,9 @@ impl fmt::Display for SwitchError {
             SwitchError::RollbackIncomplete { cause, residue } => {
                 write!(f, "switch failed ({cause}) and rollback left {} step(s): ", residue.len())?;
                 write!(f, "{}", residue.join("; "))
+            }
+            SwitchError::Crashed { site } => {
+                write!(f, "node crashed at {site}; the journal is open — recover() settles it")
             }
         }
     }
@@ -128,11 +140,18 @@ pub struct SwitchReport {
 }
 
 /// The Adaptivity Manager.
+///
+/// The three outcome counters are **mutually exclusive** per transaction:
+/// a switch is counted exactly once as committed, rolled back, or
+/// rollback-incomplete (a crash defers the count to the recovery that
+/// settles it). All cumulative counters saturate instead of wrapping.
 #[derive(Debug, Default)]
 pub struct AdaptivityManager {
     switches_committed: u64,
     switches_rolled_back: u64,
     rollbacks_incomplete: u64,
+    recoveries: u64,
+    journal: Option<AdaptationJournal>,
     obs: Option<ObsHandle>,
 }
 
@@ -169,9 +188,32 @@ impl AdaptivityManager {
 
     /// Rollbacks that themselves failed to complete (only reachable under
     /// injected rollback faults; see [`SwitchError::RollbackIncomplete`]).
+    /// Exclusive with [`AdaptivityManager::rolled_back`]: an incomplete
+    /// rollback is *not* also counted as rolled back.
     #[must_use]
     pub fn rollbacks_incomplete(&self) -> u64 {
         self.rollbacks_incomplete
+    }
+
+    /// Recovery replays that found work to do (noop replays of an empty
+    /// journal are not counted — that is the idempotence witness).
+    #[must_use]
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Attach a fresh write-ahead journal: every subsequent transaction
+    /// writes intent/step/commit records through it (each append billed
+    /// one [`Primitive::Store`] when observability is armed), and
+    /// [`AdaptivityManager::recover`] can replay it after a crash.
+    pub fn attach_journal(&mut self) {
+        self.journal = Some(AdaptationJournal::new());
+    }
+
+    /// The attached journal, if any.
+    #[must_use]
+    pub fn journal(&self) -> Option<&AdaptationJournal> {
+        self.journal.as_ref()
     }
 
     /// Execute `plan` against `runtime` transactionally.
@@ -212,14 +254,71 @@ impl AdaptivityManager {
         now: u64,
         faults: &mut dyn StepFaults,
     ) -> Result<SwitchReport, SwitchError> {
-        let mut journal: Vec<Done> = Vec::with_capacity(plan.len());
+        self.execute_crashable(runtime, plan, factory, states, now, faults, &mut NoCrash)
+    }
 
+    /// [`AdaptivityManager::execute_with_faults`] with a [`CrashHook`]
+    /// deciding, at every journal-record boundary, whether the executing
+    /// node dies there. Crash sites are only consulted when a journal is
+    /// attached — without one there is nothing for recovery to replay,
+    /// so a "crash" would be indistinguishable from silent data loss.
+    ///
+    /// On a crash the transaction is abandoned exactly as a real node
+    /// death would leave it: no rollback runs, no outcome counter moves,
+    /// and the journal stays open. [`AdaptivityManager::recover`] then
+    /// settles the transaction.
+    ///
+    /// # Errors
+    /// As [`AdaptivityManager::execute_with_faults`], plus
+    /// [`SwitchError::Crashed`] when the hook fires.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_crashable(
+        &mut self,
+        runtime: &mut Runtime,
+        plan: &ReconfigurationPlan,
+        factory: &mut dyn ComponentFactory,
+        states: &mut StateManager,
+        now: u64,
+        faults: &mut dyn StepFaults,
+        crash: &mut dyn CrashHook,
+    ) -> Result<SwitchReport, SwitchError> {
+        let mut applied: Vec<StepRecord> = Vec::with_capacity(plan.len());
         let obs = self.obs.clone();
         let span = obs.as_ref().map(|o| o.borrow_mut().begin("compkit", "switch"));
-        let result = self.try_execute(runtime, plan, factory, states, now, &mut journal, faults);
+        let txn = if let Some(j) = self.journal.as_mut() {
+            let t = j.begin(plan.len(), now);
+            if let Some(o) = &obs {
+                o.borrow_mut().charge(Primitive::Store);
+            }
+            Some(t)
+        } else {
+            None
+        };
+        if txn.is_some() && crash.crash(&CrashSite::Intent) {
+            return self.crash_out(&obs, span, "intent", 0, 0);
+        }
+        let result =
+            self.try_execute(runtime, plan, factory, states, now, &mut applied, faults, txn, crash);
         match result {
             Ok(report) => {
-                self.switches_committed += 1;
+                if txn.is_some() && crash.crash(&CrashSite::BeforeCommit) {
+                    return self.crash_out(&obs, span, "before-commit", applied.len(), 0);
+                }
+                if let Some(t) = txn {
+                    if let Some(j) = self.journal.as_mut() {
+                        j.commit(t);
+                    }
+                    if let Some(o) = &obs {
+                        o.borrow_mut().charge(Primitive::Store);
+                    }
+                    if crash.crash(&CrashSite::AfterCommit) {
+                        return self.crash_out(&obs, span, "after-commit", applied.len(), 0);
+                    }
+                    if let Some(j) = self.journal.as_mut() {
+                        j.truncate();
+                    }
+                }
+                self.switches_committed = self.switches_committed.saturating_add(1);
                 if let (Some(o), Some(span)) = (&obs, span) {
                     let mut o = o.borrow_mut();
                     o.charge(Primitive::SchedSteps(report.steps as u32));
@@ -238,79 +337,293 @@ impl AdaptivityManager {
                 }
                 Ok(report)
             }
+            Err(SwitchError::Crashed { site }) => {
+                // The node died mid-plan: no rollback, no outcome counter —
+                // the journal is the ledger and recovery settles it.
+                self.crash_out(&obs, span, &site, applied.len(), 0)
+            }
             Err(e) => {
-                let rolled_steps = journal.len();
-                // Back off: undo the journal in reverse. Rollback steps undo
-                // operations that succeeded moments ago, so against a healthy
-                // runtime they cannot fail; injected rollback faults (and
-                // nothing else) land in `residue` instead of a panic.
+                let rolled_steps = applied.len();
+                // Back off: undo the applied steps in reverse. Rollback steps
+                // undo operations that succeeded moments ago, so against a
+                // healthy runtime they cannot fail; injected rollback faults
+                // (and nothing else) land in `residue` instead of a panic.
                 let mut residue: Vec<String> = Vec::new();
-                for step in journal.into_iter().rev() {
-                    match step {
-                        Done::Unbound(b) => {
-                            let desc = format!("rebind {} -- {}", b.from, b.to);
-                            if let Some(reason) = faults.fail_rollback(&desc) {
-                                residue.push(format!("{desc}: {reason}"));
-                            } else if let Err(e) = runtime.bind(b) {
-                                residue.push(format!("{desc}: {e}"));
-                            }
-                        }
-                        Done::Stopped { name, comp } => {
-                            let desc = format!("restart {name}");
-                            if let Some(reason) = faults.fail_rollback(&desc) {
-                                residue.push(format!("{desc}: {reason}"));
-                                continue;
-                            }
-                            // The archive entry was created on stop; remove it
-                            // again so rollback leaves no residue.
-                            let _ = states.unarchive(&name);
-                            if let Err(e) = runtime.start(&name, comp) {
-                                residue.push(format!("{desc}: {e}"));
-                            }
-                        }
-                        Done::Started { name } => {
-                            let desc = format!("stop {name}");
-                            if let Some(reason) = faults.fail_rollback(&desc) {
-                                residue.push(format!("{desc}: {reason}"));
-                            } else if let Err(e) = runtime.stop(&name) {
-                                residue.push(format!("{desc}: {e}"));
-                            }
-                        }
-                        Done::Bound(b) => {
-                            let desc = format!("unbind {} -- {}", b.from, b.to);
-                            if let Some(reason) = faults.fail_rollback(&desc) {
-                                residue.push(format!("{desc}: {reason}"));
-                            } else if let Err(e) = runtime.unbind(&b) {
-                                residue.push(format!("{desc}: {e}"));
-                            }
-                        }
+                let mut undos = 0usize;
+                for (index, step) in applied.into_iter().enumerate().rev() {
+                    let desc = step.undo_describe();
+                    if let Some(reason) = faults.fail_rollback(&desc) {
+                        residue.push(format!("{desc}: {reason}"));
+                        continue;
                     }
-                }
-                self.switches_rolled_back += 1;
-                if let (Some(o), Some(span)) = (&obs, span) {
-                    let mut o = o.borrow_mut();
-                    // The forward steps ran AND were undone: bill both.
-                    o.charge(Primitive::SchedSteps(2 * rolled_steps as u32));
-                    o.end_with(
-                        span,
-                        vec![
-                            ("outcome", "rolled_back".to_owned()),
-                            ("rolled_steps", rolled_steps.to_string()),
-                            ("cause", e.to_string()),
-                        ],
-                    );
-                    o.metrics.counter_add("compkit.switch.rolled_back", 1);
-                    if !residue.is_empty() {
-                        o.metrics.counter_add("compkit.switch.rollbacks_incomplete", 1);
+                    if let Err(err) = step.undo(runtime, states) {
+                        residue.push(format!("{desc}: {err}"));
+                        continue;
+                    }
+                    undos += 1;
+                    if let Some(t) = txn {
+                        if let Some(j) = self.journal.as_mut() {
+                            j.undone(t, index);
+                        }
+                        if let Some(o) = &obs {
+                            o.borrow_mut().charge(Primitive::Store);
+                        }
+                        if crash.crash(&CrashSite::AfterUndo { undos }) {
+                            return self.crash_out(&obs, span, "mid-rollback", rolled_steps, undos);
+                        }
                     }
                 }
                 if residue.is_empty() {
+                    if let Some(t) = txn {
+                        if let Some(j) = self.journal.as_mut() {
+                            j.abort(t);
+                            j.truncate();
+                        }
+                        if let Some(o) = &obs {
+                            o.borrow_mut().charge(Primitive::Store);
+                        }
+                    }
+                    self.switches_rolled_back = self.switches_rolled_back.saturating_add(1);
+                    if let (Some(o), Some(span)) = (&obs, span) {
+                        let mut o = o.borrow_mut();
+                        // The forward steps ran AND were undone: bill both.
+                        o.charge(Primitive::SchedSteps(2 * rolled_steps as u32));
+                        o.end_with(
+                            span,
+                            vec![
+                                ("outcome", "rolled_back".to_owned()),
+                                ("rolled_steps", rolled_steps.to_string()),
+                                ("cause", e.to_string()),
+                            ],
+                        );
+                        o.metrics.counter_add("compkit.switch.rolled_back", 1);
+                    }
                     Err(e)
                 } else {
-                    self.rollbacks_incomplete += 1;
+                    // The rollback itself left residue: counted *only* as
+                    // incomplete, never also as rolled back. The journal (if
+                    // any) stays open so a later recover() retries the
+                    // leftover undos.
+                    self.rollbacks_incomplete = self.rollbacks_incomplete.saturating_add(1);
+                    if let (Some(o), Some(span)) = (&obs, span) {
+                        let mut o = o.borrow_mut();
+                        o.charge(Primitive::SchedSteps(2 * rolled_steps as u32));
+                        o.end_with(
+                            span,
+                            vec![
+                                ("outcome", "rollback_incomplete".to_owned()),
+                                ("rolled_steps", rolled_steps.to_string()),
+                                ("residue", residue.len().to_string()),
+                                ("cause", e.to_string()),
+                            ],
+                        );
+                        o.metrics.counter_add("compkit.switch.rollbacks_incomplete", 1);
+                    }
                     Err(SwitchError::RollbackIncomplete { cause: e.to_string(), residue })
                 }
             }
+        }
+    }
+
+    /// Replay the attached journal after a crash. Lands the runtime in
+    /// exactly one of two configurations — fully committed (a commit
+    /// record made it to the journal: roll forward) or fully rolled back
+    /// (no commit record: every applied-not-yet-undone step is reversed)
+    /// — and is idempotent: once settled, further calls scan an empty
+    /// journal, touch nothing, and report [`RecoveryOutcome::Clean`].
+    ///
+    /// The replay is cycle-billed when observability is armed: one
+    /// [`Primitive::Load`] per scanned record, one [`Primitive::Store`]
+    /// plus a scheduler step per undo, inside a `compkit:recover` span;
+    /// the `compkit.recovery.*` counters feed the metrics registry.
+    ///
+    /// `crash` lets the conformance suite kill *recovery itself*
+    /// ([`CrashPoint::DuringRecovery`]); progress survives in the
+    /// journal, so the next call resumes where the last one died.
+    ///
+    /// [`CrashPoint::DuringRecovery`]: crate::journal::CrashPoint::DuringRecovery
+    pub fn recover(
+        &mut self,
+        runtime: &mut Runtime,
+        states: &mut StateManager,
+        crash: &mut dyn CrashHook,
+    ) -> RecoveryReport {
+        let noop = RecoveryReport {
+            outcome: RecoveryOutcome::Clean,
+            records_scanned: 0,
+            undone: 0,
+            residue: Vec::new(),
+        };
+        let Some(journal) = self.journal.as_ref() else { return noop };
+        if journal.is_empty() {
+            return noop;
+        }
+        let scanned = journal.len();
+        let open = journal.open_txn();
+        let obs = self.obs.clone();
+        let span = obs.as_ref().map(|o| o.borrow_mut().begin("compkit", "recover"));
+        if let Some(o) = &obs {
+            let mut o = o.borrow_mut();
+            for _ in 0..scanned {
+                o.charge(Primitive::Load);
+            }
+        }
+        let report = match open {
+            None => {
+                // Records without an intent cannot be produced by this
+                // manager; treat the log defensively as already settled.
+                if let Some(j) = self.journal.as_mut() {
+                    j.truncate();
+                }
+                RecoveryReport {
+                    outcome: RecoveryOutcome::Clean,
+                    records_scanned: scanned,
+                    undone: 0,
+                    residue: Vec::new(),
+                }
+            }
+            Some(t) if t.committed => {
+                // Roll forward. Applied records are written *after* their
+                // runtime mutations and the commit record after the last
+                // step, so the runtime already holds the committed
+                // configuration; only the checkpoint was lost.
+                if let Some(j) = self.journal.as_mut() {
+                    j.truncate();
+                }
+                self.switches_committed = self.switches_committed.saturating_add(1);
+                RecoveryReport {
+                    outcome: RecoveryOutcome::RolledForward,
+                    records_scanned: scanned,
+                    undone: 0,
+                    residue: Vec::new(),
+                }
+            }
+            Some(t) if t.aborted => {
+                // The rollback finished before the crash; only the
+                // checkpoint was lost.
+                if let Some(j) = self.journal.as_mut() {
+                    j.truncate();
+                }
+                self.switches_rolled_back = self.switches_rolled_back.saturating_add(1);
+                RecoveryReport {
+                    outcome: RecoveryOutcome::RolledBack,
+                    records_scanned: scanned,
+                    undone: 0,
+                    residue: Vec::new(),
+                }
+            }
+            Some(t) => {
+                let mut undone_now = 0usize;
+                let mut residue: Vec<String> = Vec::new();
+                let mut crashed = false;
+                for (index, step) in t.applied.iter().rev() {
+                    if t.undone.contains(index) {
+                        continue;
+                    }
+                    match step.undo(runtime, states) {
+                        Ok(()) => {
+                            if let Some(j) = self.journal.as_mut() {
+                                j.undone(t.txn, *index);
+                            }
+                            if let Some(o) = &obs {
+                                let mut o = o.borrow_mut();
+                                o.charge(Primitive::Store);
+                                o.charge(Primitive::SchedSteps(1));
+                            }
+                            undone_now += 1;
+                            if crash.crash(&CrashSite::AfterRecoveryUndo { undos: undone_now }) {
+                                crashed = true;
+                                break;
+                            }
+                        }
+                        Err(e) => residue.push(format!("{}: {e}", step.undo_describe())),
+                    }
+                }
+                if crashed {
+                    // The journal keeps the partial progress; the next
+                    // recover() resumes from it.
+                    RecoveryReport {
+                        outcome: RecoveryOutcome::Crashed,
+                        records_scanned: scanned,
+                        undone: undone_now,
+                        residue,
+                    }
+                } else if residue.is_empty() {
+                    if let Some(j) = self.journal.as_mut() {
+                        j.abort(t.txn);
+                        j.truncate();
+                    }
+                    if let Some(o) = &obs {
+                        o.borrow_mut().charge(Primitive::Store);
+                    }
+                    self.switches_rolled_back = self.switches_rolled_back.saturating_add(1);
+                    RecoveryReport {
+                        outcome: RecoveryOutcome::RolledBack,
+                        records_scanned: scanned,
+                        undone: undone_now,
+                        residue,
+                    }
+                } else {
+                    RecoveryReport {
+                        outcome: RecoveryOutcome::Incomplete,
+                        records_scanned: scanned,
+                        undone: undone_now,
+                        residue,
+                    }
+                }
+            }
+        };
+        self.recoveries = self.recoveries.saturating_add(1);
+        if let (Some(o), Some(span)) = (&obs, span) {
+            let mut o = o.borrow_mut();
+            o.end_with(
+                span,
+                vec![
+                    ("outcome", report.outcome.to_string()),
+                    ("scanned", report.records_scanned.to_string()),
+                    ("undone", report.undone.to_string()),
+                ],
+            );
+            o.metrics.counter_add("compkit.recovery.runs", 1);
+            o.metrics
+                .counter_add("compkit.recovery.records_scanned", report.records_scanned as u64);
+            o.metrics.counter_add("compkit.recovery.steps_undone", report.undone as u64);
+        }
+        report
+    }
+
+    /// Bill the partial work, close the switch span as crashed, and
+    /// surface [`SwitchError::Crashed`]. The journal is deliberately
+    /// left open — it is the evidence recovery replays.
+    fn crash_out(
+        &mut self,
+        obs: &Option<ObsHandle>,
+        span: Option<obs::SpanId>,
+        site: &str,
+        forward_steps: usize,
+        undos: usize,
+    ) -> Result<SwitchReport, SwitchError> {
+        if let (Some(o), Some(span)) = (obs, span) {
+            let mut o = o.borrow_mut();
+            let bill = (forward_steps + undos) as u32;
+            if bill > 0 {
+                o.charge(Primitive::SchedSteps(bill));
+            }
+            o.end_with(span, vec![("outcome", "crashed".to_owned()), ("site", site.to_owned())]);
+            o.metrics.counter_add("compkit.switch.crashed", 1);
+        }
+        Err(SwitchError::Crashed { site: site.to_owned() })
+    }
+
+    /// Write one applied-step record through the journal (billed one
+    /// store when observability is armed). No-op without a transaction.
+    fn wal_applied(&mut self, txn: Option<u64>, index: usize, step: &StepRecord) {
+        let Some(t) = txn else { return };
+        if let Some(j) = self.journal.as_mut() {
+            j.applied(t, index, step.clone());
+        }
+        if let Some(o) = &self.obs {
+            o.borrow_mut().charge(Primitive::Store);
         }
     }
 
@@ -322,8 +635,10 @@ impl AdaptivityManager {
         factory: &mut dyn ComponentFactory,
         states: &mut StateManager,
         now: u64,
-        journal: &mut Vec<Done>,
+        applied: &mut Vec<StepRecord>,
         faults: &mut dyn StepFaults,
+        txn: Option<u64>,
+        crash: &mut dyn CrashHook,
     ) -> Result<SwitchReport, SwitchError> {
         // 1. Unbind first: never leave a live binding to a stopping component.
         for b in &plan.unbind {
@@ -334,7 +649,7 @@ impl AdaptivityManager {
                 });
             }
             runtime.unbind(b).map_err(|e| SwitchError::Inconsistent(e.to_string()))?;
-            journal.push(Done::Unbound(b.clone()));
+            self.step_done(applied, StepRecord::Unbound(b.clone()), txn, crash)?;
         }
         // 2. Stop, archiving state.
         let mut stopped = Vec::with_capacity(plan.stop.len());
@@ -344,7 +659,7 @@ impl AdaptivityManager {
             }
             let comp = runtime.stop(name).map_err(|e| SwitchError::Inconsistent(e.to_string()))?;
             states.archive(name, comp.state.clone());
-            journal.push(Done::Stopped { name: name.clone(), comp });
+            self.step_done(applied, StepRecord::Stopped { name: name.clone(), comp }, txn, crash)?;
             stopped.push(name.clone());
         }
         // 3. Start new components (the step that can fail for real reasons).
@@ -354,7 +669,7 @@ impl AdaptivityManager {
                 .create(name, ty, now)
                 .map_err(|e| SwitchError::Create { name: e.name, reason: e.reason })?;
             runtime.start(name, comp).map_err(|e| SwitchError::Inconsistent(e.to_string()))?;
-            journal.push(Done::Started { name: name.clone() });
+            self.step_done(applied, StepRecord::Started { name: name.clone() }, txn, crash)?;
             started.push(name.clone());
         }
         // 4. Bind last: all endpoints now exist.
@@ -366,9 +681,30 @@ impl AdaptivityManager {
                 });
             }
             runtime.bind(b.clone()).map_err(|e| SwitchError::Inconsistent(e.to_string()))?;
-            journal.push(Done::Bound(b.clone()));
+            self.step_done(applied, StepRecord::Bound(b.clone()), txn, crash)?;
         }
         Ok(SwitchReport { steps: plan.len(), stopped, started, completed_at: now })
+    }
+
+    /// Record one applied step (in-memory and through the journal) and
+    /// consult the crash hook at the record boundary it just created.
+    ///
+    /// # Errors
+    /// [`SwitchError::Crashed`] when the hook fires.
+    fn step_done(
+        &mut self,
+        applied: &mut Vec<StepRecord>,
+        record: StepRecord,
+        txn: Option<u64>,
+        crash: &mut dyn CrashHook,
+    ) -> Result<(), SwitchError> {
+        let index = applied.len();
+        self.wal_applied(txn, index, &record);
+        applied.push(record);
+        if txn.is_some() && crash.crash(&CrashSite::AfterStep { index }) {
+            return Err(SwitchError::Crashed { site: format!("after step {}", index + 1) });
+        }
+        Ok(())
     }
 }
 
@@ -524,8 +860,31 @@ mod tests {
         };
         assert!(cause.contains("injected bind failure"), "{cause}");
         assert!(!residue.is_empty());
+        // The three outcome counters are mutually exclusive: an incomplete
+        // rollback is NOT also counted as rolled back (regression for the
+        // old double-count).
         assert_eq!(am.rollbacks_incomplete(), 1);
-        assert_eq!(am.rolled_back(), 1);
+        assert_eq!(am.rolled_back(), 0, "incomplete must not double-count as rolled back");
+        assert_eq!(am.committed(), 1, "only the boot committed");
+    }
+
+    #[test]
+    fn outcome_counters_saturate_at_u64_max() {
+        let (mut rt, mut sm, mut am) = boot_docked();
+        am.switches_committed = u64::MAX;
+        am.switches_rolled_back = u64::MAX;
+        am.rollbacks_incomplete = u64::MAX;
+        am.recoveries = u64::MAX;
+        let doc = fig4_document();
+        let plan = diff(&rt.configuration(), &wireless_session(&doc));
+        am.execute(&mut rt, &plan, &mut BasicFactory, &mut sm, 1).unwrap();
+        assert_eq!(am.committed(), u64::MAX, "saturates, never wraps to 0");
+        let plan_back = diff(&rt.configuration(), &docked_session(&doc));
+        let mut factory = FlakyFactory::failing(["eth"]);
+        am.execute(&mut rt, &plan_back, &mut factory, &mut sm, 2).unwrap_err();
+        assert_eq!(am.rolled_back(), u64::MAX);
+        assert_eq!(am.rollbacks_incomplete(), u64::MAX);
+        assert_eq!(am.recoveries(), u64::MAX);
     }
 
     #[test]
@@ -581,5 +940,270 @@ mod tests {
         let err = am.execute(&mut rt, &plan, &mut BasicFactory, &mut sm, 0).unwrap_err();
         assert!(matches!(err, SwitchError::Inconsistent(_)));
         assert_eq!(rt, before);
+    }
+
+    // ----- crash / recovery -----
+
+    use crate::journal::{CrashPoint, PlannedCrash, RecoveryOutcome};
+
+    /// Boot the docked session on a journalled manager and hand back the
+    /// docked→wireless switchover plan.
+    fn journalled_world() -> (Runtime, StateManager, AdaptivityManager, ReconfigurationPlan) {
+        let (rt, sm, mut am) = boot_docked();
+        am.attach_journal();
+        let doc = fig4_document();
+        let plan = diff(&rt.configuration(), &wireless_session(&doc));
+        (rt, sm, am, plan)
+    }
+
+    #[test]
+    fn journal_write_through_commits_and_checkpoints() {
+        let (mut rt, mut sm, mut am, plan) = journalled_world();
+        am.execute(&mut rt, &plan, &mut BasicFactory, &mut sm, 5).unwrap();
+        let j = am.journal().expect("journal attached");
+        assert!(j.is_empty(), "commit checkpoints the journal");
+        // intent + one record per step + commit all hit the log.
+        assert_eq!(j.appended_total(), 1 + plan.len() as u64 + 1);
+        let report = am.recover(&mut rt, &mut sm, &mut NoCrash);
+        assert!(report.noop(), "nothing to recover after a clean commit: {report:?}");
+    }
+
+    #[test]
+    fn crash_before_commit_recovers_to_the_rolled_back_configuration() {
+        let (mut rt, mut sm, mut am, plan) = journalled_world();
+        let before = rt.clone();
+        let mut crash = PlannedCrash::new(CrashPoint::BeforeCommit);
+        let err = am
+            .execute_crashable(
+                &mut rt,
+                &plan,
+                &mut BasicFactory,
+                &mut sm,
+                5,
+                &mut NoFaults,
+                &mut crash,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SwitchError::Crashed { .. }), "got {err}");
+        assert_ne!(rt, before, "the node died with every step applied");
+        assert_eq!(am.rolled_back(), 0, "a crash moves no outcome counter");
+
+        let report = am.recover(&mut rt, &mut sm, &mut NoCrash);
+        assert_eq!(report.outcome, RecoveryOutcome::RolledBack);
+        assert_eq!(report.undone, plan.len());
+        assert_eq!(rt, before, "recovery restores the pre-switch runtime bit-for-bit");
+        assert_eq!((am.committed(), am.rolled_back()), (1, 1), "boot + the recovered txn");
+        assert!(am.recover(&mut rt, &mut sm, &mut NoCrash).noop(), "replay is idempotent");
+        assert_eq!(rt, before);
+    }
+
+    #[test]
+    fn crash_after_commit_recovers_by_rolling_forward() {
+        let (mut rt, mut sm, mut am, plan) = journalled_world();
+        let doc = fig4_document();
+        let mut crash = PlannedCrash::new(CrashPoint::AfterCommit);
+        am.execute_crashable(
+            &mut rt,
+            &plan,
+            &mut BasicFactory,
+            &mut sm,
+            5,
+            &mut NoFaults,
+            &mut crash,
+        )
+        .unwrap_err();
+        assert_eq!(am.committed(), 1, "the crashed txn is not yet counted");
+
+        let report = am.recover(&mut rt, &mut sm, &mut NoCrash);
+        assert_eq!(report.outcome, RecoveryOutcome::RolledForward);
+        assert_eq!(report.undone, 0, "roll-forward undoes nothing");
+        assert_eq!(rt.configuration(), wireless_session(&doc), "committed configuration stands");
+        assert_eq!(am.committed(), 2, "recovery settles the commit exactly once");
+        assert!(am.recover(&mut rt, &mut sm, &mut NoCrash).noop());
+    }
+
+    #[test]
+    fn crash_mid_plan_recovers_to_the_rolled_back_configuration() {
+        for after_steps in [0usize, 1, 3] {
+            let (mut rt, mut sm, mut am, plan) = journalled_world();
+            let before = rt.clone();
+            let mut crash = PlannedCrash::new(CrashPoint::MidPlan { after_steps });
+            let err = am
+                .execute_crashable(
+                    &mut rt,
+                    &plan,
+                    &mut BasicFactory,
+                    &mut sm,
+                    5,
+                    &mut NoFaults,
+                    &mut crash,
+                )
+                .unwrap_err();
+            assert!(matches!(err, SwitchError::Crashed { .. }), "got {err}");
+            let report = am.recover(&mut rt, &mut sm, &mut NoCrash);
+            assert_eq!(report.outcome, RecoveryOutcome::RolledBack, "after {after_steps} steps");
+            assert_eq!(report.undone, after_steps);
+            assert_eq!(rt, before, "never a hybrid configuration (after {after_steps} steps)");
+        }
+    }
+
+    #[test]
+    fn crash_mid_rollback_then_recovery_finishes_the_rollback() {
+        let (mut rt, mut sm, mut am, plan) = journalled_world();
+        let before = rt.clone();
+        let target = plan.bind.last().unwrap().to.instance.clone();
+        let mut faults = ScriptedFaults { bind_to: target, ..ScriptedFaults::default() };
+        let mut crash = PlannedCrash::new(CrashPoint::MidRollback { after_undos: 1 });
+        let err = am
+            .execute_crashable(
+                &mut rt,
+                &plan,
+                &mut BasicFactory,
+                &mut sm,
+                5,
+                &mut faults,
+                &mut crash,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SwitchError::Crashed { .. }), "got {err}");
+        assert_ne!(rt, before, "the rollback died after one undo");
+
+        let report = am.recover(&mut rt, &mut sm, &mut NoCrash);
+        assert_eq!(report.outcome, RecoveryOutcome::RolledBack);
+        assert_eq!(rt, before, "recovery finishes the interrupted rollback");
+        assert_eq!(am.rolled_back(), 1);
+        assert!(am.recover(&mut rt, &mut sm, &mut NoCrash).noop());
+    }
+
+    #[test]
+    fn crash_during_recovery_resumes_on_the_next_recovery() {
+        let (mut rt, mut sm, mut am, plan) = journalled_world();
+        let before = rt.clone();
+        let mut crash = PlannedCrash::new(CrashPoint::BeforeCommit);
+        am.execute_crashable(
+            &mut rt,
+            &plan,
+            &mut BasicFactory,
+            &mut sm,
+            5,
+            &mut NoFaults,
+            &mut crash,
+        )
+        .unwrap_err();
+
+        let mut recrash = PlannedCrash::new(CrashPoint::DuringRecovery { after_undos: 1 });
+        let first = am.recover(&mut rt, &mut sm, &mut recrash);
+        assert_eq!(first.outcome, RecoveryOutcome::Crashed);
+        assert_eq!(first.undone, 1);
+        assert_eq!(am.rolled_back(), 0, "a crashed recovery settles nothing");
+
+        let second = am.recover(&mut rt, &mut sm, &mut NoCrash);
+        assert_eq!(second.outcome, RecoveryOutcome::RolledBack);
+        assert_eq!(second.undone, plan.len() - 1, "resumes where the dead replay stopped");
+        assert_eq!(rt, before);
+        assert_eq!(am.rolled_back(), 1, "settled exactly once across both replays");
+        assert!(am.recover(&mut rt, &mut sm, &mut NoCrash).noop());
+    }
+
+    #[test]
+    fn recovery_after_incomplete_rollback_finishes_the_job() {
+        let (mut rt, mut sm, mut am, plan) = journalled_world();
+        let before = rt.clone();
+        let target = plan.bind.last().unwrap().to.instance.clone();
+        let mut faults = ScriptedFaults { bind_to: target, stop: None, rollback_too: true };
+        let err = am
+            .execute_with_faults(&mut rt, &plan, &mut BasicFactory, &mut sm, 5, &mut faults)
+            .unwrap_err();
+        assert!(matches!(err, SwitchError::RollbackIncomplete { .. }), "got {err}");
+        assert_eq!(am.rollbacks_incomplete(), 1);
+
+        // The injector is gone on the recovery path, so the leftover undos
+        // now succeed and the runtime is restored.
+        let report = am.recover(&mut rt, &mut sm, &mut NoCrash);
+        assert_eq!(report.outcome, RecoveryOutcome::RolledBack);
+        assert_eq!(rt, before);
+        assert_eq!(am.rolled_back(), 1);
+    }
+
+    #[test]
+    fn recovery_without_a_journal_or_with_an_empty_one_is_clean() {
+        let (mut rt, mut sm, mut am) = boot_docked();
+        assert!(am.recover(&mut rt, &mut sm, &mut NoCrash).noop(), "no journal attached");
+        am.attach_journal();
+        assert!(am.recover(&mut rt, &mut sm, &mut NoCrash).noop(), "empty journal");
+        assert_eq!(am.recoveries(), 0, "noop replays are not counted as recoveries");
+    }
+
+    /// Journal replay is idempotent from *any* crash prefix: recovering
+    /// twice yields the same configuration, counters, trace, and metrics
+    /// as recovering once. Runs 200 randomly-scripted crashes.
+    #[cfg(feature = "slow-props")]
+    #[test]
+    fn prop_recovering_twice_equals_recovering_once() {
+        use obs::{CostModel, Obs};
+
+        fn random_point(rng: &mut adm_rng::Pcg32) -> CrashPoint {
+            match rng.index(5) {
+                0 => CrashPoint::MidPlan { after_steps: rng.index(6) },
+                1 => CrashPoint::BeforeCommit,
+                2 => CrashPoint::AfterCommit,
+                3 => CrashPoint::MidRollback { after_undos: 1 + rng.index(3) },
+                _ => CrashPoint::DuringRecovery { after_undos: 1 + rng.index(3) },
+            }
+        }
+
+        /// One full crash-and-recover life, returning the world's final
+        /// observable state (runtime, counters, trace digest, metrics
+        /// digest). `extra_recover` replays recovery one more time.
+        fn live(
+            point: CrashPoint,
+            rollback_fault: bool,
+            extra_recover: bool,
+        ) -> (Runtime, [u64; 4], u64, u64) {
+            let (mut rt, mut sm, mut am, plan) = journalled_world();
+            let obs = Obs::new(CostModel::pentium()).into_handle();
+            am.arm_obs(obs.clone());
+            let target = plan.bind.last().unwrap().to.instance.clone();
+            let mut faults = if rollback_fault {
+                ScriptedFaults { bind_to: target, ..ScriptedFaults::default() }
+            } else {
+                ScriptedFaults::default()
+            };
+            let mut crash = PlannedCrash::new(point);
+            let _ = am.execute_crashable(
+                &mut rt,
+                &plan,
+                &mut BasicFactory,
+                &mut sm,
+                5,
+                &mut faults,
+                &mut crash,
+            );
+            // First recovery may itself crash (DuringRecovery points); a
+            // second replay must absorb that too.
+            let mut recrash = PlannedCrash::new(point);
+            let _ = am.recover(&mut rt, &mut sm, &mut recrash);
+            let _ = am.recover(&mut rt, &mut sm, &mut NoCrash);
+            if extra_recover {
+                let r = am.recover(&mut rt, &mut sm, &mut NoCrash);
+                assert!(r.noop(), "extra replay must be a no-op: {r:?}");
+            }
+            am.disarm_obs();
+            let o = Obs::try_unwrap(obs).unwrap_or_else(|_| unreachable!("sole handle"));
+            let counters =
+                [am.committed(), am.rolled_back(), am.rollbacks_incomplete(), am.recoveries()];
+            (rt, counters, o.tracer.digest(), o.metrics.digest())
+        }
+
+        adm_rng::run_cases(0xADA9_7410, 200, |rng| {
+            let point = random_point(rng);
+            let rollback_fault = matches!(point, CrashPoint::MidRollback { .. }) || rng.chance(0.3);
+            let once = live(point, rollback_fault, false);
+            let twice = live(point, rollback_fault, true);
+            assert_eq!(once.0, twice.0, "configuration must agree at {point}");
+            assert_eq!(once.1, twice.1, "counters must agree at {point}");
+            assert_eq!(once.2, twice.2, "trace digest must agree at {point}");
+            assert_eq!(once.3, twice.3, "metrics snapshot must agree at {point}");
+        });
     }
 }

@@ -1,0 +1,662 @@
+//! The adaptation journal: a write-ahead log for transactional switches.
+//!
+//! The paper's Adaptivity Manager promises *transactional style
+//! properties* — "the switch can be backed off if something goes wrong."
+//! In-memory rollback (PR 2) honours that promise only while the node
+//! stays up: a crash mid-reconfiguration used to vanish the transaction
+//! along with its undo information. Following the unbundled-recovery
+//! argument (Lomet et al.) this module makes recovery its own component:
+//! an append-only journal of *intent → per-step redo/undo records →
+//! commit/abort* that [`crate::adaptivity::AdaptivityManager`] writes
+//! through, plus a replay path that provably lands the runtime in either
+//! the fully-committed or the fully-rolled-back configuration — never a
+//! hybrid — and is idempotent under repeated replay.
+//!
+//! # Record discipline
+//!
+//! * [`JournalRecord::Intent`] is appended when a plan begins.
+//! * [`JournalRecord::Applied`] is appended *after* the runtime mutation
+//!   it describes. A crash between the mutation and its record therefore
+//!   loses at most one step's bookkeeping — and since the lost step was
+//!   never journalled, recovery simply never redoes or undoes it; the
+//!   crash model below makes this window explicit.
+//! * [`JournalRecord::Undone`] marks one applied step as rolled back.
+//! * [`JournalRecord::Commit`] / [`JournalRecord::Abort`] close the
+//!   transaction; the journal is then truncated (checkpointed).
+//!
+//! # Crash model
+//!
+//! Crashes strike only at *record boundaries* ([`CrashSite`]s): record
+//! appends are atomic, and the live runtime (the physical component
+//! graph) survives the crash — what dies is the in-flight control flow.
+//! [`CrashHook`] decides at each site whether the node dies there;
+//! [`PlannedCrash`] scripts exactly one death at a chosen
+//! [`CrashPoint`].
+
+use crate::runtime::{LiveComponent, Runtime};
+use crate::state::StateManager;
+use adl::ast::Binding;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// One applied plan step, carrying everything needed to undo it. This is
+/// the redo/undo payload of a [`JournalRecord::Applied`] record: the
+/// forward mutation already happened when the record is written (redo is
+/// therefore a no-op on replay), and [`StepRecord::undo`] reverses it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepRecord {
+    /// A binding was removed.
+    Unbound(Binding),
+    /// A component was stopped; its full live state rides the record so
+    /// rollback can resurrect it bit-for-bit.
+    Stopped {
+        /// Instance name.
+        name: String,
+        /// The component exactly as it was when stopped.
+        comp: LiveComponent,
+    },
+    /// A component was started.
+    Started {
+        /// Instance name.
+        name: String,
+    },
+    /// A binding was established.
+    Bound(Binding),
+}
+
+impl StepRecord {
+    /// The forward step this record describes (`unbind a -- b`, ...).
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            StepRecord::Unbound(b) => format!("unbind {} -- {}", b.from, b.to),
+            StepRecord::Stopped { name, .. } => format!("stop {name}"),
+            StepRecord::Started { name } => format!("start {name}"),
+            StepRecord::Bound(b) => format!("bind {} -- {}", b.from, b.to),
+        }
+    }
+
+    /// The rollback step that reverses this record (`rebind a -- b`,
+    /// `restart x`, ...) — the exact wording fault injectors key on.
+    #[must_use]
+    pub fn undo_describe(&self) -> String {
+        match self {
+            StepRecord::Unbound(b) => format!("rebind {} -- {}", b.from, b.to),
+            StepRecord::Stopped { name, .. } => format!("restart {name}"),
+            StepRecord::Started { name } => format!("stop {name}"),
+            StepRecord::Bound(b) => format!("unbind {} -- {}", b.from, b.to),
+        }
+    }
+
+    /// Reverse this step against the live runtime. Stopped components
+    /// are restarted from the state archived in the record (and the
+    /// State Manager archive entry created on stop is removed so the
+    /// rollback leaves no residue).
+    ///
+    /// # Errors
+    /// The runtime's reason, if the reversal is inconsistent with the
+    /// current component graph (unreachable against a healthy runtime).
+    pub fn undo(&self, runtime: &mut Runtime, states: &mut StateManager) -> Result<(), String> {
+        match self {
+            StepRecord::Unbound(b) => runtime.bind(b.clone()).map_err(|e| e.to_string()),
+            StepRecord::Stopped { name, comp } => {
+                let _ = states.unarchive(name);
+                runtime.start(name, comp.clone()).map_err(|e| e.to_string())
+            }
+            StepRecord::Started { name } => {
+                runtime.stop(name).map(|_| ()).map_err(|e| e.to_string())
+            }
+            StepRecord::Bound(b) => runtime.unbind(b).map_err(|e| e.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for StepRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// One append-only journal record. See the module docs for the write
+/// discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A transaction began: `steps` plan steps will follow.
+    Intent {
+        /// Transaction id (monotonic per journal).
+        txn: u64,
+        /// Declared plan length.
+        steps: usize,
+        /// Tick the plan started at.
+        at: u64,
+    },
+    /// Plan step `index` was applied to the runtime.
+    Applied {
+        /// Transaction id.
+        txn: u64,
+        /// Zero-based step index within the plan.
+        index: usize,
+        /// The redo/undo payload.
+        step: StepRecord,
+    },
+    /// Applied step `index` was rolled back.
+    Undone {
+        /// Transaction id.
+        txn: u64,
+        /// The step index that was undone.
+        index: usize,
+    },
+    /// The transaction committed.
+    Commit {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// The transaction was fully rolled back.
+    Abort {
+        /// Transaction id.
+        txn: u64,
+    },
+}
+
+impl fmt::Display for JournalRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalRecord::Intent { txn, steps, at } => {
+                write!(f, "intent txn={txn} steps={steps} at={at}")
+            }
+            JournalRecord::Applied { txn, index, step } => {
+                write!(f, "applied txn={txn} [{index}] {step}")
+            }
+            JournalRecord::Undone { txn, index } => write!(f, "undone txn={txn} [{index}]"),
+            JournalRecord::Commit { txn } => write!(f, "commit txn={txn}"),
+            JournalRecord::Abort { txn } => write!(f, "abort txn={txn}"),
+        }
+    }
+}
+
+/// The open (crash-interrupted) transaction a journal scan found: what
+/// was applied, what of that was already undone, and whether a closing
+/// record made it to the log before the crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenTxn {
+    /// Transaction id.
+    pub txn: u64,
+    /// Declared plan length from the intent record.
+    pub steps: usize,
+    /// Applied steps in append order, with their plan indices.
+    pub applied: Vec<(usize, StepRecord)>,
+    /// Indices already rolled back before the crash.
+    pub undone: BTreeSet<usize>,
+    /// A commit record was written (recovery rolls forward).
+    pub committed: bool,
+    /// An abort record was written (rollback finished; only the
+    /// checkpoint truncation was lost).
+    pub aborted: bool,
+}
+
+/// The append-only write-ahead adaptation journal. One transaction is
+/// open at a time; completed transactions are truncated away (the
+/// checkpoint), so a non-empty journal at startup *is* the crash
+/// evidence recovery replays.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdaptationJournal {
+    records: Vec<JournalRecord>,
+    next_txn: u64,
+    appended_total: u64,
+    truncations: u64,
+}
+
+impl AdaptationJournal {
+    /// An empty journal.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a transaction: append its intent record, return its id.
+    pub fn begin(&mut self, steps: usize, at: u64) -> u64 {
+        let txn = self.next_txn;
+        self.next_txn = self.next_txn.saturating_add(1);
+        self.append(JournalRecord::Intent { txn, steps, at });
+        txn
+    }
+
+    /// Record that plan step `index` was applied.
+    pub fn applied(&mut self, txn: u64, index: usize, step: StepRecord) {
+        self.append(JournalRecord::Applied { txn, index, step });
+    }
+
+    /// Record that applied step `index` was rolled back.
+    pub fn undone(&mut self, txn: u64, index: usize) {
+        self.append(JournalRecord::Undone { txn, index });
+    }
+
+    /// Record that the transaction committed.
+    pub fn commit(&mut self, txn: u64) {
+        self.append(JournalRecord::Commit { txn });
+    }
+
+    /// Record that the transaction was fully rolled back.
+    pub fn abort(&mut self, txn: u64) {
+        self.append(JournalRecord::Abort { txn });
+    }
+
+    /// Checkpoint: drop all records of the completed transaction. The
+    /// transaction id counter survives so ids never repeat.
+    pub fn truncate(&mut self) {
+        self.records.clear();
+        self.truncations = self.truncations.saturating_add(1);
+    }
+
+    fn append(&mut self, r: JournalRecord) {
+        self.appended_total = self.appended_total.saturating_add(1);
+        self.records.push(r);
+    }
+
+    /// The live (un-truncated) records, append order.
+    #[must_use]
+    pub fn records(&self) -> &[JournalRecord] {
+        &self.records
+    }
+
+    /// Number of live records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the journal holds no live records (a clean shutdown).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Cumulative records ever appended (saturating; survives
+    /// truncation).
+    #[must_use]
+    pub fn appended_total(&self) -> u64 {
+        self.appended_total
+    }
+
+    /// Cumulative checkpoints taken (saturating).
+    #[must_use]
+    pub fn truncations(&self) -> u64 {
+        self.truncations
+    }
+
+    /// Scan the live records for the open transaction. `None` on an
+    /// empty journal.
+    #[must_use]
+    pub fn open_txn(&self) -> Option<OpenTxn> {
+        let mut open: Option<OpenTxn> = None;
+        for r in &self.records {
+            match r {
+                JournalRecord::Intent { txn, steps, .. } => {
+                    open = Some(OpenTxn {
+                        txn: *txn,
+                        steps: *steps,
+                        applied: Vec::new(),
+                        undone: BTreeSet::new(),
+                        committed: false,
+                        aborted: false,
+                    });
+                }
+                JournalRecord::Applied { index, step, .. } => {
+                    if let Some(t) = open.as_mut() {
+                        t.applied.push((*index, step.clone()));
+                    }
+                }
+                JournalRecord::Undone { index, .. } => {
+                    if let Some(t) = open.as_mut() {
+                        t.undone.insert(*index);
+                    }
+                }
+                JournalRecord::Commit { .. } => {
+                    if let Some(t) = open.as_mut() {
+                        t.committed = true;
+                    }
+                }
+                JournalRecord::Abort { .. } => {
+                    if let Some(t) = open.as_mut() {
+                        t.aborted = true;
+                    }
+                }
+            }
+        }
+        open
+    }
+
+    /// A stable one-record-per-line text rendering (for goldens and
+    /// diffs).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let _ = writeln!(out, "{r}");
+        }
+        out
+    }
+
+    /// FNV-1a digest of the rendering — the journal's golden fingerprint.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        obs::fnv1a(self.render().as_bytes())
+    }
+}
+
+/// Where a scripted crash strikes, in transaction-lifecycle terms. The
+/// conformance matrix in `scenario::crashrep` sweeps one cell per
+/// variant per seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die after `after_steps` plan steps were applied and journalled
+    /// (`0` = right after the intent record, before any step).
+    MidPlan {
+        /// Applied-step count at which the node dies.
+        after_steps: usize,
+    },
+    /// Die after every step applied but before the commit record.
+    BeforeCommit,
+    /// Die after the commit record but before the checkpoint truncation.
+    AfterCommit,
+    /// Die during an in-flight rollback, after `after_undos` undo
+    /// records.
+    MidRollback {
+        /// Undone-step count at which the node dies.
+        after_undos: usize,
+    },
+    /// Die during *recovery itself*, after `after_undos` recovery undo
+    /// records — the re-entrant case a second recovery must absorb.
+    DuringRecovery {
+        /// Recovery-undo count at which the node dies.
+        after_undos: usize,
+    },
+}
+
+impl CrashPoint {
+    /// Does a crash planned at this point fire at `site`?
+    #[must_use]
+    pub fn matches(&self, site: &CrashSite) -> bool {
+        match (self, site) {
+            (CrashPoint::MidPlan { after_steps: 0 }, CrashSite::Intent) => true,
+            (CrashPoint::MidPlan { after_steps }, CrashSite::AfterStep { index }) => {
+                index + 1 == *after_steps
+            }
+            (CrashPoint::BeforeCommit, CrashSite::BeforeCommit)
+            | (CrashPoint::AfterCommit, CrashSite::AfterCommit) => true,
+            (CrashPoint::MidRollback { after_undos }, CrashSite::AfterUndo { undos })
+            | (
+                CrashPoint::DuringRecovery { after_undos },
+                CrashSite::AfterRecoveryUndo { undos },
+            ) => undos == after_undos,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashPoint::MidPlan { after_steps } => write!(f, "mid-plan-{after_steps}"),
+            CrashPoint::BeforeCommit => write!(f, "before-commit"),
+            CrashPoint::AfterCommit => write!(f, "after-commit"),
+            CrashPoint::MidRollback { after_undos } => write!(f, "mid-rollback-{after_undos}"),
+            CrashPoint::DuringRecovery { after_undos } => {
+                write!(f, "during-recovery-{after_undos}")
+            }
+        }
+    }
+}
+
+/// A record boundary the executing node may die at. Passed to
+/// [`CrashHook::crash`] right after the corresponding record was
+/// appended (appends are atomic; see the module docs' crash model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSite {
+    /// The intent record was appended; no step has run.
+    Intent,
+    /// Plan step `index` was applied and journalled.
+    AfterStep {
+        /// Zero-based plan step index.
+        index: usize,
+    },
+    /// All steps applied; the commit record is about to be appended.
+    BeforeCommit,
+    /// The commit record was appended; the checkpoint has not run.
+    AfterCommit,
+    /// `undos` rollback records appended during an in-flight rollback.
+    AfterUndo {
+        /// Undo count so far (1-based).
+        undos: usize,
+    },
+    /// `undos` rollback records appended *by recovery*.
+    AfterRecoveryUndo {
+        /// Recovery-undo count so far (1-based).
+        undos: usize,
+    },
+}
+
+/// Decides, at each [`CrashSite`], whether the node dies there. The
+/// default answer everywhere is "no"; fault harnesses override it.
+pub trait CrashHook: fmt::Debug {
+    /// Return `true` to kill the node at `site`.
+    fn crash(&mut self, _site: &CrashSite) -> bool {
+        false
+    }
+}
+
+/// The default hook: the node never crashes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCrash;
+
+impl CrashHook for NoCrash {}
+
+/// Kills the node exactly once, at the first site matching a scripted
+/// [`CrashPoint`].
+#[derive(Debug, Clone)]
+pub struct PlannedCrash {
+    point: CrashPoint,
+    fired: bool,
+}
+
+impl PlannedCrash {
+    /// A crash scripted at `point`.
+    #[must_use]
+    pub fn new(point: CrashPoint) -> Self {
+        Self { point, fired: false }
+    }
+
+    /// Whether the crash has fired.
+    #[must_use]
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+}
+
+impl CrashHook for PlannedCrash {
+    fn crash(&mut self, site: &CrashSite) -> bool {
+        if !self.fired && self.point.matches(site) {
+            self.fired = true;
+            return true;
+        }
+        false
+    }
+}
+
+/// What a [`crate::adaptivity::AdaptivityManager::recover`] replay did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// The journal was empty: nothing to recover, nothing was touched.
+    Clean,
+    /// A commit record was found: the runtime already held the committed
+    /// configuration; recovery checkpointed it.
+    RolledForward,
+    /// No commit record: every applied-not-yet-undone step was reversed
+    /// and the transaction aborted.
+    RolledBack,
+    /// Recovery itself was killed mid-replay (a scripted
+    /// [`CrashPoint::DuringRecovery`]); the journal stays open and a
+    /// further recovery finishes the job.
+    Crashed,
+    /// The runtime refused an undo (unreachable against a healthy
+    /// runtime); the journal stays open with the residue reported.
+    Incomplete,
+}
+
+impl fmt::Display for RecoveryOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RecoveryOutcome::Clean => "clean",
+            RecoveryOutcome::RolledForward => "rolled-forward",
+            RecoveryOutcome::RolledBack => "rolled-back",
+            RecoveryOutcome::Crashed => "crashed",
+            RecoveryOutcome::Incomplete => "incomplete",
+        })
+    }
+}
+
+/// The receipt a recovery replay returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// What the replay did.
+    pub outcome: RecoveryOutcome,
+    /// Journal records scanned.
+    pub records_scanned: usize,
+    /// Steps undone by this replay.
+    pub undone: usize,
+    /// Undo steps the runtime refused (empty on every healthy path).
+    pub residue: Vec<String>,
+}
+
+impl RecoveryReport {
+    /// Whether the replay found nothing to do (the idempotence witness:
+    /// a second recovery must report this).
+    #[must_use]
+    pub fn noop(&self) -> bool {
+        self.outcome == RecoveryOutcome::Clean && self.undone == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bind(from: &str, to: &str) -> Binding {
+        Binding { from: adl::ast::PortRef::on(from, "p"), to: adl::ast::PortRef::on(to, "q") }
+    }
+
+    #[test]
+    fn journal_records_render_and_scan_round_trip() {
+        let mut j = AdaptationJournal::new();
+        let txn = j.begin(2, 7);
+        j.applied(txn, 0, StepRecord::Unbound(bind("a", "b")));
+        j.applied(txn, 1, StepRecord::Started { name: "c".into() });
+        j.undone(txn, 1);
+        let open = j.open_txn().expect("txn is open");
+        assert_eq!(open.txn, txn);
+        assert_eq!(open.steps, 2);
+        assert_eq!(open.applied.len(), 2);
+        assert!(open.undone.contains(&1));
+        assert!(!open.committed && !open.aborted);
+        let text = j.render();
+        assert!(text.contains("intent txn=0 steps=2 at=7"), "{text}");
+        assert!(text.contains("applied txn=0 [0] unbind a.p -- b.q"), "{text}");
+        assert!(text.contains("undone txn=0 [1]"), "{text}");
+    }
+
+    #[test]
+    fn truncation_checkpoints_but_txn_ids_never_repeat() {
+        let mut j = AdaptationJournal::new();
+        let t0 = j.begin(0, 0);
+        j.commit(t0);
+        j.truncate();
+        assert!(j.is_empty());
+        assert_eq!(j.open_txn(), None);
+        let t1 = j.begin(0, 1);
+        assert!(t1 > t0, "ids are monotonic across checkpoints");
+        assert_eq!(j.appended_total(), 3, "appends survive truncation");
+        assert_eq!(j.truncations(), 1);
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let mut a = AdaptationJournal::new();
+        let mut b = AdaptationJournal::new();
+        let ta = a.begin(1, 3);
+        let tb = b.begin(1, 3);
+        a.applied(ta, 0, StepRecord::Started { name: "x".into() });
+        b.applied(tb, 0, StepRecord::Started { name: "x".into() });
+        assert_eq!(a.digest(), b.digest());
+        b.commit(tb);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn planned_crash_fires_once_at_its_point_only() {
+        let mut c = PlannedCrash::new(CrashPoint::MidPlan { after_steps: 2 });
+        assert!(!c.crash(&CrashSite::Intent));
+        assert!(!c.crash(&CrashSite::AfterStep { index: 0 }));
+        assert!(c.crash(&CrashSite::AfterStep { index: 1 }), "fires after step 2");
+        assert!(c.fired());
+        assert!(!c.crash(&CrashSite::AfterStep { index: 1 }), "fires at most once");
+
+        let mut at_intent = PlannedCrash::new(CrashPoint::MidPlan { after_steps: 0 });
+        assert!(at_intent.crash(&CrashSite::Intent), "mid-plan-0 dies right after intent");
+        let mut rec = PlannedCrash::new(CrashPoint::DuringRecovery { after_undos: 1 });
+        assert!(!rec.crash(&CrashSite::AfterUndo { undos: 1 }), "recovery point ignores rollback");
+        assert!(rec.crash(&CrashSite::AfterRecoveryUndo { undos: 1 }));
+    }
+
+    #[test]
+    fn crash_points_render_their_matrix_names() {
+        let names: Vec<String> = [
+            CrashPoint::MidPlan { after_steps: 1 },
+            CrashPoint::BeforeCommit,
+            CrashPoint::AfterCommit,
+            CrashPoint::MidRollback { after_undos: 1 },
+            CrashPoint::DuringRecovery { after_undos: 2 },
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        assert_eq!(
+            names,
+            ["mid-plan-1", "before-commit", "after-commit", "mid-rollback-1", "during-recovery-2"]
+        );
+    }
+
+    #[test]
+    fn appended_total_saturates_at_the_ceiling() {
+        let mut j = AdaptationJournal { appended_total: u64::MAX, ..AdaptationJournal::new() };
+        j.begin(0, 0);
+        assert_eq!(j.appended_total(), u64::MAX, "cumulative counters saturate, never wrap");
+    }
+
+    #[test]
+    fn undo_reverses_each_step_kind() {
+        use crate::runtime::Runtime;
+        let mut rt = Runtime::new();
+        let mut sm = StateManager::new();
+        let comp = LiveComponent { ty: "T".into(), state: b"s".to_vec(), started_at: 4 };
+        rt.start("a", comp.clone()).unwrap();
+        rt.start("b", LiveComponent { ty: "U".into(), state: Vec::new(), started_at: 4 }).unwrap();
+        let b = bind("a", "b");
+        rt.bind(b.clone()).unwrap();
+
+        // Bound undo removes the binding; Unbound undo restores it.
+        StepRecord::Bound(b.clone()).undo(&mut rt, &mut sm).unwrap();
+        assert!(rt.bindings().is_empty());
+        StepRecord::Unbound(b.clone()).undo(&mut rt, &mut sm).unwrap();
+        assert_eq!(rt.bindings().len(), 1);
+
+        // Started undo stops; Stopped undo restarts with archived state.
+        rt.unbind(&b).unwrap();
+        StepRecord::Started { name: "a".into() }.undo(&mut rt, &mut sm).unwrap();
+        assert!(rt.component("a").is_none());
+        StepRecord::Stopped { name: "a".into(), comp: comp.clone() }
+            .undo(&mut rt, &mut sm)
+            .unwrap();
+        assert_eq!(rt.component("a"), Some(&comp), "state restored bit-for-bit");
+    }
+}

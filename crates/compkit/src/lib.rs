@@ -18,6 +18,10 @@
 //! * [`adaptivity`] — the Adaptivity Manager: executes a reconfiguration
 //!   plan **transactionally** ("the switch can be backed off if something
 //!   goes wrong");
+//! * [`journal`] — the write-ahead adaptation journal and crash model:
+//!   makes the transactional promise survive a node crash, with a
+//!   `recover()` replay that lands in committed-or-rolled-back, never a
+//!   hybrid;
 //! * [`session`] — the Session Manager: watches gauges, consults the rules,
 //!   designs the alternative configuration with the `adl` crate, and hands
 //!   the plan to the Adaptivity Manager.
@@ -31,6 +35,7 @@
 
 pub mod adaptivity;
 pub mod gauge;
+pub mod journal;
 pub mod monitor;
 pub mod rules;
 pub mod runtime;
@@ -39,6 +44,10 @@ pub mod state;
 
 pub use adaptivity::{AdaptivityManager, NoFaults, StepFaults, SwitchError, SwitchReport};
 pub use gauge::{Gauge, GaugeBoard, GaugeKind};
+pub use journal::{
+    AdaptationJournal, CrashHook, CrashPoint, CrashSite, JournalRecord, NoCrash, PlannedCrash,
+    RecoveryOutcome, RecoveryReport, StepRecord,
+};
 pub use monitor::{Monitor, Reading};
 pub use rules::{Action, Expr, RuleSet, SwitchingRule};
 pub use runtime::{ComponentFactory, CreateError, LiveComponent, Runtime};

@@ -89,6 +89,10 @@ pub fn ci_chaos(seed: u64) -> ChaosParams {
         components: Vec::new(),
         horizon: 250,
         incidents: 10,
+        // Kept empty so the golden seeds keep drawing byte-identical
+        // timelines; compkit crash points are exercised exhaustively by
+        // the `crashrep` matrix instead.
+        crash_nodes: Vec::new(),
     };
     ChaosParams {
         plan: FaultPlan::random(seed, &space),
@@ -208,6 +212,10 @@ fn run_inner(p: &ChaosParams, obs: Option<ObsHandle>) -> ChaosReport {
     // report.
     let mut rt = Runtime::new();
     let mut am = AdaptivityManager::new();
+    // Write-ahead journalling on: every mirrored reconfiguration leaves a
+    // checkpointed journal, so a crash replay (`scenario::crashrep`)
+    // could recover any of these transactions.
+    am.attach_journal();
     let mut sm = StateManager::new();
     let mut factory = BasicFactory;
     if let Some(h) = &obs {

@@ -9,6 +9,7 @@
 //! examples, tests and benches all share.
 
 pub mod chaos;
+pub mod crashrep;
 pub mod failover;
 pub mod inter_query;
 pub mod intra_query;

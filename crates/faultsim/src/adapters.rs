@@ -9,6 +9,7 @@
 use crate::plan::{Fault, FaultPlan};
 use adl::ast::Binding;
 use compkit::adaptivity::StepFaults;
+use compkit::journal::{CrashHook, CrashPoint, CrashSite};
 use compkit::runtime::FlakyFactory;
 use gokernel::component::{ComponentId, InterfaceId};
 use gokernel::orb::InvokeFaults;
@@ -33,8 +34,12 @@ pub fn schedule_network(plan: &FaultPlan, sim: &mut Simulator) -> usize {
             }
             Fault::Partition { island } => EnvEvent::Partition { island: island.clone() },
             Fault::Heal { island } => EnvEvent::Heal { island: island.clone() },
-            Fault::NodeDeath { node } => EnvEvent::SetAlive { device: node.clone(), alive: false },
-            Fault::NodeRevival { node } => EnvEvent::SetAlive { device: node.clone(), alive: true },
+            Fault::NodeDeath { node } | Fault::NodeCrash { node, .. } => {
+                EnvEvent::SetAlive { device: node.clone(), alive: false }
+            }
+            Fault::NodeRevival { node } | Fault::NodeRestart { node } => {
+                EnvEvent::SetAlive { device: node.clone(), alive: true }
+            }
             _ => continue,
         };
         sim.schedule(tick, ev);
@@ -155,6 +160,54 @@ impl SwitchGate for PlanSwitchGate {
     }
 }
 
+/// [`CrashHook`] injector: carries the plan's [`Fault::NodeCrash`] points
+/// into compkit's crash model. Points fire in timeline order, each
+/// exactly once, at the first matching journal-record boundary of
+/// whatever transaction is then in flight.
+#[derive(Debug, Clone)]
+pub struct PlanCrashHook {
+    pending: Vec<CrashPoint>,
+    fired: usize,
+}
+
+impl PlanCrashHook {
+    /// Collect the plan's crash points in timeline order.
+    #[must_use]
+    pub fn new(plan: &FaultPlan) -> Self {
+        let pending = plan
+            .iter()
+            .filter_map(|(_, f)| match f {
+                Fault::NodeCrash { point, .. } => Some(*point),
+                _ => None,
+            })
+            .collect();
+        Self { pending, fired: 0 }
+    }
+
+    /// Crash points not yet fired.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.len() - self.fired
+    }
+
+    /// Crash points already fired.
+    #[must_use]
+    pub fn fired(&self) -> usize {
+        self.fired
+    }
+}
+
+impl CrashHook for PlanCrashHook {
+    fn crash(&mut self, site: &CrashSite) -> bool {
+        let Some(point) = self.pending.get(self.fired) else { return false };
+        if point.matches(site) {
+            self.fired += 1;
+            return true;
+        }
+        false
+    }
+}
+
 /// Drives a [`PatiaServer`] through a plan: [`PatiaDriver::arm`] installs
 /// the switch gate once, then [`PatiaDriver::apply`] is called every tick
 /// *before* [`PatiaServer::tick`] to land that tick's node, pressure and
@@ -190,10 +243,10 @@ impl PatiaDriver {
         let mut applied = 0;
         for fault in self.plan.faults_at(tick) {
             match fault {
-                Fault::NodeDeath { node } => {
+                Fault::NodeDeath { node } | Fault::NodeCrash { node, .. } => {
                     server.kill_node(node);
                 }
-                Fault::NodeRevival { node } => {
+                Fault::NodeRevival { node } | Fault::NodeRestart { node } => {
                     server.revive_node(node);
                 }
                 Fault::CpuPressure { node, permille } => {
@@ -286,5 +339,78 @@ mod tests {
         let mut factory = flaky_factory(&plan);
         assert!(factory.create("codec", "T", 0).is_err());
         assert!(factory.create("cache", "T", 0).is_ok());
+    }
+
+    #[test]
+    fn plan_step_faults_fire_once_per_named_server() {
+        use adl::ast::PortRef;
+        let plan = FaultPlan::new(5).at(1, Fault::BindFailure { server: "gw".into() });
+        let mut faults = PlanStepFaults::new(&plan);
+        assert_eq!(faults.pending(), 1);
+        let other = Binding { from: PortRef::on("u", "need"), to: PortRef::on("cache", "p") };
+        assert!(faults.fail_bind(&other).is_none(), "non-matching binding untouched");
+        assert_eq!(faults.pending(), 1);
+        let hit = Binding { from: PortRef::on("u", "need"), to: PortRef::on("gw", "p") };
+        assert!(faults.fail_bind(&hit).is_some(), "armed bind failure fires");
+        assert_eq!(faults.pending(), 0);
+        assert!(faults.fail_bind(&hit).is_none(), "consumed after one strike");
+    }
+
+    #[test]
+    fn plan_invoke_faults_deny_exactly_the_armed_call_index() {
+        let plan = FaultPlan::new(6).at(3, Fault::InvokeFailure { call_index: 7 });
+        let mut faults = PlanInvokeFaults::new(&plan);
+        let caller = ComponentId(1);
+        let iface = InterfaceId(2);
+        assert!(faults.deny(6, caller, iface).is_none(), "other call index untouched");
+        assert!(faults.deny(7, caller, iface).is_some(), "armed call denied");
+        assert!(faults.deny(7, caller, iface).is_none(), "denial consumed");
+    }
+
+    #[test]
+    fn plan_crash_hook_fires_each_point_once_in_timeline_order() {
+        let plan = FaultPlan::new(7)
+            .at(2, Fault::NodeCrash { node: "node1".into(), point: CrashPoint::BeforeCommit })
+            .at(9, Fault::NodeRestart { node: "node1".into() });
+        let mut hook = PlanCrashHook::new(&plan);
+        assert_eq!(hook.pending(), 1);
+        assert!(!hook.crash(&CrashSite::Intent), "wrong site does not fire");
+        assert!(!hook.crash(&CrashSite::AfterCommit), "wrong site does not fire");
+        assert_eq!(hook.pending(), 1, "misses do not consume the point");
+        assert!(hook.crash(&CrashSite::BeforeCommit), "matching site fires");
+        assert_eq!((hook.pending(), hook.fired()), (0, 1));
+        assert!(!hook.crash(&CrashSite::BeforeCommit), "point fires at most once");
+    }
+
+    #[test]
+    fn plan_crash_hook_holds_later_points_until_earlier_ones_fire() {
+        let plan = FaultPlan::new(8)
+            .at(
+                1,
+                Fault::NodeCrash {
+                    node: "node1".into(),
+                    point: CrashPoint::MidPlan { after_steps: 1 },
+                },
+            )
+            .at(5, Fault::NodeCrash { node: "node2".into(), point: CrashPoint::AfterCommit });
+        let mut hook = PlanCrashHook::new(&plan);
+        assert_eq!(hook.pending(), 2);
+        assert!(!hook.crash(&CrashSite::AfterCommit), "second point waits its turn");
+        assert!(hook.crash(&CrashSite::AfterStep { index: 0 }), "first point fires");
+        assert!(hook.crash(&CrashSite::AfterCommit), "then the second");
+        assert_eq!(hook.pending(), 0);
+    }
+
+    #[test]
+    fn schedule_network_maps_crash_and_restart_to_alive_flips() {
+        let plan = FaultPlan::new(9)
+            .at(2, Fault::NodeCrash { node: "a".into(), point: CrashPoint::BeforeCommit })
+            .at(6, Fault::NodeRestart { node: "a".into() });
+        let mut sim = two_node_sim();
+        assert_eq!(schedule_network(&plan, &mut sim), 2);
+        sim.advance(2);
+        assert!(!sim.net.device("a").unwrap().alive, "crash takes the node down");
+        sim.advance(6);
+        assert!(sim.net.device("a").unwrap().alive, "restart brings it back");
     }
 }

@@ -15,8 +15,10 @@
 //! * `ubinet` — [`EnvEvent`](ubinet::sim::EnvEvent) schedule entries
 //!   (link up/down, latency, partition/heal, device death);
 //! * `compkit` — [`StepFaults`](compkit::adaptivity::StepFaults) gating
-//!   each reconfiguration step, and the pre-existing
-//!   [`FlakyFactory`](compkit::runtime::FlakyFactory) start failures;
+//!   each reconfiguration step, [`CrashHook`](compkit::journal::CrashHook)
+//!   crash points striking at journal-record boundaries, and the
+//!   pre-existing [`FlakyFactory`](compkit::runtime::FlakyFactory) start
+//!   failures;
 //! * `gokernel` — [`InvokeFaults`](gokernel::orb::InvokeFaults) denying
 //!   ORB invocations by call index;
 //! * `patia` — [`SwitchGate`](patia::server::SwitchGate) denying SWITCH
@@ -33,6 +35,7 @@ pub mod adapters;
 pub mod plan;
 
 pub use adapters::{
-    flaky_factory, schedule_network, PatiaDriver, PlanInvokeFaults, PlanStepFaults, PlanSwitchGate,
+    flaky_factory, schedule_network, PatiaDriver, PlanCrashHook, PlanInvokeFaults, PlanStepFaults,
+    PlanSwitchGate,
 };
 pub use plan::{Fault, FaultPlan, FaultSpace};

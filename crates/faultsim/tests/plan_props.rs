@@ -124,6 +124,7 @@ fn random_plan_generation_is_reproducible() {
             components: vec!["c".into()],
             horizon: 32,
             incidents: 8,
+            crash_nodes: vec!["n1".into()],
         };
         let first = FaultPlan::random(seed, &space);
         let second = FaultPlan::random(seed, &space);

@@ -28,7 +28,9 @@
 //! Modules: [`atom`] (atoms + replica placement), [`constraint`] (Table 2
 //! logic), [`agent`] (service agents with migratable state), [`workload`]
 //! (Zipf requests + flash crowds), [`server`] (the serving/adaptation
-//! loop over a `ubinet` node fleet).
+//! loop over a `ubinet` node fleet), [`supervise`] (heartbeat failure
+//! detection, per-peer circuit breakers consulted by BEST, and restart
+//! probing with capped exponential backoff).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +40,7 @@ pub mod atom;
 pub mod constraint;
 pub mod server;
 pub mod stream;
+pub mod supervise;
 pub mod workload;
 
 pub use agent::ServiceAgent;
@@ -45,4 +48,5 @@ pub use atom::{Atom, AtomId, AtomStore, AtomType};
 pub use constraint::{paper_table2, AtomConstraint, ConstraintLogic};
 pub use server::{FaultCounters, PatiaServer, ServerConfig, SwitchGate, TickStats};
 pub use stream::{StreamCodec, StreamSession};
+pub use supervise::{CircuitState, SuperviseConfig, SupervisionEvent, Supervisor};
 pub use workload::{FlashCrowd, RequestGen};

@@ -4,6 +4,7 @@
 use crate::agent::ServiceAgent;
 use crate::atom::{Atom, AtomId, AtomStore, AtomType};
 use crate::constraint::{paper_table2, AtomConstraint, ConstraintLogic};
+use crate::supervise::{SuperviseConfig, SupervisionEvent, Supervisor};
 use compkit::gauge::{Gauge, GaugeBoard, GaugeKind};
 use compkit::monitor::Monitor;
 use obs::{ObsHandle, Primitive};
@@ -110,12 +111,14 @@ impl FaultCounters {
     /// Fold a per-tick delta into this accumulator — how the server keeps
     /// its cumulative [`PatiaServer::fault_totals`] consistent with the
     /// per-tick deltas in [`TickStats::faults`].
+    /// All fields saturate: a server that has absorbed `u64::MAX` faults
+    /// keeps reporting `u64::MAX` rather than wrapping to zero.
     pub fn absorb(&mut self, delta: &FaultCounters) {
-        self.failed_switches += delta.failed_switches;
-        self.switch_retries += delta.switch_retries;
-        self.evacuations += delta.evacuations;
-        self.degraded += delta.degraded;
-        self.dropped += delta.dropped;
+        self.failed_switches = self.failed_switches.saturating_add(delta.failed_switches);
+        self.switch_retries = self.switch_retries.saturating_add(delta.switch_retries);
+        self.evacuations = self.evacuations.saturating_add(delta.evacuations);
+        self.degraded = self.degraded.saturating_add(delta.degraded);
+        self.dropped = self.dropped.saturating_add(delta.dropped);
     }
 }
 
@@ -203,8 +206,10 @@ pub trait SwitchGate: std::fmt::Debug {
 
 /// Backoff shift cap: retry windows grow 2, 4, 8, 16, 32 ticks and then
 /// stay at 32 — bounded and wall-clock-free, so a fault timeline replays
-/// identically from the same seed.
-const MAX_BACKOFF_SHIFT: u32 = 5;
+/// identically from the same seed. The supervision layer's restart
+/// probes ([`crate::supervise`]) share the same cap, so every retry
+/// policy in the crate backs off on one schedule.
+pub(crate) const MAX_BACKOFF_SHIFT: u32 = 5;
 
 /// Retry bookkeeping for an atom whose last SWITCH attempt failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -240,6 +245,9 @@ pub struct PatiaServer {
     /// always the per-tick *delta*; this (and the metrics registry, when
     /// armed) is always the running *total* — one uniform semantics.
     totals: FaultCounters,
+    /// The fleet supervisor: heartbeat failure detection and per-peer
+    /// circuit breakers consulted by every BEST placement decision.
+    supervisor: Supervisor,
 }
 
 impl PatiaServer {
@@ -288,6 +296,7 @@ impl PatiaServer {
                 agents.insert(id, vec![ServiceAgent::new(id, &home)]);
             }
         }
+        let supervisor = Supervisor::new(SuperviseConfig::default(), names);
         Self {
             net,
             atoms,
@@ -301,7 +310,15 @@ impl PatiaServer {
             retry: BTreeMap::new(),
             obs: None,
             totals: FaultCounters::default(),
+            supervisor,
         }
+    }
+
+    /// The fleet supervisor — failure-detector verdicts and circuit
+    /// states, as seen after the latest tick's heartbeat round.
+    #[must_use]
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.supervisor
     }
 
     /// Arm the observability hub: each tick then runs inside a `patia:tick`
@@ -374,6 +391,47 @@ impl PatiaServer {
     pub fn clear_pressure(&mut self, node: &str) {
         self.pressure.remove(node);
         self.fault_instant("fault:pressure_release", node);
+    }
+
+    /// Surface the tick's supervision events when armed: each verdict is
+    /// a branch the machine took, so it is billed, traced as an instant,
+    /// and accumulated in the registry.
+    fn note_supervision(&mut self, events: &[SupervisionEvent]) {
+        let Some(obs) = &self.obs else { return };
+        let mut o = obs.borrow_mut();
+        for ev in events {
+            o.charge(Primitive::Branch);
+            let (name, counter, args) = match ev {
+                SupervisionEvent::Suspect { peer, missed } => (
+                    "detector:suspect",
+                    "patia.detector.suspects",
+                    vec![("node", peer.clone()), ("missed", missed.to_string())],
+                ),
+                SupervisionEvent::Revive { peer } => {
+                    ("detector:revive", "patia.detector.revivals", vec![("node", peer.clone())])
+                }
+                SupervisionEvent::CircuitOpen { peer } => {
+                    ("circuit:open", "patia.circuit.opens", vec![("node", peer.clone())])
+                }
+                SupervisionEvent::CircuitHalfOpen { peer } => {
+                    ("circuit:half_open", "patia.circuit.half_opens", vec![("node", peer.clone())])
+                }
+                SupervisionEvent::CircuitClose { peer } => {
+                    ("circuit:close", "patia.circuit.closes", vec![("node", peer.clone())])
+                }
+                SupervisionEvent::RestartProbe { peer, attempt, next_at } => (
+                    "restart:attempt",
+                    "patia.restart.probes",
+                    vec![
+                        ("node", peer.clone()),
+                        ("attempt", attempt.to_string()),
+                        ("next_at", next_at.to_string()),
+                    ],
+                ),
+            };
+            o.instant("patia", name, args);
+            o.metrics.counter_add(counter, 1);
+        }
     }
 
     /// Record an injected-fault marker when armed. Deliberately *not*
@@ -460,7 +518,15 @@ impl PatiaServer {
                             .filter(|v| preferred.contains(&v.id))
                             .map(|v| (v.location.as_str(), v.id))
                             .collect();
-                        let names: Vec<&str> = hosts.iter().map(|(n, _)| *n).collect();
+                        // BEST consults the circuit breaker: a host
+                        // behind an open circuit is suspected dead and
+                        // must not be nominated, even if its (stale)
+                        // representation still looks attractive.
+                        let names: Vec<&str> = hosts
+                            .iter()
+                            .map(|(n, _)| *n)
+                            .filter(|n| !self.supervisor.is_open(n))
+                            .collect();
                         let chosen = best(&self.net, &names)?;
                         return hosts.iter().find(|(n, _)| *n == chosen).map(|(_, id)| *id);
                     }
@@ -481,8 +547,13 @@ impl PatiaServer {
         let obs = self.obs.clone();
         let tick_span = obs.as_ref().map(|o| o.borrow_mut().begin("patia", format!("tick:{now}")));
 
-        // 0. Recover agents stranded on dead nodes before routing new work.
+        // 0. Supervision first: one heartbeat round updates the failure
+        //    detector and circuit breakers, so every BEST decision this
+        //    tick consults fresh verdicts. Then recover agents stranded
+        //    on dead nodes before routing new work.
         if self.config.adaptive {
+            let events = self.supervisor.beat(&self.net, now);
+            self.note_supervision(&events);
             self.evacuate_dead(now, &mut stats);
         }
 
@@ -645,16 +716,22 @@ impl PatiaServer {
                 if self.retry.get(&c.atom).is_some_and(|r| now < r.next_at) {
                     continue; // waiting out the backoff window
                 }
-                let refs: Vec<&str> = candidates
+                let unoccupied: Vec<&str> = candidates
                     .iter()
                     .map(String::as_str)
                     .filter(|n| !occupied.iter().any(|o| o == *n))
                     .collect();
-                if refs.is_empty() {
+                if unoccupied.is_empty() {
                     continue; // fully spread — nowhere left to switch to
                 }
+                // The circuit breaker screens BEST's candidate list: a
+                // suspected-dead node never receives an agent, however
+                // idle its last-known representation claims it is.
+                let refs: Vec<&str> =
+                    unoccupied.iter().copied().filter(|n| !self.supervisor.is_open(n)).collect();
                 let Some(dest) = best(&self.net, &refs).map(str::to_owned) else {
-                    // Candidates remain but none is usable (dead or flat).
+                    // Candidates remain but none is usable (dead, flat,
+                    // or isolated behind an open circuit).
                     self.note_switch_failure(c.atom, now, &mut stats);
                     continue;
                 };
@@ -864,6 +941,9 @@ impl PatiaServer {
                 .iter()
                 .map(String::as_str)
                 .filter(|n| *n != from && !occupied.iter().any(|o| o == *n))
+                // Evacuating *onto* a suspected-dead node would strand
+                // the agent twice: the breaker screens here too.
+                .filter(|n| !self.supervisor.is_open(n))
                 .collect();
             let Some(dest) = best(&self.net, &refs).map(str::to_owned) else {
                 self.note_switch_failure(atom, now, stats);
@@ -909,6 +989,7 @@ impl PatiaServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::supervise::CircuitState;
     use crate::workload::{FlashCrowd, RequestGen};
 
     fn server(adaptive: bool) -> PatiaServer {
@@ -1180,6 +1261,126 @@ mod tests {
         let arrived: u64 = stats_on.iter().map(|st| st.arrivals as u64).sum();
         assert_eq!(o.metrics.counter("patia.requests.arrived"), arrived);
         assert!(o.tracer.events().iter().any(|e| e.name.starts_with("tick:")));
+    }
+
+    /// Regression for the cumulative-counter contract: absorbing into a
+    /// saturated accumulator must pin at `u64::MAX`, never wrap.
+    #[test]
+    fn fault_counters_saturate_at_u64_max() {
+        let mut totals = FaultCounters {
+            failed_switches: u64::MAX,
+            switch_retries: u64::MAX,
+            evacuations: u64::MAX,
+            degraded: u64::MAX,
+            dropped: u64::MAX,
+        };
+        let delta = FaultCounters {
+            failed_switches: 3,
+            switch_retries: 2,
+            evacuations: 1,
+            degraded: 5,
+            dropped: 7,
+        };
+        totals.absorb(&delta);
+        assert_eq!(
+            totals,
+            FaultCounters {
+                failed_switches: u64::MAX,
+                switch_retries: u64::MAX,
+                evacuations: u64::MAX,
+                degraded: u64::MAX,
+                dropped: u64::MAX,
+            }
+        );
+    }
+
+    #[test]
+    fn detector_suspects_a_killed_node_within_k_beats() {
+        let mut s = server(true);
+        s.kill_node("node2");
+        for _ in 0..SuperviseConfig::default().suspect_after {
+            s.tick(&[], 500.0);
+        }
+        assert!(s.supervisor().suspected("node2"), "k missed beats must convict");
+        assert!(s.supervisor().is_open("node2"), "suspicion opens the circuit");
+        assert!(!s.supervisor().is_open("node1"), "healthy peers stay closed");
+    }
+
+    #[test]
+    fn best_never_switches_toward_an_open_circuit() {
+        let mut s = server(true);
+        // Partition wp1 away: it stays alive (so plain BEST would still
+        // nominate it) but the detector can no longer hear it.
+        s.network_mut().partition(&["wp1".to_owned()]);
+        for _ in 0..5 {
+            s.tick(&[], 500.0);
+        }
+        assert!(s.supervisor().is_open("wp1"), "unreachable peer must be isolated");
+        // Now drive a flash crowd: switches must spread, but never to wp1.
+        let crowd = FlashCrowd { from: 1, to: 200, target: AtomId(123), multiplier: 40.0 };
+        let mut gen = RequestGen::new(vec![AtomId(123)], 1.0, 4.0, 2).with_crowd(crowd);
+        let mut migrations = Vec::new();
+        for t in 1..=250 {
+            migrations.extend(s.tick(&gen.tick(t), 500.0).migrations);
+        }
+        assert!(!migrations.is_empty(), "the crowd must still force switches");
+        for m in &migrations {
+            assert_ne!(m.to, "wp1", "no switch may target a suspected replica: {m:?}");
+        }
+    }
+
+    #[test]
+    fn restarted_node_rejoins_after_contact_and_probation() {
+        let mut s = server(true);
+        s.kill_node("node3");
+        for _ in 0..6 {
+            s.tick(&[], 500.0);
+        }
+        assert!(s.supervisor().is_open("node3"));
+        s.revive_node("node3");
+        let probation = SuperviseConfig::default().probation;
+        for _ in 0..probation {
+            s.tick(&[], 500.0);
+        }
+        assert_eq!(
+            s.supervisor().circuit("node3"),
+            CircuitState::Closed,
+            "contact plus probation must readmit the peer"
+        );
+        assert!(!s.supervisor().suspected("node3"));
+    }
+
+    #[test]
+    fn supervision_events_surface_as_instants_and_metrics_when_armed() {
+        let mut s = server(true);
+        let h = obs::Obs::new(obs::CostModel::pentium()).into_handle();
+        s.arm_obs(h.clone());
+        s.kill_node("node2");
+        for _ in 0..8 {
+            s.tick(&[], 500.0);
+        }
+        s.revive_node("node2");
+        for _ in 0..4 {
+            s.tick(&[], 500.0);
+        }
+        let o = h.borrow();
+        for name in [
+            "detector:suspect",
+            "detector:revive",
+            "circuit:open",
+            "circuit:close",
+            "restart:attempt",
+        ] {
+            assert!(
+                o.tracer.events().iter().any(|e| e.name == name),
+                "trace must contain a {name} instant"
+            );
+        }
+        assert_eq!(o.metrics.counter("patia.detector.suspects"), s.supervisor().suspects());
+        assert_eq!(o.metrics.counter("patia.detector.revivals"), s.supervisor().revivals());
+        assert_eq!(o.metrics.counter("patia.circuit.opens"), s.supervisor().opens());
+        assert_eq!(o.metrics.counter("patia.circuit.closes"), s.supervisor().closes());
+        assert_eq!(o.metrics.counter("patia.restart.probes"), s.supervisor().probes());
     }
 
     #[test]

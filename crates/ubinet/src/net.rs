@@ -177,6 +177,17 @@ impl Network {
         Err(NetError::Unreachable { from: from.to_owned(), to: to.to_owned() })
     }
 
+    /// Whether a heartbeat sent `from` → `to` would land: both devices
+    /// alive and a live path between them (a device can always hear
+    /// itself). This is the failure detector's probe primitive — it
+    /// deliberately cannot distinguish a dead peer from a partitioned
+    /// one, which is exactly the ambiguity a detector must tolerate.
+    #[must_use]
+    pub fn heartbeat(&self, from: &str, to: &str) -> bool {
+        let both_alive = [from, to].iter().all(|n| self.devices.get(*n).is_some_and(|d| d.alive));
+        both_alive && (from == to || self.hop_distance(from, to).is_ok())
+    }
+
     /// The live path (as link indices) with the fewest hops, and its
     /// bottleneck bandwidth and total latency at `tick`.
     ///
@@ -321,6 +332,20 @@ mod tests {
         assert_eq!(n.hop_distance("laptop", "pda").unwrap(), 1, "intra-island survives");
         assert_eq!(n.heal(&island), 2);
         assert!(n.hop_distance("sensor", "laptop").is_ok());
+    }
+
+    #[test]
+    fn heartbeat_needs_liveness_and_a_path() {
+        let mut n = net();
+        assert!(n.heartbeat("server", "pda"), "live path carries the beat");
+        assert!(n.heartbeat("pda", "pda"), "a device always hears itself");
+        assert!(!n.heartbeat("server", "ghost"), "unknown peer never answers");
+        n.device_mut("pda").unwrap().alive = false;
+        assert!(!n.heartbeat("server", "pda"), "dead peer misses the beat");
+        assert!(!n.heartbeat("pda", "pda"), "a dead device cannot even hear itself");
+        n.device_mut("pda").unwrap().alive = true;
+        n.partition(&["pda".to_owned()]);
+        assert!(!n.heartbeat("server", "pda"), "partition looks exactly like death");
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! * `update-goldens` — regenerate every committed deterministic
 //!   artifact: the golden-trace snapshots in `tests/goldens/` (one leg
 //!   per CI chaos seed, replacing the raw
-//!   `UPDATE_GOLDENS=1 CHAOS_SEED=<seed> cargo test …` incantation) and
-//!   the benchmark-trajectory baseline `BENCH_adm.json`.
+//!   `UPDATE_GOLDENS=1 CHAOS_SEED=<seed> cargo test …` incantation),
+//!   the crash-replay recovery matrix (`tests/goldens/crashrep.txt`),
+//!   and the benchmark-trajectory baseline `BENCH_adm.json`.
 //! * `bench-gate` — replay the benchmark trajectory and compare it to
 //!   the committed `BENCH_adm.json` under the gate tolerances; exits
 //!   non-zero on drift (what the CI `bench-gate` job runs).
@@ -44,7 +45,8 @@ fn run_cargo(args: &[&str], envs: &[(&str, String)]) {
 }
 
 /// Regenerate the golden-trace snapshots (one obs_e2e run per CI seed,
-/// under `UPDATE_GOLDENS=1`) and the bench baseline.
+/// under `UPDATE_GOLDENS=1`), the crash-replay recovery matrix, and the
+/// bench baseline.
 fn update_goldens() {
     for seed in GOLDEN_SEEDS {
         run_cargo(
@@ -52,6 +54,10 @@ fn update_goldens() {
             &[("UPDATE_GOLDENS", "1".to_owned()), ("CHAOS_SEED", seed.to_string())],
         );
     }
+    run_cargo(
+        &["test", "-q", "-p", "adm-core", "--test", "crashrep_e2e"],
+        &[("UPDATE_GOLDENS", "1".to_owned())],
+    );
     run_cargo(
         &["run", "--release", "-q", "-p", "adm-bench", "--bin", "bench", "--", "--update"],
         &[],

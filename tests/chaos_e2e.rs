@@ -261,6 +261,7 @@ fn same_seed_replays_identical_timeline_and_stats() {
         components: Vec::new(),
         horizon: 250,
         incidents: 10,
+        crash_nodes: Vec::new(),
     };
     let plan = FaultPlan::random(seed, &space);
     assert_eq!(plan.render(), FaultPlan::random(seed, &space).render());
