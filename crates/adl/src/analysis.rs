@@ -265,9 +265,15 @@ fn binding_edges(
     }
 }
 
-/// Find one dependency cycle in `edges`, rendered starting from its
-/// lexicographically smallest member so reports are deterministic.
-fn find_cycle(edges: &[(String, String)]) -> Option<String> {
+/// Find one dependency cycle in `edges` (`(a, b)` meaning `a` depends on
+/// `b`), rendered `a -> b -> a` starting from the cycle's lexicographically
+/// smallest member so reports are deterministic.
+///
+/// Shared by the document analyser (service-dependency cycles between
+/// sub-instances) and `compkit`'s reconfiguration-plan linter (binding and
+/// lock-order cycles over plan atoms).
+#[must_use]
+pub fn find_cycle(edges: &[(String, String)]) -> Option<String> {
     let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
     for (a, b) in edges {
         adj.entry(a).or_default().push(b);

@@ -44,7 +44,7 @@ pub mod parse;
 pub mod printer;
 pub mod token;
 
-pub use analysis::{analyze, AnalysisError};
+pub use analysis::{analyze, find_cycle, AnalysisError};
 pub use ast::{Binding, ComponentDecl, Decl, Document, PortRef};
 pub use config::{Configuration, FlattenError};
 pub use diff::{diff, ReconfigurationPlan};

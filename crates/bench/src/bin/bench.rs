@@ -119,6 +119,67 @@ fn record_crashrep(snap: &mut BenchSnapshot) {
     snap.set("crashrep.counts.steps_undone", undone);
 }
 
+/// SISR v3 scaling: verification cost of a many-procedure component at
+/// 1×/4×/16× the base component size (8 procedures). The interprocedural
+/// summaries make this ~linear in procedure count — the gated evidence
+/// is that the 1×→4× and 4×→16× cycle deltas stay affine instead of
+/// exploding with call-path count as the v2 concrete-stack keys did.
+fn record_sisr_scaling(snap: &mut BenchSnapshot) {
+    use gokernel::sisr::SisrVerifier;
+    use machine::isa::{Instr, Program};
+    let verifier = SisrVerifier::new(CostModel::pentium());
+    let cost = |procs: u32| {
+        // A dispatcher calling each procedure once, then the 3-instruction
+        // procedure bodies — the same shape the sisr unit suite pins.
+        let mut text = Vec::new();
+        for i in 0..procs {
+            text.push(Instr::Call(procs + 1 + 3 * i));
+        }
+        text.push(Instr::Halt);
+        for _ in 0..procs {
+            text.push(Instr::Push(0));
+            text.push(Instr::Pop(1));
+            text.push(Instr::Ret);
+        }
+        let img = verifier.verify_program(&Program::new(text)).expect("bench image is clean");
+        assert_eq!(img.summaries().len() as u32, procs + 1, "one summary per procedure");
+        img.scan_cycles()
+    };
+    for scale in [1u32, 4, 16] {
+        snap.set(format!("sisr_v3.cycles.scale{scale}"), cost(8 * scale));
+    }
+}
+
+/// planlint cost per plan: the Adaptivity Manager bills one ALU per plan
+/// step ahead of every switch, so the Figure 5 lifecycle plans price the
+/// gate exactly. All three plans must lint clean — the linter's verdict
+/// is part of the baseline.
+fn record_planlint(snap: &mut BenchSnapshot) {
+    use adl::diff::diff;
+    use adl::figures::{docked_session, fig4_document, wireless_session};
+    use compkit::planlint::PlanLinter;
+    use obs::{Obs, Primitive};
+    let doc = fig4_document();
+    let docked = docked_session(&doc);
+    let wireless = wireless_session(&doc);
+    let empty = adl::Configuration::default();
+    let plans = [diff(&empty, &docked), diff(&docked, &wireless), diff(&wireless, &docked)];
+    let linter = PlanLinter::new();
+    let mut o = Obs::new(CostModel::pentium());
+    let mut steps = 0u64;
+    for plan in &plans {
+        assert!(linter.lint_one(plan).is_clean(), "fig5 plans must lint clean");
+        for _ in 0..plan.len() {
+            o.charge(Primitive::Alu);
+        }
+        steps += plan.len() as u64;
+    }
+    snap.set("planlint.cycles.total", o.clock());
+    snap.set("planlint.cycles.plan", o.clock() / plans.len() as u64);
+    snap.set("planlint.counts.plans", plans.len() as u64);
+    snap.set("planlint.counts.steps", steps);
+}
+
 /// Replay every workload into one snapshot.
 fn measure() -> BenchSnapshot {
     let mut snap = BenchSnapshot::new();
@@ -131,6 +192,10 @@ fn measure() -> BenchSnapshot {
     let v = verification_cost_row(&model);
     snap.set("table1.cycles.verify", v.verify_cycles);
     snap.set("table1.counts.breakeven_calls", v.breakeven_calls);
+
+    // The static-analysis layers: SISR v3 summary scaling and planlint.
+    record_sisr_scaling(&mut snap);
+    record_planlint(&mut snap);
 
     // The flash crowd and the chaos matrix.
     record_scenario(&mut snap, "flash_crowd", &paper_flash_crowd());

@@ -21,6 +21,7 @@
 use crate::journal::{
     AdaptationJournal, CrashHook, CrashSite, NoCrash, RecoveryOutcome, RecoveryReport, StepRecord,
 };
+use crate::planlint::{PlanLintReport, PlanLinter};
 use crate::runtime::{ComponentFactory, Runtime};
 use crate::state::StateManager;
 use adl::ast::Binding;
@@ -67,6 +68,11 @@ pub enum SwitchError {
         /// The record boundary the node died at.
         site: String,
     },
+    /// The static plan linter ([`crate::planlint`]) found Error-severity
+    /// findings, so the switch was refused before any step ran. Nothing
+    /// was journalled and nothing needs rolling back — the plan is wrong
+    /// in *every* runtime, not just this one.
+    LintRejected(PlanLintReport),
 }
 
 impl fmt::Display for SwitchError {
@@ -87,6 +93,13 @@ impl fmt::Display for SwitchError {
             }
             SwitchError::Crashed { site } => {
                 write!(f, "node crashed at {site}; the journal is open — recover() settles it")
+            }
+            SwitchError::LintRejected(report) => {
+                write!(f, "plan refused by the linter: {} error(s)", report.errors().count())?;
+                if let Some(first) = report.errors().next() {
+                    write!(f, " — {first}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -282,6 +295,30 @@ impl AdaptivityManager {
         faults: &mut dyn StepFaults,
         crash: &mut dyn CrashHook,
     ) -> Result<SwitchReport, SwitchError> {
+        // Static gate first: the linter sees only the plan, so anything it
+        // rejects would have failed (or worse, mis-rolled-back) in every
+        // runtime — refuse before a span opens or the journal is touched.
+        // Runtime-dependent inconsistencies still surface as
+        // `SwitchError::Inconsistent` from the steps themselves.
+        let lint = PlanLinter::new().lint_one(plan);
+        if let Some(o) = &self.obs {
+            let mut o = o.borrow_mut();
+            // One ALU op per examined step: the lint is linear in plan size.
+            for _ in 0..plan.len() {
+                o.charge(Primitive::Alu);
+            }
+            o.metrics.counter_add("compkit.lint.plans", 1);
+            o.metrics.counter_add("compkit.lint.diagnostics", lint.diagnostics.len() as u64);
+        }
+        if lint.has_errors() {
+            if let Some(o) = &self.obs {
+                let mut o = o.borrow_mut();
+                let first = lint.errors().next().map(ToString::to_string).unwrap_or_default();
+                o.instant("compkit", "lint:rejected", vec![("first", first)]);
+                o.metrics.counter_add("compkit.lint.rejected", 1);
+            }
+            return Err(SwitchError::LintRejected(lint));
+        }
         let mut applied: Vec<StepRecord> = Vec::with_capacity(plan.len());
         let obs = self.obs.clone();
         let span = obs.as_ref().map(|o| o.borrow_mut().begin("compkit", "switch"));
@@ -781,6 +818,39 @@ mod tests {
         let err = am.execute(&mut rt, &plan, &mut BasicFactory, &mut sm, 1).unwrap_err();
         assert!(matches!(err, SwitchError::Inconsistent(_)));
         assert_eq!(rt, before);
+    }
+
+    #[test]
+    fn lint_rejected_plan_never_starts_executing() {
+        let (mut rt, mut sm, mut am) = boot_docked();
+        let before = rt.clone();
+        // A statically-broken plan: its new bindings form a dependency
+        // cycle. The linter refuses it before any step (or journal record)
+        // happens, so nothing is rolled back and no outcome counter moves.
+        let mut plan = adl::diff::ReconfigurationPlan::default();
+        plan.start.push(("a".into(), "T".into()));
+        plan.start.push(("b".into(), "T".into()));
+        plan.bind.push(adl::ast::Binding {
+            from: adl::ast::PortRef::on("a", "r"),
+            to: adl::ast::PortRef::on("b", "p"),
+        });
+        plan.bind.push(adl::ast::Binding {
+            from: adl::ast::PortRef::on("b", "r"),
+            to: adl::ast::PortRef::on("a", "p"),
+        });
+        let err = am.execute(&mut rt, &plan, &mut BasicFactory, &mut sm, 7).unwrap_err();
+        let SwitchError::LintRejected(report) = err else {
+            panic!("expected LintRejected, got {err}");
+        };
+        assert!(report.has_errors());
+        assert_eq!(rt, before, "refusal precedes execution: nothing changed");
+        assert_eq!(am.rolled_back(), 0, "a refusal is not a rollback");
+        assert_eq!(am.committed(), 1, "only the boot committed");
+        // The refusal happens before the journal is touched, too.
+        am.attach_journal();
+        let err = am.execute(&mut rt, &plan, &mut BasicFactory, &mut sm, 8).unwrap_err();
+        assert!(matches!(err, SwitchError::LintRejected(_)));
+        assert!(am.journal().unwrap().is_empty(), "no intent record for a refused plan");
     }
 
     #[test]

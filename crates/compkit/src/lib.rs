@@ -24,7 +24,11 @@
 //!   hybrid;
 //! * [`session`] — the Session Manager: watches gauges, consults the rules,
 //!   designs the alternative configuration with the `adl` crate, and hands
-//!   the plan to the Adaptivity Manager.
+//!   the plan to the Adaptivity Manager;
+//! * [`planlint`] — the static reconfiguration-plan linter: read/write-set
+//!   conflict, lock-order-cycle, undo-completeness, and binding checks the
+//!   Adaptivity Manager consults *before* executing any plan, in the same
+//!   collect-all diagnostic shape as SISR.
 //!
 //! The flow of Figure 1 is therefore executable: monitors → gauges →
 //! session manager → switching rules → adaptivity manager → (re)bound
@@ -37,6 +41,7 @@ pub mod adaptivity;
 pub mod gauge;
 pub mod journal;
 pub mod monitor;
+pub mod planlint;
 pub mod rules;
 pub mod runtime;
 pub mod session;
@@ -49,6 +54,7 @@ pub use journal::{
     RecoveryOutcome, RecoveryReport, StepRecord,
 };
 pub use monitor::{Monitor, Reading};
+pub use planlint::{PlanDiagnostic, PlanDiagnosticKind, PlanLintReport, PlanLinter, Severity};
 pub use rules::{Action, Expr, RuleSet, SwitchingRule};
 pub use runtime::{ComponentFactory, CreateError, LiveComponent, Runtime};
 pub use session::{AdaptationEvent, SessionManager};

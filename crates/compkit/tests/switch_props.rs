@@ -32,12 +32,24 @@ fn configuration(rng: &mut Pcg32) -> Configuration {
         .collect();
     let raw: BTreeSet<(String, String, String, String)> =
         (0..rng.index(6)).map(|_| (name(rng), port(rng), name(rng), port(rng))).collect();
-    // Bindings may only reference instances that exist, so the
-    // runtime's bind() invariant holds for the *target*.
+    // Bindings may only reference instances that exist (so the runtime's
+    // bind() invariant holds for the *target*) and must not close an
+    // instance-level service cycle: the Adaptivity Manager's lint gate —
+    // like the document analyser — refuses cyclic configurations, and
+    // these properties quantify over admissible targets.
     let keys: BTreeSet<&String> = instances.keys().collect();
+    let mut edges: Vec<(String, String)> = Vec::new();
     let bindings = raw
         .into_iter()
         .filter(|(fi, _, ti, _)| keys.contains(fi) && keys.contains(ti))
+        .filter(|(fi, _, ti, _)| {
+            edges.push((fi.clone(), ti.clone()));
+            if adl::analysis::find_cycle(&edges).is_some() {
+                edges.pop();
+                return false;
+            }
+            true
+        })
         .map(|(fi, fp, ti, tp)| Binding { from: PortRef::on(&fi, &fp), to: PortRef::on(&ti, &tp) })
         .collect();
     Configuration { instances, bindings }

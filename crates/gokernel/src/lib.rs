@@ -55,7 +55,7 @@ pub use kernels::{
 pub use libos::{LibOs, LibOsError, ThreadId};
 pub use orb::{InvokeFaults, Orb, OrbError, RpcOutcome};
 pub use sisr::{
-    Diagnostic, DiagnosticKind, Limits, Pass, PassReport, Severity, SisrVerifier, VerifiedImage,
-    VerifyReport,
+    Diagnostic, DiagnosticKind, Limits, Pass, PassReport, ProcedureSummary, Severity, SisrVerifier,
+    VerifiedImage, VerifyReport,
 };
 pub use table1::{table1_rows, Table1Row, PAPER_TABLE1};

@@ -70,6 +70,21 @@ pub enum OrbError {
         /// The injector's reason.
         reason: String,
     },
+    /// A procedure summary in the image claims a footprint larger than the
+    /// segment grants instances of this type would receive. The image may
+    /// have verified cleanly under more generous limits elsewhere; the ORB
+    /// re-checks the *summaries* against its own grants at link time, so
+    /// the mismatch is caught before any instance exists.
+    SummaryExceedsGrant {
+        /// Head of the offending procedure.
+        head: u32,
+        /// The grant the summary would exceed (`"data"` or `"stack"`).
+        grant: &'static str,
+        /// Bytes the summary claims the procedure can touch.
+        claimed: u64,
+        /// Bytes the ORB's grant actually extends to.
+        limit: u64,
+    },
 }
 
 impl From<VerifyReport> for OrbError {
@@ -222,11 +237,60 @@ impl Orb {
         self.install_type(name, image)
     }
 
-    /// Load a component type from an already-verified image.
+    /// Link-time summary check: every per-procedure summary the verifier
+    /// computed must fit inside the data and stack segments instances of
+    /// this type will be granted. `verify`/`load_type` images always pass
+    /// (the verifier ran under the same limits), but [`Orb::install_type`]
+    /// accepts images verified elsewhere — possibly under larger grants —
+    /// and this check is what makes that safe.
     ///
     /// # Errors
-    /// [`OrbError::OutOfMemory`].
+    /// [`OrbError::SummaryExceedsGrant`] naming the first offending
+    /// procedure (summaries are in deterministic head order).
+    pub fn check_summaries(&self, image: &VerifiedImage) -> Result<(), OrbError> {
+        for s in image.summaries() {
+            // A statically-known access at byte offset `hi` touches the
+            // word [hi, hi+4) — the same bound the verifier enforces.
+            for (range, grant) in [(s.known_loads, "data"), (s.known_stores, "data")] {
+                if let Some((_, hi)) = range {
+                    let claimed = u64::from(hi) + 4;
+                    if claimed > u64::from(DATA_SEG_BYTES) {
+                        return Err(OrbError::SummaryExceedsGrant {
+                            head: s.head,
+                            grant,
+                            claimed,
+                            limit: u64::from(DATA_SEG_BYTES),
+                        });
+                    }
+                }
+            }
+            let stack_claim = u64::from(s.max_stack_words) * 4;
+            if stack_claim > u64::from(STACK_SEG_BYTES) {
+                return Err(OrbError::SummaryExceedsGrant {
+                    head: s.head,
+                    grant: "stack",
+                    claimed: stack_claim,
+                    limit: u64::from(STACK_SEG_BYTES),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Load a component type from an already-verified image. The image's
+    /// procedure summaries are re-checked against this ORB's segment grants
+    /// (see [`Orb::check_summaries`]) — link time is the last moment the
+    /// mismatch can be caught statically.
+    ///
+    /// # Errors
+    /// [`OrbError::SummaryExceedsGrant`], [`OrbError::OutOfMemory`].
     pub fn install_type(&mut self, name: &str, image: VerifiedImage) -> Result<TypeId, OrbError> {
+        self.check_summaries(&image)?;
+        if let Some(obs) = self.obs.as_ref() {
+            let mut o = obs.borrow_mut();
+            o.metrics.counter_add("orb.link.summary_checks", 1);
+            o.metrics.counter_add("orb.link.summaries", image.summaries().len() as u64);
+        }
         let text_bytes = (image.program().len() * 8) as u32;
         let base = self.alloc(text_bytes.max(8))?;
         let code_sel = self
@@ -687,6 +751,44 @@ mod tests {
         let sum: Cycles = out.breakdown.iter().map(|(_, v)| v).sum();
         assert_eq!(sum, out.cycles);
         assert!(out.breakdown.iter().any(|(l, _)| *l == "seg-reg-load"));
+    }
+
+    #[test]
+    fn oversized_summary_is_refused_at_link_time() {
+        // Verified cleanly under a generous 64 KiB data grant...
+        let roomy = SisrVerifier::with_limits(
+            CostModel::pentium(),
+            Limits { data_bytes: 64 * 1024, ..Limits::default() },
+        );
+        let img = roomy
+            .verify_program(&machine::isa::Program::new(vec![
+                Instr::MovImm(0, 8192),
+                Instr::Store(0, 0),
+                Instr::Halt,
+            ]))
+            .expect("clean under roomy limits");
+        // ...but this ORB only grants 4 KiB data segments, and the summary
+        // says so before any instance exists.
+        let mut orb = Orb::new(1 << 20, CostModel::pentium());
+        assert_eq!(
+            orb.install_type("roomy", img).unwrap_err(),
+            OrbError::SummaryExceedsGrant {
+                head: 0,
+                grant: "data",
+                claimed: 8196,
+                limit: u64::from(DATA_SEG_BYTES)
+            }
+        );
+        assert_eq!(orb.components(), 0);
+    }
+
+    #[test]
+    fn in_grant_summaries_link_cleanly() {
+        let (orb, _, _) = orb_with_pair(null_service(), 0);
+        for ty in &orb.types {
+            orb.check_summaries(&ty.image).expect("own-grant images always fit");
+            assert!(!ty.image.summaries().is_empty(), "accepted images carry summaries");
+        }
     }
 
     #[test]

@@ -73,11 +73,21 @@ fn bench_gate() {
     );
 }
 
+/// Run planlint over every committed scenario configuration (the
+/// `lint_plans` test tier): the plan corpus the scenarios generate must be
+/// free of Error-severity findings, and the Adaptivity Manager's lint gate
+/// must demonstrably refuse a broken plan. Exits non-zero on any finding
+/// (what the CI lint job runs).
+fn lint_plans() {
+    run_cargo(&["test", "-q", "-p", "adm-core", "--test", "lint_plans"], &[]);
+}
+
 fn main() {
     let task = std::env::args().nth(1);
     match task.as_deref() {
         Some("update-goldens") => update_goldens(),
         Some("bench-gate") => bench_gate(),
+        Some("lint-plans") => lint_plans(),
         other => {
             if let Some(t) = other {
                 println!("unknown task {t:?}\n");
@@ -86,7 +96,8 @@ fn main() {
                 "usage: cargo xtask <task>\n\n\
                  tasks:\n  \
                  update-goldens  regenerate tests/goldens/ and BENCH_adm.json\n  \
-                 bench-gate      compare a fresh bench run against BENCH_adm.json"
+                 bench-gate      compare a fresh bench run against BENCH_adm.json\n  \
+                 lint-plans      planlint every committed scenario configuration"
             );
             std::process::exit(2);
         }

@@ -24,6 +24,9 @@ fn main() {
     for p in &img.report().passes {
         println!("  {:<20} {:>6} cycles", p.pass.name(), p.cycles);
     }
+    for s in img.summaries() {
+        println!("  {s}");
+    }
     let trap_round_trip = model.trap_enter + model.trap_exit;
     println!(
         "  total {} cycles, one-off — repaid after ~{} calls that would each\n\

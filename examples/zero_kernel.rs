@@ -27,6 +27,11 @@ fn main() {
     for p in &img.report().passes {
         println!("  pass {:<18} {:>3} cycles  proved clean", p.pass.name(), p.cycles);
     }
+    // The per-procedure summaries the passes were computed from — what the
+    // ORB re-checks against its segment grants at link time.
+    for s in img.summaries() {
+        println!("  {s}");
+    }
     let evil = Program::new(vec![Instr::Nop, Instr::LoadSegReg(SegReg::Ds, 0), Instr::Halt]);
     let err = verifier.verify_program(&evil).unwrap_err();
     println!("SISR rejected privileged code: {err}");
