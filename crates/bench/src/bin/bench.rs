@@ -16,7 +16,12 @@
 //! * **crash replay** — the `scenario::crashrep` recovery matrix (same
 //!   seeds × every crash point), pricing journal recovery: total
 //!   `compkit:recover` span cycles plus the landed-outcome and
-//!   undo-work counts.
+//!   undo-work counts;
+//! * **mega crowd** — the `scenario::megacrowd` scale run (~10.5M
+//!   requests through the event engine): virtual cycles per request
+//!   plus — uniquely in this bench — real wall-clock rows
+//!   (`megacrowd.wall.*`), gated only against order-of-magnitude
+//!   blowups since wall time is machine-dependent.
 //!
 //! Modes:
 //!
@@ -180,6 +185,37 @@ fn record_planlint(snap: &mut BenchSnapshot) {
     snap.set("planlint.counts.steps", steps);
 }
 
+/// Record the mega-crowd scale run under `megacrowd.*`: engine counts
+/// and virtual cycles per request from an observed run, and real
+/// wall-clock rows from an unobserved one. `wall.micros` is the raw run
+/// time; `wall.micros_per_million_requests` is the (inverse) throughput
+/// — both time-like, so a faster machine always passes the gate.
+fn record_megacrowd(snap: &mut BenchSnapshot) {
+    use adm_core::scenario::megacrowd::{mega_crowd, run, run_observed as run_mega_observed};
+    let params = mega_crowd();
+    let started = std::time::Instant::now();
+    let report = run(&params);
+    let wall = started.elapsed();
+    assert!(report.conserved(), "mega-crowd must conserve at scale");
+    let (observed, o) = run_mega_observed(&params);
+    assert_eq!(observed, report, "arming observability must not perturb the run");
+    snap.set("megacrowd.cycles.clock", o.clock());
+    snap.set("megacrowd.cycles.per_request", o.clock() / report.totals.completed.max(1));
+    snap.set("megacrowd.counts.offered", report.offered);
+    snap.set("megacrowd.counts.completed", report.totals.completed);
+    snap.set("megacrowd.counts.switches", report.totals.switches);
+    snap.set("megacrowd.counts.evacuations", report.totals.evacuations);
+    snap.set("megacrowd.counts.ticks_processed", report.totals.ticks_processed);
+    snap.set("megacrowd.counts.ticks_skipped", report.totals.ticks_skipped);
+    #[allow(clippy::cast_possible_truncation)]
+    let micros = wall.as_micros() as u64;
+    snap.set("megacrowd.wall.micros", micros);
+    snap.set(
+        "megacrowd.wall.micros_per_million_requests",
+        micros.saturating_mul(1_000_000) / report.totals.completed.max(1),
+    );
+}
+
 /// Replay every workload into one snapshot.
 fn measure() -> BenchSnapshot {
     let mut snap = BenchSnapshot::new();
@@ -205,6 +241,9 @@ fn measure() -> BenchSnapshot {
 
     // The crash-replay recovery matrix.
     record_crashrep(&mut snap);
+
+    // The mega-crowd scale run (cycles + wall-clock).
+    record_megacrowd(&mut snap);
     snap
 }
 

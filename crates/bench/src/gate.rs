@@ -19,6 +19,13 @@
 //!   cycles, whichever allowance is larger. The floor keeps tiny
 //!   baselines (a 73-cycle RPC) from failing on a one-cycle wobble; the
 //!   percentage catches hot-path regressions on the big totals.
+//! * any key with a `wall` segment (`megacrowd.wall.micros`) is real
+//!   wall-clock time — machine-dependent by nature, so it is gated only
+//!   against order-of-magnitude blowups: the allowance is
+//!   `baseline × (wall_factor − 1) + wall_floor_micros`. A faster
+//!   machine always passes; a run `wall_factor`× slower than the
+//!   committed baseline (beyond the absolute floor) fails, which is what
+//!   catches the event engine degenerating back into a per-tick walk.
 //! * every other key (the `counts.*` families) is structural — event,
 //!   span, and switch counts are exact replays of a seeded scenario, so
 //!   they must match exactly.
@@ -123,23 +130,35 @@ pub struct Tolerance {
     pub cycle_pct: f64,
     /// Minimum absolute drift allowance, in cycles, for `cycles` metrics.
     pub cycle_floor: u64,
+    /// Blowup factor for `wall` metrics: a run this many times slower
+    /// than the baseline fails.
+    pub wall_factor: u64,
+    /// Absolute allowance for `wall` metrics, in the metric's own unit
+    /// (microseconds) — keeps tiny baselines from failing on scheduler
+    /// noise.
+    pub wall_floor_micros: u64,
 }
 
 impl Default for Tolerance {
     fn default() -> Self {
-        Self { cycle_pct: 2.0, cycle_floor: 64 }
+        Self { cycle_pct: 2.0, cycle_floor: 64, wall_factor: 8, wall_floor_micros: 1_000_000 }
     }
 }
 
 impl Tolerance {
     /// The drift allowance for `key` at `baseline`: cycle metrics get
-    /// `max(floor, pct% of baseline)`, everything else gets zero.
+    /// `max(floor, pct% of baseline)`, wall metrics get
+    /// `baseline × (factor − 1) + floor`, everything else gets zero.
     #[must_use]
     pub fn allowance(&self, key: &str, baseline: u64) -> u64 {
         if key.split('.').any(|seg| seg == "cycles") {
             #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
             let pct = (baseline as f64 * self.cycle_pct / 100.0).floor() as u64;
             pct.max(self.cycle_floor)
+        } else if key.split('.').any(|seg| seg == "wall") {
+            baseline
+                .saturating_mul(self.wall_factor.saturating_sub(1))
+                .saturating_add(self.wall_floor_micros)
         } else {
             0
         }
@@ -214,6 +233,24 @@ mod tests {
         assert_eq!(tol.allowance("table1.cycles.go", 73), 64, "floor beats 2% of 73");
         assert_eq!(tol.allowance("flash_crowd.counts.events", 1_000_000), 0, "counts are exact");
         assert_eq!(tol.allowance("recycles.total", 1_000_000), 0, "whole segment match only");
+    }
+
+    #[test]
+    fn wall_keys_gate_only_on_blowups() {
+        let tol = Tolerance::default();
+        assert_eq!(
+            tol.allowance("megacrowd.wall.micros", 2_000_000),
+            15_000_000,
+            "baseline × 7 + 1s floor"
+        );
+        let base = snap(&[("m.wall.micros", 2_000_000)]);
+        let faster = snap(&[("m.wall.micros", 100)]);
+        assert!(compare(&base, &faster, &tol).is_empty(), "a faster machine always passes");
+        let slower = snap(&[("m.wall.micros", 12_000_000)]);
+        assert!(compare(&base, &slower, &tol).is_empty(), "6x slower is machine variance");
+        let blowup = snap(&[("m.wall.micros", 30_000_000)]);
+        assert_eq!(compare(&base, &blowup, &tol).len(), 1, "15x slower is a regression");
+        assert_eq!(tol.allowance("firewall.total", 100), 0, "whole segment match only");
     }
 
     #[test]

@@ -161,6 +161,18 @@ impl GaugeBoard {
             self.record(name, tick, value);
         }
     }
+
+    /// Re-sample every monitor up to `tick`, carrying each one's latest
+    /// reading forward through the gap
+    /// ([`Monitor::fill_forward`]). An event-driven sampler that skips
+    /// quiescent ticks calls this at the next event boundary; without it,
+    /// windowed gauges (means, slopes) silently aggregate over a
+    /// compressed timeline and drift from the per-tick reference.
+    pub fn resample(&mut self, tick: u64) {
+        for m in self.monitors.values_mut() {
+            m.fill_forward(tick);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +327,63 @@ mod tests {
         assert_eq!(gauge(GaugeKind::WindowMax(10)).evaluate(&m), Some(3.0));
         assert_eq!(gauge(GaugeKind::WindowMean(10)).evaluate(&m), Some(2.0));
         assert_eq!(gauge(GaugeKind::Latest).evaluate(&m), Some(3.0));
+    }
+
+    /// Regression for the per-tick gauge drift: a sampler that skips
+    /// quiescent ticks and records only at event boundaries compresses
+    /// the timeline under windowed gauges — the old behaviour made a
+    /// mean over "the last 6 readings" span 60 real ticks and a slope
+    /// see a cliff where there was a plateau. Re-sampling at the event
+    /// boundary (`resample`) must restore the exact per-tick values.
+    #[test]
+    fn resample_keeps_windowed_gauges_cumulative_consistent_across_skips() {
+        let build = || {
+            let mut b = GaugeBoard::new();
+            b.add_monitor(Monitor::new("cpu", 16));
+            b.add_gauge(Gauge {
+                name: "mean".into(),
+                monitor: "cpu".into(),
+                kind: GaugeKind::WindowMean(6),
+            });
+            b.add_gauge(Gauge {
+                name: "trend".into(),
+                monitor: "cpu".into(),
+                kind: GaugeKind::Slope(6),
+            });
+            b
+        };
+        // The signal: busy at 0.9 through tick 5, idle (0.0) at tick 6,
+        // then nothing happens until a new burst at tick 40.
+        let busy = |t: u64| if t <= 5 { 0.9 } else { 0.0 };
+
+        // Reference: sampled every tick, like the legacy loop.
+        let mut reference = build();
+        for t in 1..=40 {
+            reference.record("cpu", t, if t < 40 { busy(t) } else { 0.8 });
+        }
+
+        // Naive event-driven sampling: ticks 7..=39 are skipped outright.
+        let mut naive = build();
+        for t in 1..=6 {
+            naive.record("cpu", t, busy(t));
+        }
+        naive.record("cpu", 40, 0.8);
+        assert_ne!(
+            naive.snapshot(),
+            reference.snapshot(),
+            "skipping ticks without re-sampling must be observably wrong \
+             (otherwise this regression test guards nothing)"
+        );
+
+        // Fixed: the same skip, but the gap is re-sampled at the boundary
+        // before the new reading lands.
+        let mut fixed = build();
+        for t in 1..=6 {
+            fixed.record("cpu", t, busy(t));
+        }
+        fixed.resample(39);
+        fixed.record("cpu", 40, 0.8);
+        assert_eq!(fixed.snapshot(), reference.snapshot());
     }
 
     #[test]

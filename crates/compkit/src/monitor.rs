@@ -57,6 +57,21 @@ impl Monitor {
         self.readings.back().copied()
     }
 
+    /// Carry the latest reading forward through every tick in
+    /// `(latest.tick, upto]` — the event-boundary re-sample. A sampler
+    /// that skips quiescent ticks still owes windowed gauges (means,
+    /// slopes) one reading per tick; this fills the gap with the value
+    /// that held throughout it. Bounded by the ring capacity: a gap wider
+    /// than the ring only materialises the last `capacity` ticks. No-op
+    /// on an empty monitor or when already sampled up to `upto`.
+    pub fn fill_forward(&mut self, upto: u64) {
+        let Some(last) = self.latest() else { return };
+        let from = last.tick.saturating_add(1).max(upto.saturating_sub(self.capacity as u64 - 1));
+        for tick in from..=upto {
+            self.push(tick, last.value);
+        }
+    }
+
     /// The most recent `n` readings, oldest first.
     #[must_use]
     pub fn window(&self, n: usize) -> Vec<Reading> {
@@ -116,5 +131,44 @@ mod tests {
     #[should_panic(expected = "at least one reading")]
     fn zero_capacity_rejected() {
         let _ = Monitor::new("bad", 0);
+    }
+
+    #[test]
+    fn fill_forward_carries_the_latest_value_per_tick() {
+        let mut m = Monitor::new("cpu", 8);
+        m.push(3, 0.4);
+        m.fill_forward(6);
+        assert_eq!(
+            m.window(10),
+            vec![
+                Reading { tick: 3, value: 0.4 },
+                Reading { tick: 4, value: 0.4 },
+                Reading { tick: 5, value: 0.4 },
+                Reading { tick: 6, value: 0.4 },
+            ]
+        );
+        // Already sampled up to 6: a second fill is a no-op.
+        m.fill_forward(6);
+        assert_eq!(m.len(), 4);
+        m.fill_forward(2);
+        assert_eq!(m.len(), 4, "filling backward is a no-op");
+    }
+
+    #[test]
+    fn fill_forward_over_a_wide_gap_is_bounded_by_capacity() {
+        let mut m = Monitor::new("cpu", 4);
+        m.push(10, 1.5);
+        m.fill_forward(1_000_000);
+        assert_eq!(m.len(), 4, "only the ring's worth of ticks materialise");
+        let w = m.window(10);
+        assert_eq!(w.first().unwrap().tick, 999_997);
+        assert_eq!(w.last().unwrap(), &Reading { tick: 1_000_000, value: 1.5 });
+    }
+
+    #[test]
+    fn fill_forward_on_empty_monitor_is_a_no_op() {
+        let mut m = Monitor::new("cpu", 4);
+        m.fill_forward(100);
+        assert!(m.is_empty());
     }
 }

@@ -19,9 +19,58 @@ use compkit::state::StateManager;
 use faultsim::{FaultPlan, FaultSpace, PatiaDriver};
 use obs::{Obs, ObsHandle, Primitive, Profile};
 use patia::atom::AtomId;
+use patia::engine::EventEngine;
 use patia::server::{PatiaServer, ServerConfig, SwitchKind, TickStats};
 use patia::workload::{FlashCrowd, RequestGen};
 use std::collections::BTreeMap;
+
+/// Which serving core replays the storyline: the legacy per-tick loop or
+/// the event engine driven tick by tick through its wheel. The two must
+/// produce byte-identical reports and traces — the differential tier
+/// (`engine_diff`) holds the engine to that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Core {
+    Legacy,
+    Engine,
+}
+
+/// The executing core for one run. Run-scoped and stack-allocated once
+/// per scenario, so the size skew between variants is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum Exec {
+    Legacy(PatiaServer),
+    Engine(EventEngine),
+}
+
+impl Exec {
+    fn server(&self) -> &PatiaServer {
+        match self {
+            Exec::Legacy(s) => s,
+            Exec::Engine(e) => e.server(),
+        }
+    }
+
+    fn server_mut(&mut self) -> &mut PatiaServer {
+        match self {
+            Exec::Legacy(s) => s,
+            Exec::Engine(e) => e.server_mut(),
+        }
+    }
+
+    /// Serve one tick. The engine leg enqueues the tick's arrivals on the
+    /// wheel and processes that exact tick, so both cores see identical
+    /// per-tick inputs and the comparison is pure core-vs-core.
+    fn step(&mut self, t: u64, requests: &[AtomId], bandwidth: f64) -> TickStats {
+        match self {
+            Exec::Legacy(s) => s.tick(requests, bandwidth),
+            Exec::Engine(e) => {
+                let batches: Vec<(AtomId, u64)> = requests.iter().map(|&a| (a, 1)).collect();
+                e.enqueue_arrivals(t, batches);
+                e.run_tick(t, bandwidth)
+            }
+        }
+    }
+}
 
 /// Chaos run parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -154,7 +203,15 @@ impl ChaosReport {
 /// Replay `p.plan` against the paper fleet for `p.ticks` ticks.
 #[must_use]
 pub fn run(p: &ChaosParams) -> ChaosReport {
-    run_inner(p, None)
+    run_inner(p, None, Core::Legacy)
+}
+
+/// Like [`run`], but replayed through the event engine instead of the
+/// legacy tick loop. Byte-identical to [`run`] for every storyline — the
+/// differential tier asserts it.
+#[must_use]
+pub fn run_engine(p: &ChaosParams) -> ChaosReport {
+    run_inner(p, None, Core::Engine)
 }
 
 /// Like [`run`], but with an [`Obs`] hub armed on the server so the run
@@ -163,8 +220,19 @@ pub fn run(p: &ChaosParams) -> ChaosReport {
 /// is equal to [`run`]'s for the same parameters (asserted in `obs_e2e`).
 #[must_use]
 pub fn run_observed(p: &ChaosParams) -> (ChaosReport, Obs) {
+    run_observed_on(p, Core::Legacy)
+}
+
+/// [`run_observed`] through the event engine: same trace, same metrics,
+/// same report — the golden traces must not notice which core served.
+#[must_use]
+pub fn run_engine_observed(p: &ChaosParams) -> (ChaosReport, Obs) {
+    run_observed_on(p, Core::Engine)
+}
+
+fn run_observed_on(p: &ChaosParams, core: Core) -> (ChaosReport, Obs) {
     let handle = Obs::new(obs::CostModel::pentium()).into_handle();
-    let report = run_inner(p, Some(handle.clone()));
+    let report = run_inner(p, Some(handle.clone()), core);
     let mut obs = Obs::try_unwrap(handle)
         .unwrap_or_else(|_| unreachable!("the server is dropped before the hub is unwrapped"));
     // Fold the finished trace into the cycle-attribution profile and
@@ -192,7 +260,7 @@ fn glue_binding(atom: AtomId, node: &str) -> Binding {
     }
 }
 
-fn run_inner(p: &ChaosParams, obs: Option<ObsHandle>) -> ChaosReport {
+fn run_inner(p: &ChaosParams, obs: Option<ObsHandle>, core: Core) -> ChaosReport {
     let (net, atoms, constraints) = ServerConfig::paper_fleet();
     let config = ServerConfig { adaptive: p.adaptive, work_per_request: 400 };
     let mut server = PatiaServer::new(net, atoms, constraints, config);
@@ -201,6 +269,11 @@ fn run_inner(p: &ChaosParams, obs: Option<ObsHandle>) -> ChaosReport {
     }
     let driver = PatiaDriver::new(p.plan.clone());
     driver.arm(&mut server);
+    let mut exec = match core {
+        Core::Legacy => Exec::Legacy(server),
+        Core::Engine => Exec::Engine(EventEngine::new(server)),
+    };
+    let server = exec.server();
 
     // The component-runtime mirror: one `host:<node>` instance per fleet
     // device, one `atom:<id>` instance per served atom, and a
@@ -271,9 +344,9 @@ fn run_inner(p: &ChaosParams, obs: Option<ObsHandle>) -> ChaosReport {
     };
     let mut per_atom: BTreeMap<AtomId, u32> = BTreeMap::new();
     for t in 1..=p.ticks {
-        driver.apply(&mut server, t);
+        driver.apply(exec.server_mut(), t);
         let requests = gen.tick(t);
-        let st = server.tick(&requests, p.client_bandwidth_kbps);
+        let st = exec.step(t, &requests, p.client_bandwidth_kbps);
         report.arrivals += st.arrivals as u64;
         report.completed += st.latencies.len() as u64;
         report.dropped += st.faults.dropped;
@@ -317,10 +390,10 @@ fn run_inner(p: &ChaosParams, obs: Option<ObsHandle>) -> ChaosReport {
         }
         report.per_tick.push(st);
     }
-    report.queued_at_end = server.queued_requests();
+    report.queued_at_end = exec.server().queued_requests();
     report.switches_consistent = [AtomId(123), AtomId(153)]
         .iter()
-        .all(|a| server.switches(*a) == per_atom.get(a).copied().unwrap_or(0));
+        .all(|a| exec.server().switches(*a) == per_atom.get(a).copied().unwrap_or(0));
     report.reconfigs_committed = am.committed();
     report.reconfigs_rolled_back = am.rolled_back();
     report

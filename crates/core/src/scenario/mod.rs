@@ -13,4 +13,5 @@ pub mod crashrep;
 pub mod failover;
 pub mod inter_query;
 pub mod intra_query;
+pub mod megacrowd;
 pub mod system_adapt;

@@ -135,6 +135,15 @@ impl Obs {
         c
     }
 
+    /// Bill `n` copies of one primitive in a single clock advance —
+    /// cycle-identical to `n` [`Obs::charge`] calls (charging emits no
+    /// events, so only the clock moves). Returns the total cost.
+    pub fn charge_n(&mut self, p: Primitive, n: u64) -> Cycles {
+        let c = p.cost(&self.model) * n;
+        self.clock += c;
+        c
+    }
+
     /// Open a span at the current clock.
     pub fn begin(&mut self, cat: &'static str, name: impl Into<String>) -> SpanId {
         let ts = self.clock;

@@ -6,19 +6,30 @@
 //! > should the Adaptivity Manager save the data state, but also the
 //! > processing state, as it is this that is about to migrate. That is,
 //! > essentially the whole service-agent is mobile."
+//!
+//! Queue entries are *batches*: a run of same-tick, same-cost requests is
+//! held as one [`InFlight`] with a `count`, so a flow-level cohort of
+//! thousands of clients costs one entry instead of thousands. The legacy
+//! per-request [`ServiceAgent::accept`] path still stores one entry per
+//! request (`count == 1`), which keeps queue length, SWITCH state sizes,
+//! and Spread splits byte-identical to the pre-batching engine.
 
 use crate::atom::AtomId;
 use std::collections::VecDeque;
 
-/// A queued request being processed by an agent.
+/// A queued batch of identical requests being processed by an agent.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InFlight {
     /// The atom requested.
     pub atom: AtomId,
-    /// Tick the request arrived.
+    /// Tick the requests arrived.
     pub arrived_at: u64,
-    /// Remaining work units to serve it.
+    /// Remaining work units to serve the batch's *head* request.
     pub remaining_work: u64,
+    /// Requests in this batch (the head plus `count - 1` untouched ones).
+    pub count: u64,
+    /// Full per-request cost — what each request behind the head needs.
+    pub work_each: u64,
 }
 
 /// A service agent: serves one atom's requests on its current node.
@@ -43,43 +54,116 @@ impl ServiceAgent {
         Self { atom, node: node.to_owned(), queue: VecDeque::new(), served: 0, migrations: 0 }
     }
 
-    /// Accept a request at `tick` costing `work` units.
+    /// Accept a request at `tick` costing `work` units. Always appends its
+    /// own entry — never coalesces — so the per-request path keeps the
+    /// exact queue shape the golden traces were recorded against.
     pub fn accept(&mut self, tick: u64, work: u64) {
-        self.queue.push_back(InFlight { atom: self.atom, arrived_at: tick, remaining_work: work });
+        self.accept_batch(tick, work, 1);
+    }
+
+    /// Accept `n` identical requests at `tick` as one queue entry. The
+    /// flow-level arrival path: a cohort costs O(1) queue space.
+    pub fn accept_batch(&mut self, tick: u64, work: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.queue.push_back(InFlight {
+            atom: self.atom,
+            arrived_at: tick,
+            remaining_work: work,
+            count: n,
+            work_each: work,
+        });
     }
 
     /// Spend up to `budget` work units serving queued requests; returns the
     /// (arrival, completion) ticks of requests completed this tick.
-    pub fn step(&mut self, now: u64, mut budget: u64) -> Vec<(u64, u64)> {
-        let mut completed = Vec::new();
+    pub fn step(&mut self, now: u64, budget: u64) -> Vec<(u64, u64)> {
+        self.step_grouped(budget)
+            .into_iter()
+            .flat_map(|(arrived, k)| std::iter::repeat_n((arrived, now), k as usize))
+            .collect()
+    }
+
+    /// The batched serving step: spend up to `budget` work units and
+    /// return `(arrived_at, completed)` groups in completion order. The
+    /// per-request semantics are exactly [`ServiceAgent::step`]'s — a
+    /// request completes only while budget remains (zero-work requests
+    /// included), and a partially-served head keeps its progress — but a
+    /// batch of `k` identical requests is retired with O(1) arithmetic.
+    pub fn step_grouped(&mut self, mut budget: u64) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = Vec::new();
         while budget > 0 {
             let Some(front) = self.queue.front_mut() else { break };
-            let spend = front.remaining_work.min(budget);
-            front.remaining_work -= spend;
-            budget -= spend;
-            if front.remaining_work > 0 {
+            if front.remaining_work > budget {
+                front.remaining_work -= budget;
                 break; // budget exhausted mid-request
             }
-            let arrived_at = front.arrived_at;
-            self.queue.pop_front();
-            self.served += 1;
-            completed.push((arrived_at, now));
+            budget -= front.remaining_work;
+            let arrived = front.arrived_at;
+            front.count -= 1;
+            let more =
+                budget.checked_div(front.work_each).map_or(front.count, |fit| front.count.min(fit));
+            budget -= more * front.work_each;
+            front.count -= more;
+            let done = 1 + more;
+            if front.count == 0 {
+                self.queue.pop_front();
+            } else {
+                front.remaining_work = front.work_each;
+            }
+            self.served += done;
+            out.push((arrived, done));
         }
-        completed
+        out
     }
 
     /// Work units currently queued (the demand this agent places on its
-    /// node).
+    /// node), including every request behind each batch head.
     #[must_use]
     pub fn queued_work(&self) -> u64 {
-        self.queue.iter().map(|r| r.remaining_work).sum()
+        self.queue.iter().map(|r| r.remaining_work + (r.count - 1) * r.work_each).sum()
+    }
+
+    /// Requests currently queued (batch entries weighted by their count).
+    #[must_use]
+    pub fn queued_requests(&self) -> u64 {
+        self.queue.iter().map(|r| r.count).sum()
+    }
+
+    /// Detach the last `want` *requests* from the queue, preserving order —
+    /// the Spread split. Whole batch entries move when they fit; a batch
+    /// straddling the cut is split, with the untouched tail requests
+    /// moving and the (possibly part-served) head staying put.
+    pub fn split_back(&mut self, mut want: u64) -> VecDeque<InFlight> {
+        let mut moved = VecDeque::new();
+        while want > 0 {
+            let Some(mut back) = self.queue.pop_back() else { break };
+            if back.count <= want {
+                want -= back.count;
+                moved.push_front(back);
+            } else {
+                let tail = InFlight {
+                    atom: back.atom,
+                    arrived_at: back.arrived_at,
+                    remaining_work: back.work_each,
+                    count: want,
+                    work_each: back.work_each,
+                };
+                back.count -= want;
+                self.queue.push_back(back);
+                moved.push_front(tail);
+                want = 0;
+            }
+        }
+        moved
     }
 
     /// SWITCH: migrate to `dest`, carrying queue (processing state) and
     /// counters (data state). Returns the serialised state size in bytes —
     /// what the Adaptivity Manager must ship across the network.
     pub fn migrate(&mut self, dest: &str) -> u64 {
-        let state_bytes = 64 + self.queue.len() as u64 * 24;
+        let state_bytes = 64 + self.queued_requests() * 24;
         self.node = dest.to_owned();
         self.migrations += 1;
         state_bytes
@@ -150,5 +234,62 @@ mod tests {
         let mut a = ServiceAgent::new(AtomId(1), "n");
         assert!(a.step(5, 100).is_empty());
         assert_eq!(a.queued_work(), 0);
+    }
+
+    #[test]
+    fn batch_entry_is_equivalent_to_individual_accepts() {
+        let mut batched = ServiceAgent::new(AtomId(1), "n");
+        let mut singles = ServiceAgent::new(AtomId(1), "n");
+        batched.accept_batch(0, 10, 5);
+        for _ in 0..5 {
+            singles.accept(0, 10);
+        }
+        assert_eq!(batched.queued_work(), singles.queued_work());
+        assert_eq!(batched.queued_requests(), singles.queued_requests());
+        // 33 units: three complete, the fourth is 3 units in.
+        assert_eq!(batched.step(1, 33), singles.step(1, 33));
+        assert_eq!(batched.queued_work(), singles.queued_work());
+        assert_eq!(batched.queued_requests(), 2);
+        assert_eq!(batched.queue.len(), 1, "still one physical entry");
+        assert_eq!(batched.step(2, 100), singles.step(2, 100));
+        assert_eq!(batched.served, singles.served);
+    }
+
+    #[test]
+    fn grouped_step_groups_by_entry() {
+        let mut a = ServiceAgent::new(AtomId(1), "n");
+        a.accept_batch(0, 4, 3);
+        a.accept_batch(1, 4, 2);
+        assert_eq!(a.step_grouped(17), vec![(0, 3), (1, 1)]);
+        assert_eq!(a.queued_work(), 3, "fifth request is 1 unit in");
+    }
+
+    #[test]
+    fn zero_work_batches_complete_together() {
+        let mut a = ServiceAgent::new(AtomId(1), "n");
+        a.accept_batch(0, 0, 1000);
+        a.accept_batch(0, 2, 1);
+        assert_eq!(a.step_grouped(2), vec![(0, 1000), (0, 1)]);
+        assert!(a.queue.is_empty());
+        assert_eq!(a.step_grouped(0), vec![], "zero budget serves nothing");
+    }
+
+    #[test]
+    fn split_back_moves_tail_requests_and_splits_straddlers() {
+        let mut a = ServiceAgent::new(AtomId(1), "n");
+        a.accept_batch(0, 10, 4);
+        a.accept_batch(1, 10, 2);
+        a.step(1, 5); // head of the first batch is part-served
+        let moved = a.split_back(3);
+        assert_eq!(moved.iter().map(|e| e.count).sum::<u64>(), 3);
+        assert_eq!(a.queued_requests(), 3);
+        assert_eq!(a.queued_work(), 5 + 2 * 10, "part-served head stays put");
+        assert_eq!(moved[0].arrived_at, 0, "split tail keeps its arrival tick");
+        assert_eq!(moved[0].count, 1);
+        assert_eq!(moved[1].count, 2, "whole back entry moved intact");
+        // Asking for more than is queued drains without panicking.
+        let rest = a.split_back(100);
+        assert_eq!(rest.iter().map(|e| e.count).sum::<u64>(), 3);
+        assert!(a.queue.is_empty());
     }
 }

@@ -27,10 +27,13 @@
 //!
 //! Modules: [`atom`] (atoms + replica placement), [`constraint`] (Table 2
 //! logic), [`agent`] (service agents with migratable state), [`workload`]
-//! (Zipf requests + flash crowds), [`server`] (the serving/adaptation
-//! loop over a `ubinet` node fleet), [`supervise`] (heartbeat failure
-//! detection, per-peer circuit breakers consulted by BEST, and restart
-//! probing with capped exponential backoff).
+//! (Zipf requests, flash crowds, and flow-level cohorts), [`server`] (the
+//! serving/adaptation loop over a `ubinet` node fleet), [`supervise`]
+//! (heartbeat failure detection, per-peer circuit breakers consulted by
+//! BEST, and restart probing with capped exponential backoff), [`wheel`]
+//! (the hierarchical timer wheel on the virtual clock), and [`engine`]
+//! (the event-driven serving core; `PatiaServer::tick` is now a thin
+//! compatibility shim over the same batched step).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,15 +41,19 @@
 pub mod agent;
 pub mod atom;
 pub mod constraint;
+pub mod engine;
 pub mod server;
 pub mod stream;
 pub mod supervise;
+pub mod wheel;
 pub mod workload;
 
 pub use agent::ServiceAgent;
 pub use atom::{Atom, AtomId, AtomStore, AtomType};
 pub use constraint::{paper_table2, AtomConstraint, ConstraintLogic};
+pub use engine::{EngineEvent, EngineTotals, EventEngine};
 pub use server::{FaultCounters, PatiaServer, ServerConfig, SwitchGate, TickStats};
 pub use stream::{StreamCodec, StreamSession};
 pub use supervise::{CircuitState, SuperviseConfig, SupervisionEvent, Supervisor};
-pub use workload::{FlashCrowd, RequestGen};
+pub use wheel::{TimerToken, TimerWheel};
+pub use workload::{FlashCrowd, FlowBurst, FlowSet, FlowSpec, FlowState, RequestGen};

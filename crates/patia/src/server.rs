@@ -456,7 +456,36 @@ impl PatiaServer {
     /// dropped + queued).
     #[must_use]
     pub fn queued_requests(&self) -> u64 {
-        self.agents.values().flatten().map(|a| a.queue.len() as u64).sum()
+        self.agents.values().flatten().map(ServiceAgent::queued_requests).sum()
+    }
+
+    /// The server's virtual clock: the last tick processed.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Whether a tick with no arrivals would provably be a no-op: nothing
+    /// queued, no switch backing off, no injected pressure, every node
+    /// alive, and the supervisor fully settled. This is what licenses the
+    /// event engine to skip ticks — every skipped tick would have recorded
+    /// all-zero utilisation and changed no state.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.queued_requests() == 0
+            && self.retry.is_empty()
+            && self.pressure.is_empty()
+            && self.net.devices().all(|d| d.alive)
+            && self.supervisor.all_clear()
+    }
+
+    /// Re-sample every gauge monitor up to tick `upto`, carrying the last
+    /// reading forward — called by the event engine before processing a
+    /// tick that follows a skipped-quiescent gap, so windowed gauges
+    /// (means, slopes) see the same per-tick series the legacy loop would
+    /// have recorded.
+    pub fn resample_gauges(&mut self, upto: u64) {
+        self.board.resample(upto);
     }
 
     /// Whether an atom is mid-incident: a switch for it is backing off
@@ -540,10 +569,40 @@ impl PatiaServer {
     /// One serving tick: accept `requests`, process, monitor, adapt. Faults
     /// (dead nodes, denied switches, holderless atoms) never panic — they
     /// surface as [`FaultCounters`] in the returned stats.
+    ///
+    /// This is now a thin compatibility shim over [`PatiaServer::step_at`]:
+    /// each request becomes a count-1 batch at the next tick, which makes
+    /// the batched step degenerate to the exact legacy per-request
+    /// semantics (one routing decision and one scheduler charge per
+    /// request) — the byte-identical-golden-trace obligation.
     pub fn tick(&mut self, requests: &[AtomId], client_bandwidth_kbps: f64) -> TickStats {
-        self.now += 1;
-        let now = self.now;
-        let mut stats = TickStats { tick: now, arrivals: requests.len(), ..TickStats::default() };
+        let batches: Vec<(AtomId, u64)> = requests.iter().map(|&a| (a, 1)).collect();
+        self.step_at(self.now + 1, &batches, client_bandwidth_kbps)
+    }
+
+    /// The event-driven serving core: process tick `now` (which may be an
+    /// arbitrary jump past [`PatiaServer::now`] when the intervening ticks
+    /// were provably quiescent) with `batches` of identical same-tick
+    /// arrivals. A batch of `n` requests costs one routing decision, one
+    /// queue entry, and O(1) completion arithmetic — how the flow layer's
+    /// cohorts are served without per-request loops.
+    ///
+    /// # Panics
+    /// If `now` does not advance the clock.
+    pub fn step_at(
+        &mut self,
+        now: u64,
+        batches: &[(AtomId, u64)],
+        client_bandwidth_kbps: f64,
+    ) -> TickStats {
+        assert!(now > self.now, "step_at must advance the clock ({} -> {now})", self.now);
+        self.now = now;
+        let arrivals: u64 = batches.iter().map(|&(_, n)| n).sum();
+        let mut stats =
+            TickStats { tick: now, arrivals: arrivals as usize, ..TickStats::default() };
+        // Completion groups `(latency, count)` in completion order — folded
+        // into the latency histogram in one grouped update per run.
+        let mut completions: Vec<(u64, u64)> = Vec::new();
         let obs = self.obs.clone();
         let tick_span = obs.as_ref().map(|o| o.borrow_mut().begin("patia", format!("tick:{now}")));
 
@@ -558,25 +617,28 @@ impl PatiaServer {
         }
 
         // 1. Route arrivals to agents, selecting versions per constraint 595.
-        for &atom in requests {
+        for &(atom, n) in batches {
+            if n == 0 {
+                continue;
+            }
             if self.atoms.get(atom).is_none() || self.agents.get(&atom).is_none_or(|v| v.is_empty())
             {
                 // Unknown atom, or an atom no agent can ever serve: the
                 // drop is counted, not silent.
-                stats.faults.dropped += 1;
+                stats.faults.dropped += n;
                 continue;
             }
             let degraded = self.config.adaptive && self.is_degraded(atom);
             let version = if degraded {
                 // Graceful degradation: serve the smallest version rather
                 // than drop the request while the incident is resolved.
-                stats.faults.degraded += 1;
+                stats.faults.degraded += n;
                 self.fallback_version(atom)
             } else {
                 self.select_version(atom, client_bandwidth_kbps)
             };
             if let Some(version) = version {
-                *stats.versions_served.entry(atom).or_default().entry(version).or_default() += 1;
+                *stats.versions_served.entry(atom).or_default().entry(version).or_default() += n;
             }
             // Route to the live agent whose node has the least pending work
             // per unit of capacity (capacity-weighted join-shortest-queue) —
@@ -599,9 +661,9 @@ impl PatiaServer {
                 .min_by(|(_, d1, w1), (_, d2, w2)| d1.cmp(d2).then(w1.total_cmp(w2)))
                 .map(|(i, _, _)| i);
             if let (Some(idx), Some(agents)) = (choice, self.agents.get_mut(&atom)) {
-                agents[idx].accept(now, self.config.work_per_request);
+                agents[idx].accept_batch(now, self.config.work_per_request, n);
                 if let Some(o) = &obs {
-                    // Routing one arrival is one scheduler decision.
+                    // Routing one batch is one scheduler decision.
                     o.borrow_mut().charge(Primitive::SchedSteps(1));
                 }
             }
@@ -642,11 +704,17 @@ impl PatiaServer {
                 let Some(agent) = self.agents.get_mut(id).and_then(|v| v.get_mut(*i)) else {
                     continue;
                 };
-                for (arrived, done) in agent.step(now, share) {
-                    stats.latencies.push(done - arrived);
-                    if let Some(o) = &obs {
-                        o.borrow_mut().charge(Primitive::Store);
-                    }
+                let mut served = 0u64;
+                for (arrived, k) in agent.step_grouped(share) {
+                    let latency = now - arrived;
+                    stats.latencies.extend(std::iter::repeat_n(latency, k as usize));
+                    completions.push((latency, k));
+                    served += k;
+                }
+                if let Some(o) = &obs {
+                    // One Store per completed request, billed in one
+                    // clock advance (charging emits no events).
+                    o.borrow_mut().charge_n(Primitive::Store, served);
                 }
             }
             let util = if capacity == 0 { 1.0 } else { (demand as f64 / capacity as f64).min(1.0) };
@@ -758,7 +826,7 @@ impl PatiaServer {
                 // load: SWITCH spreads the service — clone the agent onto
                 // the destination and split the queue (the data AND
                 // processing state shipping the paper describes).
-                let queue_len = agents[worst_idx].queue.len();
+                let queue_len = agents[worst_idx].queued_requests();
                 let kind = if queue_len <= 2 { SwitchKind::Migrate } else { SwitchKind::Spread };
                 if queue_len <= 2 {
                     let state_bytes = agents[worst_idx].migrate(&dest);
@@ -780,11 +848,7 @@ impl PatiaServer {
                 } else {
                     let mut clone = ServiceAgent::new(c.atom, &dest);
                     let split = queue_len / 2;
-                    for _ in 0..split {
-                        if let Some(req) = agents[worst_idx].queue.pop_back() {
-                            clone.queue.push_front(req);
-                        }
-                    }
+                    clone.queue = agents[worst_idx].split_back(split);
                     agents.push(clone);
                     if let Some(o) = &obs {
                         let mut o = o.borrow_mut();
@@ -822,8 +886,8 @@ impl PatiaServer {
             o.metrics.counter_add("patia.switch.failed", stats.faults.failed_switches);
             o.metrics.counter_add("patia.switch.retries", stats.faults.switch_retries);
             o.metrics.counter_add("patia.switch.evacuations", stats.faults.evacuations);
-            for &l in &stats.latencies {
-                o.metrics.observe("patia.latency_ticks", l);
+            for &(latency, k) in &completions {
+                o.metrics.observe_n("patia.latency_ticks", latency, k);
             }
             if let Some(span) = tick_span {
                 o.end_with(

@@ -258,6 +258,17 @@ impl Supervisor {
         self.peers.get(peer).is_some_and(|h| h.suspected)
     }
 
+    /// Whether the supervisor is fully settled: no peer suspected, every
+    /// circuit closed, no missed beats accumulating. In this state a
+    /// heartbeat round over a healthy fleet is a no-op, which is one of
+    /// the conditions licensing the event engine to skip ticks.
+    #[must_use]
+    pub fn all_clear(&self) -> bool {
+        self.peers
+            .values()
+            .all(|h| !h.suspected && h.circuit == CircuitState::Closed && h.missed == 0)
+    }
+
     /// Total suspicions raised since boot (saturating).
     #[must_use]
     pub fn suspects(&self) -> u64 {

@@ -1,10 +1,19 @@
-//! Request workload: Zipf atom popularity with deterministic flash crowds.
+//! Request workload: Zipf atom popularity with deterministic flash
+//! crowds, plus the flow layer — cohorts of thousands of clients modeled
+//! as arrival-*rate* flows instead of individually generated requests.
 //!
 //! Production web traces are not available; the substitution is the
 //! standard synthetic equivalent — Zipf-distributed object popularity
 //! (web-cache literature's consistent finding) plus a flash-crowd window
 //! during which the arrival rate on one hot atom multiplies. Everything is
 //! seeded, so adaptive and non-adaptive runs see byte-identical workloads.
+//!
+//! [`FlowSpec`] describes a cohort by rate, ramp, and burst; a
+//! [`FlowState`] expands it lazily, one `(atom, count)` batch per active
+//! tick, with a fractional-rate carry accumulator so that the emitted
+//! total is exactly conserved against a per-request expansion of the same
+//! spec (the `slow-props` conservation property). Ten million requests
+//! cost ten million *counts*, not ten million allocations.
 
 use crate::atom::AtomId;
 use adm_rng::Pcg32;
@@ -107,6 +116,174 @@ impl RequestGen {
     }
 }
 
+/// A burst riding on a flow: for `len` ticks starting at `at`, the flow's
+/// rate multiplies — the flow-level analogue of [`FlashCrowd`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowBurst {
+    /// First tick of the burst.
+    pub at: u64,
+    /// Burst length in ticks.
+    pub len: u64,
+    /// Rate multiplier while the burst lasts.
+    pub multiplier: f64,
+}
+
+/// A cohort of clients described as an arrival-rate flow: `rate`
+/// requests/tick for one atom over `[start, end)`, linearly ramping up
+/// over the first `ramp` ticks, optionally multiplied by a [`FlowBurst`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowSpec {
+    /// The atom every request in the cohort targets.
+    pub atom: AtomId,
+    /// First tick the flow is active.
+    pub start: u64,
+    /// First tick the flow is no longer active (exclusive).
+    pub end: u64,
+    /// Steady-state requests per tick.
+    pub rate: f64,
+    /// Ticks of linear ramp-up from zero to `rate` (0 = step on).
+    pub ramp: u64,
+    /// Optional burst window.
+    pub burst: Option<FlowBurst>,
+}
+
+impl FlowSpec {
+    /// The flow's instantaneous rate at `tick`: zero outside
+    /// `[start, end)`, linearly ramped over the first `ramp` ticks,
+    /// multiplied inside the burst window.
+    #[must_use]
+    pub fn rate_at(&self, tick: u64) -> f64 {
+        if tick < self.start || tick >= self.end {
+            return 0.0;
+        }
+        let mut rate = self.rate;
+        if self.ramp > 0 {
+            let into = tick - self.start;
+            if into < self.ramp {
+                rate *= (into + 1) as f64 / self.ramp as f64;
+            }
+        }
+        if let Some(b) = self.burst {
+            if tick >= b.at && tick < b.at + b.len {
+                rate *= b.multiplier;
+            }
+        }
+        rate.max(0.0)
+    }
+
+    /// The total requests the flow emits over its lifetime — computed by
+    /// running the same carry accumulator the engine runs, so planning
+    /// code (scenario sizing, shed caps) agrees with execution exactly.
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        let mut st = FlowState::new(*self);
+        (self.start..self.end).map(|t| st.emit(t)).sum()
+    }
+}
+
+/// A flow being expanded: the spec plus the fractional-request carry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowState {
+    spec: FlowSpec,
+    carry: f64,
+}
+
+impl FlowState {
+    /// Start expanding `spec` from a zero carry.
+    #[must_use]
+    pub fn new(spec: FlowSpec) -> Self {
+        Self { spec, carry: 0.0 }
+    }
+
+    /// The flow's spec.
+    #[must_use]
+    pub fn spec(&self) -> &FlowSpec {
+        &self.spec
+    }
+
+    /// Whether the flow can still emit at or after `tick`.
+    #[must_use]
+    pub fn active_at(&self, tick: u64) -> bool {
+        tick < self.spec.end
+    }
+
+    /// Requests the cohort contributes at `tick`. The fractional part of
+    /// the rate accumulates in the carry, so emitted totals conserve the
+    /// integral of the rate curve instead of losing the remainder every
+    /// tick. Deterministic — no randomness, so engine and legacy
+    /// expansions agree request-for-request.
+    pub fn emit(&mut self, tick: u64) -> u64 {
+        self.carry += self.spec.rate_at(tick);
+        let n = self.carry.floor() as u64;
+        self.carry -= n as f64;
+        n
+    }
+
+    /// The per-request legacy expansion of this tick — what the
+    /// conservation property replays through the tick shim.
+    pub fn emit_requests(&mut self, tick: u64) -> Vec<AtomId> {
+        let n = self.emit(tick);
+        vec![self.spec.atom; usize::try_from(n).unwrap_or(usize::MAX)]
+    }
+}
+
+/// A set of flows expanded in lockstep — the workload side of the event
+/// engine's mega-crowd scenario.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowSet {
+    flows: Vec<FlowState>,
+}
+
+impl FlowSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a flow.
+    pub fn add(&mut self, spec: FlowSpec) {
+        self.flows.push(FlowState::new(spec));
+    }
+
+    /// The flows.
+    #[must_use]
+    pub fn flows(&self) -> &[FlowState] {
+        &self.flows
+    }
+
+    /// The earliest tick any flow starts, if the set is non-empty.
+    #[must_use]
+    pub fn first_start(&self) -> Option<u64> {
+        self.flows.iter().map(|f| f.spec.start).min()
+    }
+
+    /// The tick after which no flow emits.
+    #[must_use]
+    pub fn last_end(&self) -> Option<u64> {
+        self.flows.iter().map(|f| f.spec.end).max()
+    }
+
+    /// Every flow's batch for `tick`, in insertion order, zero-count
+    /// batches omitted.
+    pub fn emit(&mut self, tick: u64) -> Vec<(AtomId, u64)> {
+        let mut out = Vec::new();
+        for f in &mut self.flows {
+            let n = f.emit(tick);
+            if n > 0 {
+                out.push((f.spec.atom, n));
+            }
+        }
+        out
+    }
+
+    /// Total requests the whole set will emit over its lifetime.
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        self.flows.iter().map(|f| f.spec.total_requests()).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,5 +335,67 @@ mod tests {
     #[should_panic(expected = "at least one atom")]
     fn empty_atom_set_rejected() {
         let _ = RequestGen::new(vec![], 1.0, 1.0, 0);
+    }
+
+    #[test]
+    fn flow_carry_conserves_fractional_rates() {
+        let spec =
+            FlowSpec { atom: AtomId(1), start: 10, end: 110, rate: 2.7, ramp: 0, burst: None };
+        let mut st = FlowState::new(spec);
+        let total: u64 = (0..200).map(|t| st.emit(t)).sum();
+        // 100 active ticks at 2.7/tick = 270 exactly; the carry loses
+        // nothing to rounding.
+        assert_eq!(total, 270);
+        assert_eq!(spec.total_requests(), 270);
+    }
+
+    #[test]
+    fn flow_ramp_rises_linearly_and_burst_multiplies() {
+        let spec = FlowSpec {
+            atom: AtomId(1),
+            start: 0,
+            end: 100,
+            rate: 10.0,
+            ramp: 10,
+            burst: Some(FlowBurst { at: 50, len: 5, multiplier: 3.0 }),
+        };
+        assert_eq!(spec.rate_at(0), 1.0, "first ramp tick is 1/10 of the rate");
+        assert_eq!(spec.rate_at(9), 10.0, "ramp completes at its last tick");
+        assert_eq!(spec.rate_at(20), 10.0);
+        assert_eq!(spec.rate_at(52), 30.0, "burst triples the rate");
+        assert_eq!(spec.rate_at(55), 10.0, "burst window is half-open");
+        assert_eq!(spec.rate_at(100), 0.0, "flow end is exclusive");
+    }
+
+    #[test]
+    fn flow_set_emits_batches_in_insertion_order() {
+        let mut set = FlowSet::new();
+        set.add(FlowSpec { atom: AtomId(1), start: 0, end: 5, rate: 2.0, ramp: 0, burst: None });
+        set.add(FlowSpec { atom: AtomId(2), start: 3, end: 8, rate: 1.0, ramp: 0, burst: None });
+        assert_eq!(set.emit(0), vec![(AtomId(1), 2)]);
+        assert_eq!(set.emit(3), vec![(AtomId(1), 2), (AtomId(2), 1)]);
+        assert_eq!(set.emit(6), vec![(AtomId(2), 1)], "finished flows emit nothing");
+        assert_eq!(set.first_start(), Some(0));
+        assert_eq!(set.last_end(), Some(8));
+        assert_eq!(set.total_requests(), 2 * 5 + 5);
+    }
+
+    #[test]
+    fn emit_requests_matches_emit_counts() {
+        let spec = FlowSpec {
+            atom: AtomId(7),
+            start: 0,
+            end: 40,
+            rate: 1.3,
+            ramp: 7,
+            burst: Some(FlowBurst { at: 20, len: 3, multiplier: 2.5 }),
+        };
+        let mut counted = FlowState::new(spec);
+        let mut expanded = FlowState::new(spec);
+        for t in 0..50 {
+            let reqs = expanded.emit_requests(t);
+            assert_eq!(reqs.len() as u64, counted.emit(t));
+            assert!(reqs.iter().all(|&a| a == AtomId(7)));
+        }
     }
 }

@@ -10,6 +10,9 @@
 //! * `bench-gate` — replay the benchmark trajectory and compare it to
 //!   the committed `BENCH_adm.json` under the gate tolerances; exits
 //!   non-zero on drift (what the CI `bench-gate` job runs).
+//! * `scale` — run the mega-crowd scale tier in release: ~10.5M requests
+//!   through the event engine inside the wall-clock budget (what the CI
+//!   `scale` job runs).
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -82,12 +85,19 @@ fn lint_plans() {
     run_cargo(&["test", "-q", "-p", "adm-core", "--test", "lint_plans"], &[]);
 }
 
+/// Run the scale tier (`tests/scale_e2e.rs`) in release — the wall-clock
+/// budget there assumes optimised code.
+fn scale() {
+    run_cargo(&["test", "-q", "--release", "-p", "adm-core", "--test", "scale_e2e"], &[]);
+}
+
 fn main() {
     let task = std::env::args().nth(1);
     match task.as_deref() {
         Some("update-goldens") => update_goldens(),
         Some("bench-gate") => bench_gate(),
         Some("lint-plans") => lint_plans(),
+        Some("scale") => scale(),
         other => {
             if let Some(t) = other {
                 println!("unknown task {t:?}\n");
@@ -97,7 +107,8 @@ fn main() {
                  tasks:\n  \
                  update-goldens  regenerate tests/goldens/ and BENCH_adm.json\n  \
                  bench-gate      compare a fresh bench run against BENCH_adm.json\n  \
-                 lint-plans      planlint every committed scenario configuration"
+                 lint-plans      planlint every committed scenario configuration\n  \
+                 scale           run the mega-crowd scale tier (release, wall-clock budget)"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,110 @@
+//! Differential tier: the event engine vs the legacy tick loop.
+//!
+//! The engine refactor's proof obligation is *byte identity*: every
+//! committed scenario — the Table 2 flash crowd, the CI chaos seed
+//! matrix, and the crash-replay supervision storylines — must produce
+//! the same report, the same trace, and the same metrics snapshot
+//! whichever core serves it. Not "statistically close": equal. The
+//! engine leg drives the identical per-tick workload through the timer
+//! wheel ([`run_engine`]), so any divergence is the engine's fault, not
+//! the workload's.
+//!
+//! The committed golden files are additionally re-derived through the
+//! engine, pinning it to the same history `obs_e2e` pins the legacy
+//! loop to.
+
+use adm_core::scenario::chaos::{
+    ci_chaos, paper_flash_crowd, run, run_engine, run_engine_observed, run_observed, ChaosParams,
+};
+use adm_core::scenario::crashrep::{supervised_storyline, CRASH_SEEDS};
+use obs::Obs;
+use std::path::PathBuf;
+
+/// Seeds with a committed chaos golden (mirrors `obs_e2e`).
+const GOLDEN_SEEDS: [u64; 3] = [17, 42, 20260806];
+
+/// Every committed serving-loop scenario, by name.
+fn committed_scenarios() -> Vec<(String, ChaosParams)> {
+    let mut v = vec![("flash-crowd".to_owned(), paper_flash_crowd())];
+    for seed in GOLDEN_SEEDS {
+        v.push((format!("chaos-seed-{seed}"), ci_chaos(seed)));
+    }
+    for seed in CRASH_SEEDS {
+        v.push((format!("supervised-{seed}"), supervised_storyline(seed)));
+    }
+    v
+}
+
+/// Unobserved leg: report equality for every committed scenario.
+#[test]
+fn engine_reports_match_legacy_reports() {
+    for (name, params) in committed_scenarios() {
+        let legacy = run(&params);
+        let engine = run_engine(&params);
+        assert_eq!(legacy, engine, "{name}: engine report diverged from the legacy loop");
+        assert!(engine.conserved(), "{name}: engine run must conserve requests");
+    }
+}
+
+/// Observed leg: byte-identical traces and metric snapshots — the full
+/// cycle-accounted history, not just the aggregates.
+#[test]
+fn engine_traces_and_metrics_are_byte_identical() {
+    for (name, params) in committed_scenarios() {
+        let (lr, lo) = run_observed(&params);
+        let (er, eo) = run_engine_observed(&params);
+        assert_eq!(lr, er, "{name}: observed reports diverged");
+        assert_eq!(
+            lo.tracer.render(),
+            eo.tracer.render(),
+            "{name}: trace must be byte-identical across cores"
+        );
+        assert_eq!(
+            lo.metrics.snapshot(),
+            eo.metrics.snapshot(),
+            "{name}: metrics snapshot must be identical across cores"
+        );
+        assert_eq!(lo.digests(), eo.digests(), "{name}: digests must agree");
+    }
+}
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens")
+}
+
+/// The golden snapshot format from `obs_e2e`, reproduced so the engine
+/// is pinned to the same committed files.
+fn snapshot(scenario: &str, seed: u64, o: &Obs) -> String {
+    let (trace_digest, metrics_digest, events) = o.digests();
+    let mut s = String::new();
+    s.push_str(&format!("scenario: {scenario}\n"));
+    s.push_str(&format!("seed: {seed}\n"));
+    s.push_str(&format!("trace-digest: {trace_digest:#018x}\n"));
+    s.push_str(&format!("trace-events: {events}\n"));
+    s.push_str(&format!("metrics-digest: {metrics_digest:#018x}\n"));
+    s.push_str("--- metrics ---\n");
+    s.push_str(&o.metrics.render());
+    s
+}
+
+/// The engine reproduces the committed golden files byte for byte — the
+/// same pin `obs_e2e` holds the legacy loop to, no regeneration allowed.
+#[test]
+fn engine_reproduces_committed_goldens() {
+    let mut pinned = vec![("flash-crowd".to_owned(), 0u64, paper_flash_crowd())];
+    for seed in GOLDEN_SEEDS {
+        pinned.push((format!("chaos-seed-{seed}"), seed, ci_chaos(seed)));
+    }
+    for (name, seed, params) in pinned {
+        let (_, o) = run_engine_observed(&params);
+        let got = snapshot(&name, seed, &o);
+        let path = goldens_dir().join(format!("{name}.txt"));
+        let want = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden {} ({e})", path.display()));
+        assert!(
+            got == want,
+            "{name}: the engine drifted from the committed golden\n{}",
+            obs::diff::unified(&want, &got, &format!("golden {name}.txt"), "engine run")
+        );
+    }
+}
