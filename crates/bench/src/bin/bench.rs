@@ -185,6 +185,71 @@ fn record_planlint(snap: &mut BenchSnapshot) {
     snap.set("planlint.counts.steps", steps);
 }
 
+/// Record the storage engine under `store.*`: the WAL recovery matrix
+/// (replay length and landed outcomes are exact structural counts; page
+/// IO and cell clocks are virtual-cycle rows) plus the buffer-pool
+/// pressure sweep (hit rates per capacity — exact, since the sweep is a
+/// seeded replay).
+fn record_store(snap: &mut BenchSnapshot) {
+    use adm_core::scenario::megacrowd::pool_pressure_sweep;
+    use adm_core::scenario::storerep;
+
+    let mut replay_len = 0u64;
+    let mut committed = 0u64;
+    let mut rolled_back = 0u64;
+    let mut cells = 0u64;
+    for cell in storerep::sweep() {
+        assert!(cell.consistent(), "bench cell must recover cleanly: {}", cell.render_line());
+        replay_len += cell.replayed as u64;
+        committed += u64::from(cell.committed());
+        rolled_back += u64::from(cell.rolled_back());
+        cells += 1;
+    }
+    snap.set("store.counts.cells", cells);
+    snap.set("store.counts.replay_len", replay_len);
+    snap.set("store.counts.committed", committed);
+    snap.set("store.counts.rolled_back", rolled_back);
+
+    // Cycle rows. Recovery cost from the observed recovery cells; page
+    // IO from a thrashing pass — a 4-frame pool under a 32-page record
+    // set, the sweep's worst case — where every fault is billed through
+    // `Primitive::PageIo` and accumulated in `store.page.io_cycles`.
+    let mut cell_clock = 0u64;
+    for &seed in &storerep::STORE_SEEDS {
+        let (_, o) = storerep::run_cell_observed(seed, store::CrashPoint::AfterCommit);
+        cell_clock += o.clock();
+    }
+    snap.set("store.cycles.recovery_cells", cell_clock);
+    {
+        use adm_rng::Pcg32;
+        use store::{PolicyKind, StorageEngine, StoreOp};
+        let handle = obs::Obs::new(CostModel::pentium()).into_handle();
+        let mut eng = StorageEngine::with_policy(4, PolicyKind::Clock);
+        eng.arm_obs(handle.clone());
+        let mut rng = Pcg32::new(0x10C7);
+        for key in 0..256u64 {
+            let mut value = vec![0u8; 480];
+            rng.fill_bytes(&mut value);
+            eng.apply(&[StoreOp::Put { key, value }]).expect("bench records fit a page");
+        }
+        for _ in 0..4_000u32 {
+            eng.get(rng.below(256)).expect("bench engine stays up").expect("bench keys exist");
+        }
+        drop(eng);
+        let o = obs::Obs::try_unwrap(handle)
+            .unwrap_or_else(|_| unreachable!("the engine is dropped before the hub is unwrapped"));
+        let page_io = o.metrics.counter("store.page.io_cycles");
+        assert!(page_io > 0, "the thrashing pass must pay page IO");
+        snap.set("store.cycles.page_io", page_io);
+    }
+
+    // The buffer-pool pressure sweep: hit rate per capacity.
+    for point in pool_pressure_sweep() {
+        snap.set(format!("store.sweep.pool{}.hit_pct", point.capacity), point.hit_pct);
+        snap.set(format!("store.sweep.pool{}.misses", point.capacity), point.misses);
+    }
+}
+
 /// Record the mega-crowd scale run under `megacrowd.*`: engine counts
 /// and virtual cycles per request from an observed run, and real
 /// wall-clock rows from an unobserved one. `wall.micros` is the raw run
@@ -241,6 +306,9 @@ fn measure() -> BenchSnapshot {
 
     // The crash-replay recovery matrix.
     record_crashrep(&mut snap);
+
+    // The storage engine: WAL recovery matrix + pool pressure sweep.
+    record_store(&mut snap);
 
     // The mega-crowd scale run (cycles + wall-clock).
     record_megacrowd(&mut snap);

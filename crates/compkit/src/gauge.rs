@@ -386,6 +386,81 @@ mod tests {
         assert_eq!(fixed.snapshot(), reference.snapshot());
     }
 
+    /// The storage-engine variant of the drift regression: a quiescent
+    /// window in which the *only* activity is buffer-pool page flushes.
+    /// Flushes are background IO — they change no monitored signal, so
+    /// an event-driven sampler rightly skips the whole window. But the
+    /// windowed gauges still span real time: without `resample` at the
+    /// window's far edge, the post-flush reading lands adjacent to the
+    /// pre-flush history, a 24-tick plateau collapses to nothing, and
+    /// the slope gauge reports a cliff that would spuriously fire the
+    /// spread-processing rule the moment serving resumes.
+    #[test]
+    fn resample_prevents_drift_across_a_page_flush_only_quiescent_window() {
+        let build = || {
+            let mut b = GaugeBoard::new();
+            b.add_monitor(Monitor::new("cpu", 32));
+            b.add_gauge(Gauge {
+                name: "mean".into(),
+                monitor: "cpu".into(),
+                kind: GaugeKind::WindowMean(8),
+            });
+            b.add_gauge(Gauge {
+                name: "trend".into(),
+                monitor: "cpu".into(),
+                kind: GaugeKind::Slope(8),
+            });
+            b.add_gauge(Gauge {
+                name: "now".into(),
+                monitor: "cpu".into(),
+                kind: GaugeKind::Latest,
+            });
+            b
+        };
+        // Serving ramps down by tick 6 to the flush-only floor (0.1: the
+        // writeback worker), holds there through tick 30 while dirty
+        // pages drain, then a request burst lands at tick 31.
+        let signal = |t: u64| match t {
+            0..=5 => 0.9 - 0.1 * t as f64,
+            6..=30 => 0.1,
+            _ => 0.85,
+        };
+
+        // Reference: the legacy loop samples every tick, flushes or not.
+        let mut reference = build();
+        for t in 1..=31 {
+            reference.record("cpu", t, signal(t));
+        }
+
+        // Event-driven: ticks 7..=30 are flush-only, so the sampler
+        // records nothing there. Without re-sampling the gauges drift…
+        let mut naive = build();
+        for t in 1..=6 {
+            naive.record("cpu", t, signal(t));
+        }
+        naive.record("cpu", 31, signal(31));
+        assert_ne!(
+            naive.snapshot(),
+            reference.snapshot(),
+            "a skipped flush window must be observably wrong un-resampled, \
+             or this test gates nothing"
+        );
+
+        // …and with `resample` at the window's far edge they agree with
+        // the per-tick reference exactly.
+        let mut fixed = build();
+        for t in 1..=6 {
+            fixed.record("cpu", t, signal(t));
+        }
+        fixed.resample(30);
+        fixed.record("cpu", 31, signal(31));
+        assert_eq!(
+            fixed.snapshot(),
+            reference.snapshot(),
+            "re-sampled gauges must not drift across a page-flush-only window"
+        );
+    }
+
     #[test]
     fn ingest_gauges_feeds_matching_monitors_only() {
         let mut b = GaugeBoard::new();

@@ -90,6 +90,10 @@ pub struct ChaosParams {
     /// Seed for the request generator (independent of the plan seed so a
     /// fault timeline can be replayed under different workloads).
     pub workload_seed: u64,
+    /// Whether the atoms sit on a persistent storage engine: the atom
+    /// store is persisted at boot and every routed batch reads its
+    /// atom's record through the buffer pool, so page IO joins the bill.
+    pub storage: bool,
 }
 
 impl Default for ChaosParams {
@@ -102,6 +106,7 @@ impl Default for ChaosParams {
             client_bandwidth_kbps: 500.0,
             adaptive: true,
             workload_seed: 2,
+            storage: false,
         }
     }
 }
@@ -266,6 +271,9 @@ fn run_inner(p: &ChaosParams, obs: Option<ObsHandle>, core: Core) -> ChaosReport
     let mut server = PatiaServer::new(net, atoms, constraints, config);
     if let Some(h) = &obs {
         server.arm_obs(h.clone());
+    }
+    if p.storage {
+        server.attach_store(store::StorageEngine::new(8)).expect("the atom store persists at boot");
     }
     let driver = PatiaDriver::new(p.plan.clone());
     driver.arm(&mut server);

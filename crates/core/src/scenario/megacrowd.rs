@@ -193,6 +193,64 @@ pub fn run_observed(p: &MegaParams) -> (MegaReport, Obs) {
     (report, obs)
 }
 
+/// Pool capacities the pressure sweep walks: thrashing, partial
+/// residency, and a pool big enough to hold the whole working set.
+pub const POOL_SWEEP_CAPACITIES: [usize; 3] = [4, 16, 64];
+
+/// One point of the buffer-pool-pressure sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolPressurePoint {
+    /// Pool capacity in frames.
+    pub capacity: usize,
+    /// Fetches served from a resident frame.
+    pub hits: u64,
+    /// Fetches that had to read stable storage.
+    pub misses: u64,
+    /// Hit rate in whole percent.
+    pub hit_pct: u64,
+}
+
+/// The mega-crowd's storage-pressure companion: the same skewed-crowd
+/// shape (80% of reads hammer 20% of the keys), replayed over a ~32-page
+/// record set at each [`POOL_SWEEP_CAPACITIES`] capacity. Everything is
+/// seeded, so the hit rates are exact, benchable numbers — and they must
+/// be monotone in capacity, which the unit tier asserts.
+#[must_use]
+pub fn pool_pressure_sweep() -> Vec<PoolPressurePoint> {
+    use adm_rng::Pcg32;
+    use store::{PolicyKind, StorageEngine, StoreOp};
+
+    const RECORDS: u64 = 256;
+    const ACCESSES: u64 = 20_000;
+    POOL_SWEEP_CAPACITIES
+        .iter()
+        .map(|&capacity| {
+            let mut eng = StorageEngine::with_policy(capacity, PolicyKind::Clock);
+            let mut rng = Pcg32::new(0x9001);
+            // ~480-byte records: eight to a page, so 256 records span
+            // ~32 pages and only the largest capacity holds them all.
+            for key in 0..RECORDS {
+                let mut value = vec![0u8; 480];
+                rng.fill_bytes(&mut value);
+                eng.apply(&[StoreOp::Put { key, value }]).expect("sweep records fit a page");
+            }
+            let loaded = eng.pool_stats();
+            for _ in 0..ACCESSES {
+                let key = if rng.chance(0.8) { rng.below(RECORDS / 5) } else { rng.below(RECORDS) };
+                eng.get(key).expect("sweep engine stays up").expect("sweep keys exist");
+            }
+            let s = eng.pool_stats();
+            let (hits, misses) = (s.hits - loaded.hits, s.misses - loaded.misses);
+            PoolPressurePoint {
+                capacity,
+                hits,
+                misses,
+                hit_pct: hits * 100 / (hits + misses).max(1),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,5 +298,26 @@ mod tests {
         let p = mini();
         let (observed, _obs) = run_observed(&p);
         assert_eq!(observed, run(&p), "arming observability must not perturb the run");
+    }
+
+    #[test]
+    fn pool_pressure_sweep_is_monotone_and_deterministic() {
+        let sweep = pool_pressure_sweep();
+        assert_eq!(sweep.len(), POOL_SWEEP_CAPACITIES.len());
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[0].hit_pct <= pair[1].hit_pct,
+                "a bigger pool can only hit more: {pair:?}"
+            );
+        }
+        let first = sweep.first().expect("sweep is non-empty");
+        let last = sweep.last().expect("sweep is non-empty");
+        assert!(first.misses > 0, "the thrashing point must actually fault");
+        assert!(
+            last.hit_pct >= 99,
+            "a pool holding the whole working set must run hot, got {}%",
+            last.hit_pct
+        );
+        assert_eq!(sweep, pool_pressure_sweep(), "the sweep must replay identically");
     }
 }

@@ -14,4 +14,5 @@ pub mod failover;
 pub mod inter_query;
 pub mod intra_query;
 pub mod megacrowd;
+pub mod storerep;
 pub mod system_adapt;

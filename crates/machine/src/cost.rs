@@ -62,6 +62,16 @@ pub struct CostModel {
     /// its text/data working set; the L4 literature identifies this — not the
     /// trap itself — as the dominant cost of big-kernel IPC.
     pub cache_miss: Cycles,
+    /// Transferring one 4 KiB page between memory and stable storage: DMA
+    /// setup, the transfer itself, and the completion interrupt. The database
+    /// machine's buffer pool charges this on every pool miss and dirty-page
+    /// writeback.
+    pub page_io: Cycles,
+    /// Forcing the sequential log tail to stable storage — a short, seekless
+    /// write plus the barrier. The write-ahead log charges this once per
+    /// commit (group-commit amortisation is a calibration experiment, not a
+    /// default).
+    pub log_force: Cycles,
 }
 
 impl Default for CostModel {
@@ -91,6 +101,8 @@ impl CostModel {
             fpu_save: 150,
             sched_step: 25,
             cache_miss: 20,
+            page_io: 1_200,
+            log_force: 400,
         }
     }
 
@@ -115,6 +127,8 @@ impl CostModel {
             fpu_save: 250,
             sched_step: 40,
             cache_miss: 100,
+            page_io: 2_400,
+            log_force: 600,
         }
     }
 }
@@ -153,6 +167,10 @@ pub enum Primitive {
     SchedSteps(u32),
     /// `n` cache-line misses (cold kernel working set after a domain switch).
     CacheMisses(u32),
+    /// Transfer `n` pages between memory and stable storage.
+    PageIo(u32),
+    /// See [`CostModel::log_force`].
+    LogForce,
 }
 
 impl Primitive {
@@ -175,6 +193,8 @@ impl Primitive {
             Primitive::FpuSave => m.fpu_save,
             Primitive::SchedSteps(n) => m.sched_step * Cycles::from(n),
             Primitive::CacheMisses(n) => m.cache_miss * Cycles::from(n),
+            Primitive::PageIo(n) => m.page_io * Cycles::from(n),
+            Primitive::LogForce => m.log_force,
         }
     }
 
@@ -197,6 +217,8 @@ impl Primitive {
             Primitive::FpuSave => "fpu-save",
             Primitive::SchedSteps(_) => "sched",
             Primitive::CacheMisses(_) => "cache-miss",
+            Primitive::PageIo(_) => "page-io",
+            Primitive::LogForce => "log-force",
         }
     }
 }
@@ -297,6 +319,17 @@ mod tests {
         assert_eq!(Primitive::CopyWords(10).cost(&m), 30);
         assert_eq!(Primitive::TlbRefill(20).cost(&m), 600);
         assert_eq!(Primitive::SchedSteps(4).cost(&m), 100);
+        assert_eq!(Primitive::PageIo(3).cost(&m), 3_600);
+    }
+
+    #[test]
+    fn page_io_dwarfs_the_commit_force() {
+        // Sanity on the storage calibration: one page transfer costs more
+        // than the seekless log force, on both machines — the buffer pool
+        // exists precisely because of this gap.
+        for m in [CostModel::pentium(), CostModel::deep_pipeline()] {
+            assert!(Primitive::PageIo(1).cost(&m) > Primitive::LogForce.cost(&m));
+        }
     }
 
     #[test]

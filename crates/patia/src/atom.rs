@@ -1,4 +1,12 @@
 //! Atoms: `Atom = <a_id, name, type, <constraint>>`, replicated over nodes.
+//!
+//! Atoms are no longer in-memory-only: [`Atom::encode`]/[`Atom::decode`]
+//! give each atom a deterministic byte form, and
+//! [`AtomStore::persist_into`]/[`AtomStore::load_from`] move the whole
+//! store through the cycle-billed [`store::StorageEngine`] — one record
+//! per atom, keyed by `a_id`, written as one committed WAL transaction.
+//! A crash below the adaptation journal now recovers atom metadata via
+//! WAL replay instead of losing it.
 
 use datacomp::version::{SelectionConstraints, Version, VersionKind, VersionList};
 use std::collections::BTreeMap;
@@ -100,6 +108,172 @@ impl Atom {
     ) -> Result<&Version, datacomp::version::SelectError> {
         self.versions.best(c)
     }
+
+    /// Deterministic byte form for the storage engine (little-endian,
+    /// length-prefixed strings). [`Atom::decode`] inverts it exactly.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.id.0.to_le_bytes());
+        out.push(self.ty.code());
+        out.extend_from_slice(&self.size_bytes.to_le_bytes());
+        put_str(&mut out, &self.name);
+        out.extend_from_slice(&(self.constraint_ids.len() as u16).to_le_bytes());
+        for c in &self.constraint_ids {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        let versions = self.versions.all();
+        out.extend_from_slice(&(versions.len() as u16).to_le_bytes());
+        for v in versions {
+            out.extend_from_slice(&v.id.to_le_bytes());
+            match &v.kind {
+                VersionKind::Replica => out.push(0),
+                VersionKind::Compressed { codec } => {
+                    out.push(1);
+                    put_str(&mut out, codec);
+                }
+                VersionKind::Summary { fraction } => {
+                    out.push(2);
+                    out.extend_from_slice(&fraction.to_bits().to_le_bytes());
+                }
+                VersionKind::LowerQuality { quality } => {
+                    out.push(3);
+                    out.extend_from_slice(&quality.to_bits().to_le_bytes());
+                }
+            }
+            put_str(&mut out, &v.location);
+            out.extend_from_slice(&v.size_bytes.to_le_bytes());
+            out.extend_from_slice(&v.age.to_le_bytes());
+            match &v.bytes {
+                None => out.push(0),
+                Some(b) => {
+                    out.push(1);
+                    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                    out.extend_from_slice(b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode an atom from its [`Atom::encode`] byte form.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<Atom> {
+        let mut c = Cursor { bytes, pos: 0 };
+        let id = AtomId(c.u32()?);
+        let ty = AtomType::from_code(c.u8()?)?;
+        let size_bytes = c.u64()?;
+        let name = c.str()?;
+        let n_constraints = c.u16()? as usize;
+        let mut constraint_ids = Vec::with_capacity(n_constraints);
+        for _ in 0..n_constraints {
+            constraint_ids.push(c.u32()?);
+        }
+        let n_versions = c.u16()? as usize;
+        let mut versions = VersionList::new();
+        for _ in 0..n_versions {
+            let vid = c.u32()?;
+            let kind = match c.u8()? {
+                0 => VersionKind::Replica,
+                1 => VersionKind::Compressed { codec: c.str()? },
+                2 => VersionKind::Summary { fraction: f64::from_bits(c.u64()?) },
+                3 => VersionKind::LowerQuality { quality: f64::from_bits(c.u64()?) },
+                _ => return None,
+            };
+            let location = c.str()?;
+            let vsize = c.u64()?;
+            let age = c.u64()?;
+            let vbytes = match c.u8()? {
+                0 => None,
+                1 => {
+                    let len = c.u32()? as usize;
+                    Some(c.take(len)?.to_vec())
+                }
+                _ => return None,
+            };
+            versions.add(Version {
+                id: vid,
+                location,
+                kind,
+                size_bytes: vsize,
+                age,
+                bytes: vbytes,
+            });
+        }
+        if c.pos != bytes.len() {
+            return None; // trailing garbage
+        }
+        Some(Atom { id, name, ty, size_bytes, constraint_ids, versions })
+    }
+}
+
+impl AtomType {
+    /// Wire code for [`Atom::encode`].
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            AtomType::Html => 0,
+            AtomType::Graphic => 1,
+            AtomType::Text => 2,
+            AtomType::Button => 3,
+            AtomType::VideoStream => 4,
+            AtomType::AudioStream => 5,
+        }
+    }
+
+    /// Inverse of [`AtomType::code`].
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => AtomType::Html,
+            1 => AtomType::Graphic,
+            2 => AtomType::Text,
+            3 => AtomType::Button,
+            4 => AtomType::VideoStream,
+            5 => AtomType::AudioStream,
+            _ => return None,
+        })
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked little-endian reader for [`Atom::decode`].
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        let s = self.bytes.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u16()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
 }
 
 /// The distributed atom store.
@@ -147,6 +321,44 @@ impl AtomStore {
     pub fn is_empty(&self) -> bool {
         self.atoms.is_empty()
     }
+
+    /// Persist every atom into the storage engine as one committed WAL
+    /// transaction (one record per atom, keyed by `a_id`). Page IO and
+    /// the commit's log force are billed by the engine.
+    ///
+    /// # Errors
+    /// [`store::StoreError`] — a crashed engine or an atom whose encoded
+    /// form exceeds one page.
+    pub fn persist_into(
+        &self,
+        engine: &mut store::StorageEngine,
+    ) -> Result<store::TxnSummary, store::StoreError> {
+        let ops: Vec<store::StoreOp> = self
+            .atoms
+            .values()
+            .map(|a| store::StoreOp::Put { key: u64::from(a.id.0), value: a.encode() })
+            .collect();
+        engine.apply(&ops)
+    }
+
+    /// Load a store from the engine's current committed state (for
+    /// example, right after [`store::StorageEngine::recover`]).
+    ///
+    /// # Errors
+    /// The engine's error as a string, or a description of the first
+    /// undecodable record.
+    pub fn load_from(engine: &mut store::StorageEngine) -> Result<Self, String> {
+        let mut out = AtomStore::new();
+        for (key, bytes) in engine.scan_all().map_err(|e| e.to_string())? {
+            let atom =
+                Atom::decode(&bytes).ok_or_else(|| format!("undecodable atom record {key}"))?;
+            if u64::from(atom.id.0) != key {
+                return Err(format!("atom {} stored under key {key}", atom.id.0));
+            }
+            out.insert(atom);
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +392,64 @@ mod tests {
         assert_eq!(video.best_version(&strict).unwrap().id, 1, "full only");
         let any = SelectionConstraints { min_quality: 0.0, bandwidth: 10.0, ..Default::default() };
         assert_eq!(video.best_version(&any).unwrap().id, 3, "videosmall");
+    }
+
+    #[test]
+    fn codec_roundtrips_every_version_kind() {
+        let mut a = Atom::new(AtomId(153), "video.ram", AtomType::VideoStream, 1_000_000);
+        a.add_replica(1, "node1");
+        a.add_rendition(2, "node2", 0.5, 500_000);
+        a.versions.add(Version {
+            id: 3,
+            location: "laptop".to_owned(),
+            kind: VersionKind::Compressed { codec: "rle".to_owned() },
+            size_bytes: 9_000,
+            age: 4,
+            bytes: Some(vec![1, 2, 3]),
+        });
+        a.versions.add(Version {
+            id: 4,
+            location: "sensor".to_owned(),
+            kind: VersionKind::Summary { fraction: 0.1 },
+            size_bytes: 100,
+            age: 0,
+            bytes: None,
+        });
+        a.constraint_ids = vec![450, 451];
+        let decoded = Atom::decode(&a.encode()).unwrap();
+        assert_eq!(decoded, a);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_bytes() {
+        let good = page().encode();
+        assert!(Atom::decode(&good[..good.len() - 1]).is_none(), "truncated");
+        let mut trailing = good;
+        trailing.push(0);
+        assert!(Atom::decode(&trailing).is_none(), "trailing garbage");
+        assert!(Atom::decode(&[]).is_none(), "empty");
+    }
+
+    #[test]
+    fn persist_load_roundtrip_and_crash_recovery() {
+        let mut s = AtomStore::new();
+        s.insert(page());
+        let mut video = Atom::new(AtomId(153), "video.ram", AtomType::VideoStream, 1_000_000);
+        video.add_rendition(2, "node2", 0.5, 500_000);
+        s.insert(video);
+
+        let mut eng = store::StorageEngine::new(4);
+        s.persist_into(&mut eng).unwrap();
+        let loaded = AtomStore::load_from(&mut eng).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.get(AtomId(123)).unwrap(), s.get(AtomId(123)).unwrap());
+
+        // Below-the-journal crash: the committed atoms come back via WAL
+        // replay, not from anything volatile.
+        eng.crash();
+        eng.recover(&mut store::NoCrash).unwrap();
+        let recovered = AtomStore::load_from(&mut eng).unwrap();
+        assert_eq!(recovered.get(AtomId(153)).unwrap(), s.get(AtomId(153)).unwrap());
     }
 
     #[test]

@@ -248,6 +248,10 @@ pub struct PatiaServer {
     /// The fleet supervisor: heartbeat failure detection and per-peer
     /// circuit breakers consulted by every BEST placement decision.
     supervisor: Supervisor,
+    /// Optional storage engine under the atoms. When attached, every
+    /// routed batch reads the atom's stored record through the buffer
+    /// pool — page IO becomes part of the serving bill.
+    storage: Option<store::StorageEngine>,
 }
 
 impl PatiaServer {
@@ -311,7 +315,39 @@ impl PatiaServer {
             obs: None,
             totals: FaultCounters::default(),
             supervisor,
+            storage: None,
         }
+    }
+
+    /// Attach a storage engine under the atoms. The current atom store is
+    /// persisted into it as one committed transaction, and from then on
+    /// every routed batch reads the atom's record through the buffer pool
+    /// (pool hits/misses and page IO billed when observability is armed).
+    ///
+    /// # Errors
+    /// [`store::StoreError`] from the persist transaction.
+    pub fn attach_store(
+        &mut self,
+        mut engine: store::StorageEngine,
+    ) -> Result<(), store::StoreError> {
+        if let Some(o) = &self.obs {
+            engine.arm_obs(o.clone());
+        }
+        self.atoms.persist_into(&mut engine)?;
+        self.storage = Some(engine);
+        Ok(())
+    }
+
+    /// The attached storage engine, if any.
+    #[must_use]
+    pub fn storage(&self) -> Option<&store::StorageEngine> {
+        self.storage.as_ref()
+    }
+
+    /// Mutable access to the attached storage engine (crash/recovery
+    /// harnesses drive it from here).
+    pub fn storage_mut(&mut self) -> Option<&mut store::StorageEngine> {
+        self.storage.as_mut()
     }
 
     /// The fleet supervisor — failure-detector verdicts and circuit
@@ -328,6 +364,9 @@ impl PatiaServer {
     /// [`PatiaServer::tick`]). Zero-cost when disarmed, like
     /// [`PatiaServer::arm_switch_gate`].
     pub fn arm_obs(&mut self, obs: ObsHandle) {
+        if let Some(engine) = &mut self.storage {
+            engine.arm_obs(obs.clone());
+        }
         self.obs = Some(obs);
     }
 
@@ -665,6 +704,12 @@ impl PatiaServer {
                 if let Some(o) = &obs {
                     // Routing one batch is one scheduler decision.
                     o.borrow_mut().charge(Primitive::SchedSteps(1));
+                }
+                if let Some(engine) = &mut self.storage {
+                    // Version selection consulted the atom's stored
+                    // record: one pool read per batch, hit or page IO
+                    // billed by the engine itself.
+                    let _ = engine.get(u64::from(atom.0));
                 }
             }
         }

@@ -13,6 +13,9 @@
 //!   ([`op::Poll`]) so sources can stall the way wide-area sources do, plus
 //!   a shared work counter every operator charges;
 //! * [`source`] — table scans and delayed/bursty sources;
+//! * [`store_scan`] — scans over records persisted in the `store` engine,
+//!   pulling tuples through its buffer pool (page faults surface as
+//!   `unspill` work);
 //! * [`basic`] — filter, project, block nested-loop join (inner/outer
 //!   swappable), index nested-loop, classic build-probe hash join, sort;
 //! * [`adaptive`] — the adaptive operators:
@@ -72,9 +75,11 @@ pub mod multiway;
 pub mod op;
 pub mod optimizer;
 pub mod source;
+pub mod store_scan;
 pub mod workload;
 
 pub use exec::{AdaptiveJoinExec, ExecReport};
 pub use expr::Pred;
 pub use op::{Operator, Poll, WorkCounter};
 pub use optimizer::{Catalog, JoinAlgo, JoinPlan, Optimizer};
+pub use store_scan::{decode_row, encode_row, persist_table, StoreScan};

@@ -1,0 +1,416 @@
+//! The buffer pool: a fixed set of frames between the record layer and
+//! stable storage, with a pluggable replacement policy.
+//!
+//! Every fetch that misses costs a [`machine::cost::Primitive::PageIo`]
+//! (billed by the engine, which also counts `store.pool.hit` /
+//! `store.pool.miss` metrics); evicting a dirty victim costs a second page
+//! IO for the writeback. The pool itself stays policy- and billing-free:
+//! it reports what happened in an [`Access`] and the caller charges the
+//! machine.
+//!
+//! The default policy is the clock (second-chance) sweep; LRU is always
+//! compiled — the differential oracle suite runs every policy — and the
+//! `lru-default` crate feature flips which one [`PolicyKind::default`]
+//! picks. Policies are pluggable at construction: each is a
+//! [`PolicyKind`] arm with its own per-frame state, chosen by
+//! [`BufferPool::with_policy`].
+
+use crate::page::{Page, PageId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which replacement policy a pool runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Clock / second-chance: one reference bit per frame, a sweeping hand.
+    Clock,
+    /// Least-recently-used by access stamp.
+    Lru,
+}
+
+impl Default for PolicyKind {
+    fn default() -> Self {
+        if cfg!(feature = "lru-default") {
+            PolicyKind::Lru
+        } else {
+            PolicyKind::Clock
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PolicyKind::Clock => "clock",
+            PolicyKind::Lru => "lru",
+        })
+    }
+}
+
+/// Per-frame replacement state. A new policy is a new arm: implement
+/// `touch` (frame accessed) and `victim` (choose an occupied frame to
+/// evict; only called when every frame is occupied).
+#[derive(Debug, Clone)]
+enum Policy {
+    Clock { referenced: Vec<bool>, hand: usize },
+    Lru { stamp: Vec<u64>, tick: u64 },
+}
+
+impl Policy {
+    fn new(kind: PolicyKind, capacity: usize) -> Self {
+        match kind {
+            PolicyKind::Clock => Policy::Clock { referenced: vec![false; capacity], hand: 0 },
+            PolicyKind::Lru => Policy::Lru { stamp: vec![0; capacity], tick: 0 },
+        }
+    }
+
+    fn touch(&mut self, frame: usize) {
+        match self {
+            Policy::Clock { referenced, .. } => referenced[frame] = true,
+            Policy::Lru { stamp, tick } => {
+                *tick += 1;
+                stamp[frame] = *tick;
+            }
+        }
+    }
+
+    fn victim(&mut self) -> usize {
+        match self {
+            Policy::Clock { referenced, hand } => loop {
+                let f = *hand;
+                *hand = (*hand + 1) % referenced.len();
+                if referenced[f] {
+                    referenced[f] = false;
+                } else {
+                    return f;
+                }
+            },
+            Policy::Lru { stamp, .. } => {
+                let (f, _) = stamp
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, s)| s)
+                    .expect("pool capacity is nonzero");
+                f
+            }
+        }
+    }
+}
+
+/// What one pool operation did — the caller bills page IO from this.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Access {
+    /// The page was already resident.
+    pub hit: bool,
+    /// A page was read in from stable storage.
+    pub read_io: bool,
+    /// A dirty victim was written back to stable storage.
+    pub wrote_back: bool,
+}
+
+impl Access {
+    /// Page transfers this access performed.
+    #[must_use]
+    pub fn ios(&self) -> u32 {
+        u32::from(self.read_io) + u32::from(self.wrote_back)
+    }
+}
+
+/// Cumulative pool counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fetches served from a resident frame.
+    pub hits: u64,
+    /// Fetches that had to read stable storage.
+    pub misses: u64,
+    /// Fresh pages materialised in a frame (no read IO).
+    pub creates: u64,
+    /// Dirty victims written back on eviction or flush.
+    pub writebacks: u64,
+}
+
+impl PoolStats {
+    /// Hit rate in whole percent (100 when there were no fetches).
+    #[must_use]
+    pub fn hit_pct(&self) -> u64 {
+        let total = self.hits + self.misses;
+        (self.hits * 100).checked_div(total).unwrap_or(100)
+    }
+}
+
+/// Pool errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// The page exists neither in a frame nor on stable storage.
+    UnknownPage(PageId),
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::UnknownPage(p) => write!(f, "unknown page {p}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// The buffer pool plus the stable storage behind it.
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    capacity: usize,
+    kind: PolicyKind,
+    frames: Vec<Option<Page>>,
+    dirty: Vec<bool>,
+    resident: BTreeMap<PageId, usize>,
+    policy: Policy,
+    disk: BTreeMap<PageId, Page>,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// A pool of `capacity` frames under the default policy.
+    ///
+    /// # Panics
+    /// When `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self::with_policy(capacity, PolicyKind::default())
+    }
+
+    /// A pool of `capacity` frames under an explicit policy.
+    ///
+    /// # Panics
+    /// When `capacity` is zero.
+    #[must_use]
+    pub fn with_policy(capacity: usize, kind: PolicyKind) -> Self {
+        assert!(capacity > 0, "a zero-frame pool cannot serve any page");
+        Self {
+            capacity,
+            kind,
+            frames: vec![None; capacity],
+            dirty: vec![false; capacity],
+            resident: BTreeMap::new(),
+            policy: Policy::new(kind, capacity),
+            disk: BTreeMap::new(),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Frame count.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The replacement policy this pool runs.
+    #[must_use]
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.kind
+    }
+
+    /// Cumulative counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Whether the page exists anywhere (frame or stable storage).
+    #[must_use]
+    pub fn contains(&self, pid: PageId) -> bool {
+        self.resident.contains_key(&pid) || self.disk.contains_key(&pid)
+    }
+
+    /// Pages on stable storage (flushed at least once).
+    #[must_use]
+    pub fn pages_on_disk(&self) -> usize {
+        self.disk.len()
+    }
+
+    /// Find a frame for a new occupant, evicting if the pool is full.
+    fn frame_for(&mut self) -> (usize, bool) {
+        if let Some(f) = self.frames.iter().position(Option::is_none) {
+            return (f, false);
+        }
+        let f = self.policy.victim();
+        let old = self.frames[f].take().expect("victim frames are occupied");
+        self.resident.remove(&old.id());
+        let mut wrote_back = false;
+        if self.dirty[f] {
+            self.stats.writebacks += 1;
+            self.disk.insert(old.id(), old);
+            wrote_back = true;
+        }
+        self.dirty[f] = false;
+        (f, wrote_back)
+    }
+
+    /// Materialise a brand-new page in a frame (dirty, no read IO).
+    pub fn create(&mut self, pid: PageId) -> Access {
+        debug_assert!(!self.contains(pid), "create of an existing page");
+        let (f, wrote_back) = self.frame_for();
+        self.frames[f] = Some(Page::new(pid));
+        self.dirty[f] = true;
+        self.resident.insert(pid, f);
+        self.policy.touch(f);
+        self.stats.creates += 1;
+        Access { hit: false, read_io: false, wrote_back }
+    }
+
+    fn fault_in(&mut self, pid: PageId) -> Result<(usize, Access), PoolError> {
+        if let Some(&f) = self.resident.get(&pid) {
+            self.policy.touch(f);
+            self.stats.hits += 1;
+            return Ok((f, Access { hit: true, read_io: false, wrote_back: false }));
+        }
+        let page = self.disk.get(&pid).cloned().ok_or(PoolError::UnknownPage(pid))?;
+        let (f, wrote_back) = self.frame_for();
+        self.frames[f] = Some(page);
+        self.dirty[f] = false;
+        self.resident.insert(pid, f);
+        self.policy.touch(f);
+        self.stats.misses += 1;
+        Ok((f, Access { hit: false, read_io: true, wrote_back }))
+    }
+
+    /// Fetch a page for reading.
+    ///
+    /// # Errors
+    /// [`PoolError::UnknownPage`] when the page was never created.
+    pub fn fetch(&mut self, pid: PageId) -> Result<(&Page, Access), PoolError> {
+        let (f, acc) = self.fault_in(pid)?;
+        Ok((self.frames[f].as_ref().expect("just faulted in"), acc))
+    }
+
+    /// Fetch a page for writing; the frame is marked dirty.
+    ///
+    /// # Errors
+    /// [`PoolError::UnknownPage`] when the page was never created.
+    pub fn fetch_mut(&mut self, pid: PageId) -> Result<(&mut Page, Access), PoolError> {
+        let (f, acc) = self.fault_in(pid)?;
+        self.dirty[f] = true;
+        Ok((self.frames[f].as_mut().expect("just faulted in"), acc))
+    }
+
+    /// Write every dirty frame back to stable storage; returns how many
+    /// pages were written.
+    pub fn flush_all(&mut self) -> usize {
+        let mut flushed = 0;
+        for f in 0..self.capacity {
+            if self.dirty[f] {
+                let page = self.frames[f].clone().expect("dirty frames are occupied");
+                self.disk.insert(page.id(), page);
+                self.dirty[f] = false;
+                self.stats.writebacks += 1;
+                flushed += 1;
+            }
+        }
+        flushed
+    }
+
+    /// The crash: frames are volatile and vanish — dirty pages are LOST.
+    /// Stable storage survives. (Durability therefore belongs to the WAL,
+    /// not to the pool.)
+    pub fn drop_volatile(&mut self) {
+        self.frames = vec![None; self.capacity];
+        self.dirty = vec![false; self.capacity];
+        self.resident.clear();
+        self.policy = Policy::new(self.kind, self.capacity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(cap: usize, pages: u32, kind: PolicyKind) -> BufferPool {
+        let mut pool = BufferPool::with_policy(cap, kind);
+        for i in 0..pages {
+            pool.create(PageId(i));
+            let (p, _) = pool.fetch_mut(PageId(i)).unwrap();
+            p.insert(&i.to_le_bytes()).unwrap();
+        }
+        pool
+    }
+
+    #[test]
+    fn default_policy_is_clock_unless_feature_flipped() {
+        let expect =
+            if cfg!(feature = "lru-default") { PolicyKind::Lru } else { PolicyKind::Clock };
+        assert_eq!(BufferPool::new(2).policy_kind(), expect);
+    }
+
+    #[test]
+    fn resident_fetches_hit_without_io() {
+        let mut pool = filled(4, 2, PolicyKind::Clock);
+        let (_, acc) = pool.fetch(PageId(0)).unwrap();
+        assert_eq!(acc, Access { hit: true, read_io: false, wrote_back: false });
+        assert_eq!(acc.ios(), 0);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages_and_refetch_reads_them() {
+        for kind in [PolicyKind::Clock, PolicyKind::Lru] {
+            let mut pool = filled(2, 3, kind); // 3 pages through 2 frames
+            assert!(pool.stats().writebacks >= 1, "{kind}: eviction must write back");
+            for i in 0..3 {
+                let (p, _) = pool.fetch(PageId(i)).unwrap();
+                assert_eq!(p.get(0), Some(&i.to_le_bytes()[..]), "{kind}: page {i} intact");
+            }
+        }
+    }
+
+    #[test]
+    fn crash_loses_dirty_frames_but_keeps_disk() {
+        let mut pool = filled(4, 2, PolicyKind::Clock);
+        pool.flush_all();
+        let (p, _) = pool.fetch_mut(PageId(0)).unwrap();
+        p.insert(b"lost-by-crash").unwrap();
+        pool.drop_volatile();
+        let (p, acc) = pool.fetch(PageId(0)).unwrap();
+        assert!(acc.read_io, "post-crash fetch faults from disk");
+        assert_eq!(p.live_records(), 1, "the unflushed insert vanished");
+        assert!(!pool.contains(PageId(9)));
+    }
+
+    #[test]
+    fn unknown_pages_error() {
+        let mut pool = BufferPool::new(2);
+        assert_eq!(pool.fetch(PageId(7)).unwrap_err(), PoolError::UnknownPage(PageId(7)));
+    }
+
+    #[test]
+    fn hit_pct_is_total_when_idle() {
+        assert_eq!(PoolStats::default().hit_pct(), 100);
+        let s = PoolStats { hits: 3, misses: 1, ..Default::default() };
+        assert_eq!(s.hit_pct(), 75);
+    }
+
+    #[test]
+    fn clock_grants_second_chances() {
+        let mut pool = filled(3, 3, PolicyKind::Clock);
+        pool.flush_all();
+        // All bits are set, so this first fault sweeps them clear and
+        // evicts p0; only the new p3's bit is set afterwards.
+        pool.create(PageId(3));
+        // Re-reference p1: its bit alone protects it from the next sweep.
+        pool.fetch(PageId(1)).unwrap();
+        pool.create(PageId(4)); // must pass over p1 and take p2
+        let (_, acc) = pool.fetch(PageId(1)).unwrap();
+        assert!(acc.hit, "the re-referenced page survived the sweep");
+        let (_, acc) = pool.fetch(PageId(2)).unwrap();
+        assert!(!acc.hit, "the unreferenced neighbour was the victim");
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_page() {
+        let mut pool = filled(3, 3, PolicyKind::Lru);
+        pool.flush_all();
+        pool.fetch(PageId(1)).unwrap();
+        pool.fetch(PageId(2)).unwrap();
+        pool.fetch(PageId(0)).unwrap();
+        pool.create(PageId(3)); // evicts p1, the least recently used
+        let (_, acc) = pool.fetch(PageId(1)).unwrap();
+        assert!(!acc.hit, "the coldest page was the victim");
+    }
+}

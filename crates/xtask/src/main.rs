@@ -6,7 +6,8 @@
 //!   per CI chaos seed, replacing the raw
 //!   `UPDATE_GOLDENS=1 CHAOS_SEED=<seed> cargo test …` incantation),
 //!   the crash-replay recovery matrix (`tests/goldens/crashrep.txt`),
-//!   and the benchmark-trajectory baseline `BENCH_adm.json`.
+//!   the storage WAL crash matrix (`tests/goldens/storerep.txt`), and
+//!   the benchmark-trajectory baseline `BENCH_adm.json`.
 //! * `bench-gate` — replay the benchmark trajectory and compare it to
 //!   the committed `BENCH_adm.json` under the gate tolerances; exits
 //!   non-zero on drift (what the CI `bench-gate` job runs).
@@ -62,6 +63,10 @@ fn update_goldens() {
         &[("UPDATE_GOLDENS", "1".to_owned())],
     );
     run_cargo(
+        &["test", "-q", "-p", "adm-core", "--test", "store_recovery_e2e"],
+        &[("UPDATE_GOLDENS", "1".to_owned())],
+    );
+    run_cargo(
         &["run", "--release", "-q", "-p", "adm-bench", "--bin", "bench", "--", "--update"],
         &[],
     );
@@ -91,6 +96,14 @@ fn scale() {
     run_cargo(&["test", "-q", "--release", "-p", "adm-core", "--test", "scale_e2e"], &[]);
 }
 
+/// Run the storage recovery tier: the WAL crash-matrix conformance test
+/// (`tests/store_recovery_e2e.rs`) plus the store crate's own unit and
+/// differential-oracle suites (what the CI `store-recovery` job runs).
+fn store_recovery() {
+    run_cargo(&["test", "-q", "-p", "adm-core", "--test", "store_recovery_e2e"], &[]);
+    run_cargo(&["test", "-q", "-p", "store", "--features", "slow-props"], &[]);
+}
+
 fn main() {
     let task = std::env::args().nth(1);
     match task.as_deref() {
@@ -98,6 +111,7 @@ fn main() {
         Some("bench-gate") => bench_gate(),
         Some("lint-plans") => lint_plans(),
         Some("scale") => scale(),
+        Some("store-recovery") => store_recovery(),
         other => {
             if let Some(t) = other {
                 println!("unknown task {t:?}\n");
@@ -108,7 +122,8 @@ fn main() {
                  update-goldens  regenerate tests/goldens/ and BENCH_adm.json\n  \
                  bench-gate      compare a fresh bench run against BENCH_adm.json\n  \
                  lint-plans      planlint every committed scenario configuration\n  \
-                 scale           run the mega-crowd scale tier (release, wall-clock budget)"
+                 scale           run the mega-crowd scale tier (release, wall-clock budget)\n  \
+                 store-recovery  run the WAL crash matrix and the store differential oracles"
             );
             std::process::exit(2);
         }

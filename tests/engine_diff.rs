@@ -23,7 +23,11 @@ use std::path::PathBuf;
 /// Seeds with a committed chaos golden (mirrors `obs_e2e`).
 const GOLDEN_SEEDS: [u64; 3] = [17, 42, 20260806];
 
-/// Every committed serving-loop scenario, by name.
+/// Every committed serving-loop scenario, by name. The `storage-*`
+/// variants replay the flash crowd and the supervision storylines with
+/// the atoms on the persistent storage engine, so the byte-identity
+/// obligation extends to page IO: both cores must hit and miss the
+/// buffer pool on exactly the same ticks.
 fn committed_scenarios() -> Vec<(String, ChaosParams)> {
     let mut v = vec![("flash-crowd".to_owned(), paper_flash_crowd())];
     for seed in GOLDEN_SEEDS {
@@ -31,6 +35,16 @@ fn committed_scenarios() -> Vec<(String, ChaosParams)> {
     }
     for seed in CRASH_SEEDS {
         v.push((format!("supervised-{seed}"), supervised_storyline(seed)));
+    }
+    v.push((
+        "storage-flash-crowd".to_owned(),
+        ChaosParams { storage: true, ..paper_flash_crowd() },
+    ));
+    for seed in CRASH_SEEDS {
+        v.push((
+            format!("storage-supervised-{seed}"),
+            ChaosParams { storage: true, ..supervised_storyline(seed) },
+        ));
     }
     v
 }
@@ -66,6 +80,26 @@ fn engine_traces_and_metrics_are_byte_identical() {
         );
         assert_eq!(lo.digests(), eo.digests(), "{name}: digests must agree");
     }
+}
+
+/// The storage-backed variants are not vacuous: the pool is actually
+/// consulted (batches read atom records), and disarming storage changes
+/// the cycle history — so the byte-identity assertions above really do
+/// cover the page-IO path.
+#[test]
+fn storage_backed_variants_bill_the_buffer_pool() {
+    let params = ChaosParams { storage: true, ..paper_flash_crowd() };
+    let (_, o) = run_observed(&params);
+    assert!(
+        o.metrics.counter("store.pool.hit") > 0,
+        "routed batches must read atom records through the pool"
+    );
+    let (_, plain) = run_observed(&paper_flash_crowd());
+    assert_ne!(
+        o.digests(),
+        plain.digests(),
+        "storage must change the cycle history, or the variant tests nothing"
+    );
 }
 
 fn goldens_dir() -> PathBuf {
