@@ -21,7 +21,11 @@
 //!   requests through the event engine): virtual cycles per request
 //!   plus — uniquely in this bench — real wall-clock rows
 //!   (`megacrowd.wall.*`), gated only against order-of-magnitude
-//!   blowups since wall time is machine-dependent.
+//!   blowups since wall time is machine-dependent;
+//! * **system tables** — the `systab` introspection layer: billed
+//!   table-scan cycles over a settled chaos world and the declarative
+//!   SWITCH rule's evaluation cost (`systab.cycles.*`,
+//!   `systab.counts.*`).
 //!
 //! Modes:
 //!
@@ -85,6 +89,14 @@ fn record_scenario(snap: &mut BenchSnapshot, prefix: &str, params: &ChaosParams)
     snap.set(format!("{prefix}.counts.completed"), report.completed);
     snap.set(format!("{prefix}.counts.switches"), report.migrations);
     snap.set(format!("{prefix}.counts.reconfigs_committed"), report.reconfigs_committed);
+    // Tail latency from the completion histogram — a deterministic
+    // replay, so the p99 is an exact, exactly-gated number.
+    let p99 = o
+        .metrics
+        .histogram("patia.latency_ticks")
+        .and_then(|h| h.quantile(0.99))
+        .expect("every scenario completes requests");
+    snap.set(format!("{prefix}.latency.p99_ticks"), p99);
 }
 
 /// Record the crash-replay matrix under `crashrep.*`: how much recovery
@@ -250,6 +262,45 @@ fn record_store(snap: &mut BenchSnapshot) {
     }
 }
 
+/// Record the system-table layer under `systab.*`: what it costs to
+/// serve the machine's own telemetry through the query operators
+/// (billed table-scan cycles over a settled chaos world) and what the
+/// declarative SWITCH rule costs per storyline (the rule engine's
+/// ledgered work priced through `Primitive::Alu`, since rule evaluation
+/// deliberately never bills the storyline's own hub).
+fn record_systab(snap: &mut BenchSnapshot) {
+    use adm_core::scenario::chaos::run_with_state;
+    use systab::{metrics_table, scan_rows, spans_table, supervision_table, switches_table};
+
+    let w = run_with_state(&ci_chaos(42));
+    let hub = obs::Obs::new(CostModel::pentium()).into_handle();
+    let tables = [
+        metrics_table(&w.obs.metrics.snapshot()),
+        spans_table(w.obs.tracer.events()),
+        supervision_table(w.server.supervisor()),
+        switches_table(w.am.committed(), w.am.rolled_back(), w.am.journal()),
+    ];
+    let mut rows = 0u64;
+    for t in &tables {
+        rows += scan_rows(t, Some(hub.clone())).len() as u64;
+    }
+    let o = obs::Obs::try_unwrap(hub)
+        .unwrap_or_else(|_| unreachable!("scan handles are dropped with their plans"));
+    assert_eq!(o.metrics.counter("systab.scan.rows"), rows, "every served row is billed once");
+    snap.set("systab.cycles.table_scan", o.clock());
+    snap.set("systab.counts.rows_served", rows);
+
+    let q = run_with_state(&ChaosParams { query_rules: true, ..ci_chaos(42) });
+    assert_eq!(q.report, w.report, "query-driven switching must not drift the storyline");
+    let stats = q.server.rule_stats();
+    assert!(stats.evaluations > 0, "the declarative rule must actually run");
+    let mut priced = obs::Obs::new(CostModel::pentium());
+    priced.charge_n(obs::Primitive::Alu, stats.ops);
+    snap.set("systab.cycles.rule_eval", priced.clock());
+    snap.set("systab.counts.rule_evaluations", stats.evaluations);
+    snap.set("systab.counts.rule_rows_scanned", stats.rows_scanned);
+}
+
 /// Record the mega-crowd scale run under `megacrowd.*`: engine counts
 /// and virtual cycles per request from an observed run, and real
 /// wall-clock rows from an unobserved one. `wall.micros` is the raw run
@@ -272,6 +323,12 @@ fn record_megacrowd(snap: &mut BenchSnapshot) {
     snap.set("megacrowd.counts.evacuations", report.totals.evacuations);
     snap.set("megacrowd.counts.ticks_processed", report.totals.ticks_processed);
     snap.set("megacrowd.counts.ticks_skipped", report.totals.ticks_skipped);
+    let p99 = o
+        .metrics
+        .histogram("patia.latency_ticks")
+        .and_then(|h| h.quantile(0.99))
+        .expect("the mega-crowd completes requests");
+    snap.set("megacrowd.latency.p99_ticks", p99);
     #[allow(clippy::cast_possible_truncation)]
     let micros = wall.as_micros() as u64;
     snap.set("megacrowd.wall.micros", micros);
@@ -309,6 +366,9 @@ fn measure() -> BenchSnapshot {
 
     // The storage engine: WAL recovery matrix + pool pressure sweep.
     record_store(&mut snap);
+
+    // The system-table layer: billed scans + the declarative SWITCH rule.
+    record_systab(&mut snap);
 
     // The mega-crowd scale run (cycles + wall-clock).
     record_megacrowd(&mut snap);

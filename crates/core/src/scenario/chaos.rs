@@ -20,7 +20,7 @@ use faultsim::{FaultPlan, FaultSpace, PatiaDriver};
 use obs::{Obs, ObsHandle, Primitive, Profile};
 use patia::atom::AtomId;
 use patia::engine::EventEngine;
-use patia::server::{PatiaServer, ServerConfig, SwitchKind, TickStats};
+use patia::server::{PatiaServer, ServerConfig, SwitchKind, SwitchPolicy, TickStats};
 use patia::workload::{FlashCrowd, RequestGen};
 use std::collections::BTreeMap;
 
@@ -94,6 +94,12 @@ pub struct ChaosParams {
     /// store is persisted at boot and every routed batch reads its
     /// atom's record through the buffer pool, so page IO joins the bill.
     pub storage: bool,
+    /// Whether the circuit-breaker screen on BEST candidate lists is
+    /// evaluated as a declarative query over `sys.supervision`
+    /// ([`SwitchPolicy::Query`]) instead of the compiled-in filter. The
+    /// two are byte-identical — the `systab_e2e` differential leg pins
+    /// reports, traces, and metric digests across both.
+    pub query_rules: bool,
 }
 
 impl Default for ChaosParams {
@@ -107,6 +113,7 @@ impl Default for ChaosParams {
             adaptive: true,
             workload_seed: 2,
             storage: false,
+            query_rules: false,
         }
     }
 }
@@ -247,6 +254,43 @@ fn run_observed_on(p: &ChaosParams, core: Core) -> (ChaosReport, Obs) {
     (report, obs)
 }
 
+/// The settled state of an observed chaos run, kept alive so the system
+/// tables (`sys.supervision`, `sys.switches`, `sys.pool`, ...) can be
+/// queried over it after the storyline ends. The report and [`Obs`] are
+/// byte-identical to [`run_observed`]'s for the same parameters.
+#[derive(Debug)]
+pub struct ChaosWorld {
+    /// The aggregated run outcome, equal to [`run`]'s report.
+    pub report: ChaosReport,
+    /// The unwrapped hub: finished trace, metrics (profile published),
+    /// final cycle clock.
+    pub obs: Obs,
+    /// The served fleet as the run left it — supervisor circuits, queues,
+    /// and (when `p.storage`) the storage engine's buffer pool intact.
+    pub server: PatiaServer,
+    /// The adaptation glue with its journal, for `sys.switches`.
+    pub am: AdaptivityManager,
+}
+
+/// Like [`run_observed`], but instead of dropping the machine it returns
+/// the settled [`ChaosWorld`] so callers can serve the machine's own
+/// telemetry through query. Runs on the legacy core (the event engine
+/// cannot yield its server back by value).
+#[must_use]
+pub fn run_with_state(p: &ChaosParams) -> ChaosWorld {
+    let handle = Obs::new(obs::CostModel::pentium()).into_handle();
+    let (report, exec, mut am) = run_full(p, Some(handle.clone()), Core::Legacy);
+    let Exec::Legacy(mut server) = exec else {
+        unreachable!("run_with_state always drives the legacy core")
+    };
+    server.disarm_obs();
+    am.disarm_obs();
+    let mut obs = Obs::try_unwrap(handle)
+        .unwrap_or_else(|_| unreachable!("the server and glue are disarmed before unwrapping"));
+    Profile::build(obs.tracer.events(), obs.clock()).publish(&mut obs.metrics);
+    ChaosWorld { report, obs, server, am }
+}
+
 /// The glue component instance standing for a fleet node.
 fn host_instance(node: &str) -> String {
     format!("host:{node}")
@@ -266,9 +310,20 @@ fn glue_binding(atom: AtomId, node: &str) -> Binding {
 }
 
 fn run_inner(p: &ChaosParams, obs: Option<ObsHandle>, core: Core) -> ChaosReport {
+    run_full(p, obs, core).0
+}
+
+fn run_full(
+    p: &ChaosParams,
+    obs: Option<ObsHandle>,
+    core: Core,
+) -> (ChaosReport, Exec, AdaptivityManager) {
     let (net, atoms, constraints) = ServerConfig::paper_fleet();
     let config = ServerConfig { adaptive: p.adaptive, work_per_request: 400 };
     let mut server = PatiaServer::new(net, atoms, constraints, config);
+    if p.query_rules {
+        server.set_switch_policy(SwitchPolicy::Query);
+    }
     if let Some(h) = &obs {
         server.arm_obs(h.clone());
     }
@@ -404,7 +459,7 @@ fn run_inner(p: &ChaosParams, obs: Option<ObsHandle>, core: Core) -> ChaosReport
         .all(|a| exec.server().switches(*a) == per_atom.get(a).copied().unwrap_or(0));
     report.reconfigs_committed = am.committed();
     report.reconfigs_rolled_back = am.rolled_back();
-    report
+    (report, exec, am)
 }
 
 #[cfg(test)]

@@ -193,6 +193,49 @@ pub fn run_observed(p: &MegaParams) -> (MegaReport, Obs) {
     (report, obs)
 }
 
+/// The mega-crowd at 1/100 the arrival rate: the same fleet, flow shape,
+/// ramps, bursts, and mid-storm death/revival, small enough for the unit
+/// and systab tiers to replay in milliseconds. The full 10M-request run
+/// lives in the `scale` tier.
+#[must_use]
+pub fn mini_crowd() -> MegaParams {
+    let mut p = mega_crowd();
+    for f in &mut p.flows {
+        f.rate /= 100.0;
+    }
+    p
+}
+
+/// The settled state of an observed mega-crowd run, kept alive so the
+/// system tables can query the engine's timer wheel (`sys.timers`) and
+/// the fleet's supervision circuits after the storm.
+#[derive(Debug)]
+pub struct MegaWorld {
+    /// The run outcome, equal to [`run`]'s report.
+    pub report: MegaReport,
+    /// The unwrapped hub with the profile published.
+    pub obs: Obs,
+    /// The event engine as the run left it — wheel drained, server
+    /// settled.
+    pub engine: EventEngine,
+}
+
+/// Like [`run_observed`], but returns the settled [`MegaWorld`] instead
+/// of dropping the engine.
+#[must_use]
+pub fn run_with_state(p: &MegaParams) -> MegaWorld {
+    let handle = Obs::new(obs::CostModel::pentium()).into_handle();
+    let mut engine = build_engine(p);
+    engine.server_mut().arm_obs(handle.clone());
+    engine.run_to(p.horizon, p.client_bandwidth_kbps);
+    let report = report_of(&engine, p);
+    engine.server_mut().disarm_obs();
+    let mut obs = Obs::try_unwrap(handle)
+        .unwrap_or_else(|_| unreachable!("the server is disarmed before the hub is unwrapped"));
+    Profile::build(obs.tracer.events(), obs.clock()).publish(&mut obs.metrics);
+    MegaWorld { report, obs, engine }
+}
+
 /// Pool capacities the pressure sweep walks: thrashing, partial
 /// residency, and a pool big enough to hold the whole working set.
 pub const POOL_SWEEP_CAPACITIES: [usize; 3] = [4, 16, 64];
@@ -255,15 +298,10 @@ pub fn pool_pressure_sweep() -> Vec<PoolPressurePoint> {
 mod tests {
     use super::*;
 
-    /// A miniature crowd (same shape, 1/100 the rate) keeps the unit tier
-    /// fast while pinning the scenario's invariants; the full 10M run
-    /// lives in the `scale` tier.
+    /// A miniature crowd keeps the unit tier fast while pinning the
+    /// scenario's invariants; the full 10M run lives in the `scale` tier.
     fn mini() -> MegaParams {
-        let mut p = mega_crowd();
-        for f in &mut p.flows {
-            f.rate /= 100.0;
-        }
-        p
+        mini_crowd()
     }
 
     #[test]

@@ -199,7 +199,40 @@ pub fn run_cell_observed(seed: u64, point: CrashPoint) -> (StoreCellReport, Obs)
     (report, obs)
 }
 
+/// The settled state of an observed crash-replay cell: the recovered
+/// engine is kept alive (disarmed) so `sys.pool` can be queried over its
+/// buffer pool after recovery.
+#[derive(Debug)]
+pub struct StoreWorld {
+    /// The cell outcome, equal to [`run_cell`]'s report.
+    pub report: StoreCellReport,
+    /// The unwrapped hub (trace + metrics of the crash and recovery).
+    pub obs: Obs,
+    /// The recovered engine, up and settled.
+    pub engine: StorageEngine,
+}
+
+/// Like [`run_cell_observed`], but returns the settled [`StoreWorld`]
+/// instead of dropping the recovered engine.
+#[must_use]
+pub fn run_cell_with_state(seed: u64, point: CrashPoint) -> StoreWorld {
+    let handle = Obs::new(obs::CostModel::pentium()).into_handle();
+    let (report, mut engine) = run_cell_full(seed, point, Some(handle.clone()));
+    engine.disarm_obs();
+    let obs = Obs::try_unwrap(handle)
+        .unwrap_or_else(|_| unreachable!("the engine is disarmed before the hub is unwrapped"));
+    StoreWorld { report, obs, engine }
+}
+
 fn run_cell_inner(seed: u64, point: CrashPoint, obs: Option<obs::ObsHandle>) -> StoreCellReport {
+    run_cell_full(seed, point, obs).0
+}
+
+fn run_cell_full(
+    seed: u64,
+    point: CrashPoint,
+    obs: Option<obs::ObsHandle>,
+) -> (StoreCellReport, StorageEngine) {
     let base = seeded_engine(seed);
     let victim = victim_ops(seed);
 
@@ -269,9 +302,8 @@ fn run_cell_inner(seed: u64, point: CrashPoint, obs: Option<obs::ObsHandle>) -> 
     let replay = eng.recover(&mut NoCrash).expect("replaying a settled recovery succeeds");
     let replay_noop =
         replay == settled && eng.state_digest().expect("engine stays up") == recovered_digest;
-    drop(eng);
 
-    StoreCellReport {
+    let report = StoreCellReport {
         seed,
         point,
         recovered_digest,
@@ -283,7 +315,8 @@ fn run_cell_inner(seed: u64, point: CrashPoint, obs: Option<obs::ObsHandle>) -> 
         pages_rebuilt: settled.pages_rebuilt,
         recover_calls,
         replay_noop,
-    }
+    };
+    (report, eng)
 }
 
 /// Replay the full matrix: every [`STORE_SEEDS`] seed through every

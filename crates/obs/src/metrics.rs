@@ -85,6 +85,56 @@ impl Histogram {
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
+
+    /// The inclusive value range bucket `bucket` covers.
+    fn bucket_range(bucket: u32) -> (u64, u64) {
+        match bucket {
+            0 => (0, 0),
+            1 => (1, 1),
+            64 => (1 << 63, u64::MAX),
+            b => (1 << (b - 1), (1 << b) - 1),
+        }
+    }
+
+    /// Estimate the `q`-quantile (`q` clamped to `[0, 1]`) by walking
+    /// the cumulative bucket counts and interpolating linearly inside
+    /// the bucket the target rank lands in. Exact when the bucket holds
+    /// one sample; otherwise within the bucket's power-of-two range and
+    /// always clamped to the observed `[min, max]`. `None` when empty.
+    ///
+    /// Deterministic — integer arithmetic after the rank is fixed — so
+    /// p50/p90/p99 rows golden-pin like every other metric.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The 1-based rank of the sample the quantile names.
+        let rank = {
+            let r = (q * self.count as f64).ceil() as u64;
+            r.clamp(1, self.count)
+        };
+        // The extreme ranks are known exactly — no interpolation needed.
+        if rank == 1 {
+            return Some(self.min);
+        }
+        if rank == self.count {
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for (&bucket, &n) in &self.buckets {
+            if seen + n >= rank {
+                let (lo, hi) = Self::bucket_range(bucket);
+                let pos = rank - seen; // 1..=n within this bucket
+                let est =
+                    if n <= 1 { lo } else { lo + ((hi - lo) / (n - 1)).saturating_mul(pos - 1) };
+                return Some(est.clamp(self.min, self.max));
+            }
+            seen += n;
+        }
+        Some(self.max)
+    }
 }
 
 /// An immutable, ordering-stable snapshot of a registry — what golden-trace
@@ -303,6 +353,108 @@ mod tests {
         let lines: Vec<&str> = rendered.lines().collect();
         assert_eq!(lines[1], "  counter a = 1");
         assert_eq!(lines[2], "  counter b = 1");
+    }
+
+    #[test]
+    fn quantile_is_none_when_empty_and_exact_for_singletons() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        let mut h = Histogram::default();
+        h.record(73);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(73), "a single sample is every quantile");
+        }
+    }
+
+    #[test]
+    fn quantile_walks_buckets_and_clamps_to_observed_range() {
+        let mut h = Histogram::default();
+        // 90 fast samples at 10, 9 at 100, one slow outlier at 5_000.
+        h.record_n(10, 90);
+        h.record_n(100, 9);
+        h.record(5_000);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((8..=15).contains(&p50), "p50 lands in the 8..=15 bucket: {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((64..=127).contains(&p99), "p99 lands in the 64..=127 bucket: {p99}");
+        assert_eq!(h.quantile(1.0), Some(5_000), "p100 is the max exactly");
+        assert_eq!(h.quantile(0.0), Some(10), "p0 clamps to the observed min");
+        // Monotone in q.
+        let qs: Vec<u64> =
+            [0.0, 0.25, 0.5, 0.9, 0.99, 1.0].iter().map(|&q| h.quantile(q).unwrap()).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "quantiles are monotone: {qs:?}");
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        let mut h = Histogram::default();
+        // All ten samples in bucket 7 (64..=127): interpolation spreads
+        // the estimates across the bucket instead of reporting one edge.
+        for v in [64, 70, 80, 90, 100, 105, 110, 115, 120, 127] {
+            h.record(v);
+        }
+        let p10 = h.quantile(0.1).unwrap();
+        let p90 = h.quantile(0.9).unwrap();
+        assert!(p10 < p90, "interpolation must spread within the bucket");
+        assert!(p10 >= 64 && p90 <= 127);
+    }
+
+    #[test]
+    fn snapshot_render_digest_roundtrip_is_stable() {
+        let build = || {
+            let mut r = MetricsRegistry::new();
+            r.counter_add("req.total", 41);
+            r.gauge_set("util:node1", 0.625);
+            r.observe_n("lat", 12, 7);
+            r.observe("lat", 900);
+            r
+        };
+        let r = build();
+        let snap = r.snapshot();
+        assert_eq!(snap, r.snapshot(), "snapshotting is read-only and repeatable");
+        assert_eq!(r.render(), build().render(), "render is a pure function of content");
+        assert_eq!(r.digest(), build().digest());
+        let clone = r.clone();
+        assert_eq!(clone.snapshot(), snap, "clones snapshot identically");
+        assert_eq!(clone.digest(), r.digest());
+        // A snapshot is a deep copy: mutating the registry afterwards
+        // must not reach back into it.
+        let mut r = r;
+        r.counter_add("req.total", 1);
+        r.observe("lat", 5);
+        assert_ne!(r.snapshot(), snap);
+        assert_eq!(snap.counters[0], ("req.total".to_owned(), 41));
+    }
+
+    #[test]
+    fn observe_n_property_matches_repeated_observes() {
+        // Seeded xorshift so the property run is deterministic without
+        // pulling a rng dependency into obs.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut grouped = MetricsRegistry::new();
+        let mut singles = MetricsRegistry::new();
+        for _ in 0..200 {
+            let value = next() >> (next() % 64);
+            let n = next() % 5;
+            grouped.observe_n("lat", value, n);
+            for _ in 0..n {
+                singles.observe("lat", value);
+            }
+        }
+        assert_eq!(grouped.snapshot(), singles.snapshot(), "bucket-exact equivalence");
+        assert_eq!(grouped.render(), singles.render());
+        assert_eq!(grouped.digest(), singles.digest());
+        let (gh, sh) = (grouped.histogram("lat").unwrap(), singles.histogram("lat").unwrap());
+        assert_eq!(gh.buckets, sh.buckets, "every bucket count must agree");
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(gh.quantile(q), sh.quantile(q), "quantiles follow the buckets");
+        }
     }
 
     #[test]

@@ -118,6 +118,13 @@ impl EventEngine {
         &self.totals
     }
 
+    /// The engine's timer wheel, read-only — the row source for
+    /// `sys.timers` introspection.
+    #[must_use]
+    pub fn wheel(&self) -> &TimerWheel<EngineEvent> {
+        &self.wheel
+    }
+
     /// Cap total admitted requests; arrivals beyond the cap are shed and
     /// counted in [`EngineTotals::shed`].
     pub fn set_shed_cap(&mut self, cap: u64) {

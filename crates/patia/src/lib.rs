@@ -42,6 +42,7 @@ pub mod agent;
 pub mod atom;
 pub mod constraint;
 pub mod engine;
+pub mod rules;
 pub mod server;
 pub mod stream;
 pub mod supervise;
@@ -52,8 +53,9 @@ pub use agent::ServiceAgent;
 pub use atom::{Atom, AtomId, AtomStore, AtomType};
 pub use constraint::{paper_table2, AtomConstraint, ConstraintLogic};
 pub use engine::{EngineEvent, EngineTotals, EventEngine};
-pub use server::{FaultCounters, PatiaServer, ServerConfig, SwitchGate, TickStats};
+pub use rules::{blocked_peers, supervision_schema, supervision_table, RuleStats};
+pub use server::{FaultCounters, PatiaServer, ServerConfig, SwitchGate, SwitchPolicy, TickStats};
 pub use stream::{StreamCodec, StreamSession};
-pub use supervise::{CircuitState, SuperviseConfig, SupervisionEvent, Supervisor};
-pub use wheel::{TimerToken, TimerWheel};
+pub use supervise::{CircuitState, PeerSnapshot, SuperviseConfig, SupervisionEvent, Supervisor};
+pub use wheel::{TimerToken, TimerWheel, WheelArea, WheelSlotOccupancy};
 pub use workload::{FlashCrowd, FlowBurst, FlowSet, FlowSpec, FlowState, RequestGen};

@@ -1,0 +1,229 @@
+//! Declarative switching rules: adaptation policy expressed as queries
+//! over supervision state, instead of hard-coded Rust filters.
+//!
+//! The paper's thesis — and ROADMAP item 4's reading of DBOS — is that
+//! the adaptation layer should be managed *as data*. This module closes
+//! the loop for one real policy: the circuit-breaker filter every BEST
+//! candidate list passes through. [`supervision_table`] renders the
+//! [`Supervisor`]'s per-peer state as a relational table (the same rows
+//! `sys.supervision` serves), and [`blocked_peers`] evaluates the rule
+//!
+//! ```sql
+//! SELECT peer FROM sys.supervision WHERE circuit_code = 1  -- OPEN
+//! ```
+//!
+//! with the `query` crate's own operators (scan → filter → project).
+//! Peers the supervisor never watched have no row and therefore stay
+//! admissible — exactly the `Closed`-for-unknown semantics of
+//! [`Supervisor::circuit`]. The server's query-driven policy mode
+//! ([`crate::server::SwitchPolicy::Query`]) substitutes this evaluation
+//! for the hard-coded `is_open` filter at every BEST site; a
+//! differential tier proves the two paths byte-identical across the
+//! chaos and crash-replay seed matrices.
+//!
+//! Rule evaluation deliberately bills nothing to an armed [`obs`] hub:
+//! the differential guarantee covers traces and metric digests, so the
+//! policy engine accounts its work in a [`RuleStats`] ledger instead,
+//! and the bench tier prices that ledger through the machine cost model
+//! separately (`systab.rule.*`).
+
+use crate::supervise::{CircuitState, Supervisor};
+use datacomp::{ColumnType, Schema, Table, Value};
+use query::basic::{Filter, Project};
+use query::expr::{CmpOp, Pred};
+use query::op::drain;
+use query::source::TableScan;
+use query::WorkCounter;
+use std::collections::BTreeSet;
+
+/// Column index of `peer` in [`supervision_schema`].
+pub const COL_PEER: usize = 0;
+/// Column index of `circuit_code` in [`supervision_schema`].
+pub const COL_CIRCUIT_CODE: usize = 5;
+
+/// The `sys.supervision` schema: one row per watched peer.
+///
+/// Columns: `peer` (name), `missed` / `clean` (heartbeat counters),
+/// `suspected`, `circuit` (the stable
+/// [`code_str`](CircuitState::code_str)), `circuit_code` (the stable
+/// numeric [`code`](CircuitState::code) — what rules filter on),
+/// `restart_attempts`, `next_probe`.
+///
+/// # Panics
+/// Never: the column list is statically well-formed.
+#[must_use]
+pub fn supervision_schema() -> Schema {
+    Schema::new(&[
+        ("peer", ColumnType::Str),
+        ("missed", ColumnType::Int),
+        ("clean", ColumnType::Int),
+        ("suspected", ColumnType::Bool),
+        ("circuit", ColumnType::Str),
+        ("circuit_code", ColumnType::Int),
+        ("restart_attempts", ColumnType::Int),
+        ("next_probe", ColumnType::Int),
+    ])
+    .expect("supervision schema is statically valid")
+}
+
+/// Freeze a supervisor into a [`supervision_schema`] table, rows in
+/// peer-name order (the supervisor's own deterministic iteration
+/// order). Unknown peers have no row: absence means admissible.
+///
+/// # Panics
+/// Never: every row is built to the schema.
+#[must_use]
+pub fn supervision_table(sup: &Supervisor) -> Table {
+    let mut t = Table::new(supervision_schema());
+    for p in sup.peers() {
+        t.insert(vec![
+            Value::Str(p.peer),
+            Value::Int(i64::from(p.missed)),
+            Value::Int(i64::from(p.clean)),
+            Value::Bool(p.suspected),
+            Value::Str(p.circuit.code_str().to_owned()),
+            Value::Int(i64::from(p.circuit.code())),
+            Value::Int(i64::from(p.restart_attempts)),
+            Value::Int(i64::try_from(p.next_probe).unwrap_or(i64::MAX)),
+        ])
+        .expect("supervision rows match their schema");
+    }
+    t
+}
+
+/// Cumulative ledger of query-driven rule evaluations, accounted
+/// outside the observability hub so the query path cannot perturb the
+/// traces and digests the differential tier pins.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleStats {
+    /// Rule evaluations performed (one per BEST filter consult).
+    pub evaluations: u64,
+    /// Supervision rows scanned across all evaluations.
+    pub rows_scanned: u64,
+    /// Operator work units ([`query::op::Work::total_ops`]) spent.
+    pub ops: u64,
+}
+
+impl RuleStats {
+    /// Fold one evaluation's row count and operator work into the ledger.
+    pub fn absorb(&mut self, rows: u64, ops: u64) {
+        self.evaluations = self.evaluations.saturating_add(1);
+        self.rows_scanned = self.rows_scanned.saturating_add(rows);
+        self.ops = self.ops.saturating_add(ops);
+    }
+}
+
+/// Evaluate the declarative circuit-breaker rule: scan the supervision
+/// table, keep rows whose `circuit_code` equals [`CircuitState::Open`]'s
+/// code, project the peer name. Returns the blocked set; `stats` absorbs
+/// the rows scanned and operator work spent.
+///
+/// # Panics
+/// Never in practice: the pipeline is stall-free (a `TableScan` never
+/// returns `Pending`), so the drain budget cannot be exceeded.
+#[must_use]
+pub fn blocked_peers(sup: &Supervisor, stats: &mut RuleStats) -> BTreeSet<String> {
+    let table = supervision_table(sup);
+    let rows = table.len() as u64;
+    let work = WorkCounter::new();
+    let scan = TableScan::new(table, work.clone());
+    let pred = Pred::Cmp {
+        col: COL_CIRCUIT_CODE,
+        op: CmpOp::Eq,
+        value: Value::Int(i64::from(CircuitState::Open.code())),
+    };
+    let filter = Filter::new(Box::new(scan), pred, work.clone());
+    let mut plan = Project::new(Box::new(filter), vec![COL_PEER], work.clone());
+    let blocked: BTreeSet<String> = drain(&mut plan, 64)
+        .into_iter()
+        .filter_map(|row| row.first().and_then(|v| v.as_str().map(str::to_owned)))
+        .collect();
+    stats.absorb(rows, work.snapshot().total_ops());
+    blocked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervise::SuperviseConfig;
+    use ubinet::device::{Device, DeviceKind};
+    use ubinet::link::{BandwidthProfile, Link, LinkKind};
+    use ubinet::net::Network;
+
+    fn net() -> Network {
+        let mut n = Network::new();
+        for name in ["a", "b", "c"] {
+            n.add_device(Device::new(name, DeviceKind::Server));
+        }
+        n.add_link(Link::new("a", "b", LinkKind::Wired, BandwidthProfile::Constant(100.0), 1));
+        n.add_link(Link::new("b", "c", LinkKind::Wired, BandwidthProfile::Constant(100.0), 1));
+        n
+    }
+
+    fn sup() -> Supervisor {
+        Supervisor::new(SuperviseConfig::default(), ["a", "b", "c"].map(str::to_owned))
+    }
+
+    #[test]
+    fn healthy_fleet_blocks_nobody() {
+        let s = sup();
+        let mut stats = RuleStats::default();
+        assert!(blocked_peers(&s, &mut stats).is_empty());
+        assert_eq!(stats.evaluations, 1);
+        assert_eq!(stats.rows_scanned, 3);
+        assert!(stats.ops > 0, "even an empty verdict scans the table");
+    }
+
+    #[test]
+    fn query_verdict_matches_is_open_exactly() {
+        let mut net = net();
+        let mut s = sup();
+        net.device_mut("c").unwrap().alive = false;
+        for now in 1..=5 {
+            s.beat(&net, now);
+        }
+        let mut stats = RuleStats::default();
+        let blocked = blocked_peers(&s, &mut stats);
+        for peer in ["a", "b", "c"] {
+            assert_eq!(
+                blocked.contains(peer),
+                s.is_open(peer),
+                "query and hard-coded verdicts must agree on {peer}"
+            );
+        }
+        assert!(blocked.contains("c"));
+        // Half-open admits trial traffic: revive c and check it unblocks.
+        net.device_mut("c").unwrap().alive = true;
+        s.beat(&net, 6);
+        let blocked = blocked_peers(&s, &mut stats);
+        assert!(!blocked.contains("c"), "half-open peers receive trial traffic");
+        assert_eq!(stats.evaluations, 2);
+    }
+
+    #[test]
+    fn unknown_peers_have_no_row_and_stay_admissible() {
+        let s = sup();
+        let table = supervision_table(&s);
+        assert_eq!(table.len(), 3);
+        let mut stats = RuleStats::default();
+        assert!(!blocked_peers(&s, &mut stats).contains("ghost"));
+    }
+
+    #[test]
+    fn supervision_table_pins_circuit_codes() {
+        let mut net = net();
+        let mut s = sup();
+        net.device_mut("c").unwrap().alive = false;
+        for now in 1..=3 {
+            s.beat(&net, now);
+        }
+        let table = supervision_table(&s);
+        let schema = table.schema();
+        assert_eq!(schema.columns()[COL_PEER].name, "peer");
+        assert_eq!(schema.columns()[COL_CIRCUIT_CODE].name, "circuit_code");
+        let row_c = &table.rows()[2];
+        assert_eq!(row_c[COL_PEER], Value::Str("c".into()));
+        assert_eq!(row_c[4], Value::Str("OPEN".into()));
+        assert_eq!(row_c[COL_CIRCUIT_CODE], Value::Int(1));
+    }
+}

@@ -4,11 +4,13 @@
 use crate::agent::ServiceAgent;
 use crate::atom::{Atom, AtomId, AtomStore, AtomType};
 use crate::constraint::{paper_table2, AtomConstraint, ConstraintLogic};
+use crate::rules::{self, RuleStats};
 use crate::supervise::{SuperviseConfig, SupervisionEvent, Supervisor};
 use compkit::gauge::{Gauge, GaugeBoard, GaugeKind};
 use compkit::monitor::Monitor;
 use obs::{ObsHandle, Primitive};
-use std::collections::BTreeMap;
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
 use ubinet::device::{Device, DeviceKind};
 use ubinet::link::{BandwidthProfile, Link, LinkKind};
 use ubinet::net::Network;
@@ -218,6 +220,25 @@ struct RetryState {
     next_at: u64,
 }
 
+/// How the circuit-breaker screen on BEST candidate lists is evaluated.
+///
+/// Both policies produce byte-identical decisions, traces, and metric
+/// digests — the differential tier pins that — but `Query` routes every
+/// verdict through the declarative rule in [`crate::rules`], so the
+/// policy is data the platform can introspect (`sys.supervision`) and
+/// eventually rewrite, rather than a compiled-in filter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SwitchPolicy {
+    /// The original compiled-in filter: `!supervisor.is_open(peer)`.
+    #[default]
+    Hardcoded,
+    /// Evaluate `SELECT peer FROM sys.supervision WHERE circuit_code =
+    /// OPEN` with the `query` crate's operators and screen against the
+    /// result. Work is accounted in [`RuleStats`], never billed to the
+    /// observability hub.
+    Query,
+}
+
 /// The Patia server.
 #[derive(Debug)]
 pub struct PatiaServer {
@@ -248,6 +269,12 @@ pub struct PatiaServer {
     /// The fleet supervisor: heartbeat failure detection and per-peer
     /// circuit breakers consulted by every BEST placement decision.
     supervisor: Supervisor,
+    /// How the circuit-breaker screen is evaluated at BEST sites.
+    policy: SwitchPolicy,
+    /// Ledger of query-driven rule evaluations (interior-mutable: the
+    /// version-selection site is `&self`). Always zero under
+    /// [`SwitchPolicy::Hardcoded`].
+    rule_stats: Cell<RuleStats>,
     /// Optional storage engine under the atoms. When attached, every
     /// routed batch reads the atom's stored record through the buffer
     /// pool — page IO becomes part of the serving bill.
@@ -315,7 +342,51 @@ impl PatiaServer {
             obs: None,
             totals: FaultCounters::default(),
             supervisor,
+            policy: SwitchPolicy::default(),
+            rule_stats: Cell::new(RuleStats::default()),
             storage: None,
+        }
+    }
+
+    /// Choose how the circuit-breaker screen is evaluated. Switching
+    /// policies mid-run is allowed; decisions stay byte-identical.
+    pub fn set_switch_policy(&mut self, policy: SwitchPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active circuit-breaker evaluation policy.
+    #[must_use]
+    pub fn switch_policy(&self) -> SwitchPolicy {
+        self.policy
+    }
+
+    /// Cumulative ledger of declarative rule evaluations (zero unless
+    /// [`SwitchPolicy::Query`] is active).
+    #[must_use]
+    pub fn rule_stats(&self) -> RuleStats {
+        self.rule_stats.get()
+    }
+
+    /// The blocked-peer set under the active policy: `None` in
+    /// hard-coded mode (callers consult `is_open` directly, as ever),
+    /// the query-evaluated set under [`SwitchPolicy::Query`].
+    fn rule_blocked(&self) -> Option<BTreeSet<String>> {
+        match self.policy {
+            SwitchPolicy::Hardcoded => None,
+            SwitchPolicy::Query => {
+                let mut stats = self.rule_stats.get();
+                let blocked = rules::blocked_peers(&self.supervisor, &mut stats);
+                self.rule_stats.set(stats);
+                Some(blocked)
+            }
+        }
+    }
+
+    /// Whether `peer` may be nominated by BEST under the active policy.
+    fn admits(&self, blocked: Option<&BTreeSet<String>>, peer: &str) -> bool {
+        match blocked {
+            Some(set) => !set.contains(peer),
+            None => !self.supervisor.is_open(peer),
         }
     }
 
@@ -370,8 +441,14 @@ impl PatiaServer {
         self.obs = Some(obs);
     }
 
-    /// Disarm observability; gauge readings go straight to the board again.
+    /// Disarm observability; gauge readings go straight to the board
+    /// again. The attached storage engine (if any) is disarmed too, so
+    /// the hub's handle count drops to the callers' own clones and the
+    /// hub can be unwrapped while the server lives on for introspection.
     pub fn disarm_obs(&mut self) {
+        if let Some(engine) = &mut self.storage {
+            engine.disarm_obs();
+        }
         self.obs = None;
     }
 
@@ -590,10 +667,11 @@ impl PatiaServer {
                         // behind an open circuit is suspected dead and
                         // must not be nominated, even if its (stale)
                         // representation still looks attractive.
+                        let blocked = self.rule_blocked();
                         let names: Vec<&str> = hosts
                             .iter()
                             .map(|(n, _)| *n)
-                            .filter(|n| !self.supervisor.is_open(n))
+                            .filter(|n| self.admits(blocked.as_ref(), n))
                             .collect();
                         let chosen = best(&self.net, &names)?;
                         return hosts.iter().find(|(n, _)| *n == chosen).map(|(_, id)| *id);
@@ -840,8 +918,12 @@ impl PatiaServer {
                 // The circuit breaker screens BEST's candidate list: a
                 // suspected-dead node never receives an agent, however
                 // idle its last-known representation claims it is.
-                let refs: Vec<&str> =
-                    unoccupied.iter().copied().filter(|n| !self.supervisor.is_open(n)).collect();
+                let blocked = self.rule_blocked();
+                let refs: Vec<&str> = unoccupied
+                    .iter()
+                    .copied()
+                    .filter(|n| self.admits(blocked.as_ref(), n))
+                    .collect();
                 let Some(dest) = best(&self.net, &refs).map(str::to_owned) else {
                     // Candidates remain but none is usable (dead, flat,
                     // or isolated behind an open circuit).
@@ -1046,13 +1128,14 @@ impl PatiaServer {
             }
             cands.sort();
             cands.dedup();
+            let blocked = self.rule_blocked();
             let refs: Vec<&str> = cands
                 .iter()
                 .map(String::as_str)
                 .filter(|n| *n != from && !occupied.iter().any(|o| o == *n))
                 // Evacuating *onto* a suspected-dead node would strand
                 // the agent twice: the breaker screens here too.
-                .filter(|n| !self.supervisor.is_open(n))
+                .filter(|n| self.admits(blocked.as_ref(), n))
                 .collect();
             let Some(dest) = best(&self.net, &refs).map(str::to_owned) else {
                 self.note_switch_failure(atom, now, stats);
@@ -1436,6 +1519,36 @@ mod tests {
         for m in &migrations {
             assert_ne!(m.to, "wp1", "no switch may target a suspected replica: {m:?}");
         }
+    }
+
+    #[test]
+    fn query_policy_decisions_match_hardcoded_byte_for_byte() {
+        // Two servers, same fault script, opposite policies: every tick's
+        // stats (migrations, faults, completions) must agree exactly.
+        let run = |policy: SwitchPolicy| {
+            let mut s = server(true);
+            s.set_switch_policy(policy);
+            s.network_mut().partition(&["wp1".to_owned()]);
+            let crowd = FlashCrowd { from: 1, to: 120, target: AtomId(123), multiplier: 40.0 };
+            let mut gen = RequestGen::new(vec![AtomId(123)], 1.0, 4.0, 2).with_crowd(crowd);
+            let mut out = Vec::new();
+            for t in 1..=150 {
+                if t == 60 {
+                    s.kill_node("node2");
+                }
+                if t == 100 {
+                    s.revive_node("node2");
+                }
+                out.push(s.tick(&gen.tick(t), 500.0));
+            }
+            (out, s.rule_stats())
+        };
+        let (hard, hard_stats) = run(SwitchPolicy::Hardcoded);
+        let (query, query_stats) = run(SwitchPolicy::Query);
+        assert_eq!(hard, query, "policy must not change a single tick's outcome");
+        assert_eq!(hard_stats, RuleStats::default(), "hard-coded mode evaluates no rules");
+        assert!(query_stats.evaluations > 0, "query mode must actually run the rule");
+        assert!(query_stats.rows_scanned >= query_stats.evaluations * 5, "5 peers per scan");
     }
 
     #[test]

@@ -55,6 +55,32 @@ pub enum CircuitState {
     HalfOpen,
 }
 
+impl CircuitState {
+    /// Stable machine-readable numeric code: `Closed`=0, `Open`=1,
+    /// `HalfOpen`=2. System-table encodings key on this, not on the
+    /// human-facing [`Display`](fmt::Display) string, so a wording
+    /// change cannot silently re-route a declarative rule.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            Self::Closed => 0,
+            Self::Open => 1,
+            Self::HalfOpen => 2,
+        }
+    }
+
+    /// Stable machine-readable symbolic code (`CLOSED` / `OPEN` /
+    /// `HALF_OPEN`), pinned alongside [`code`](Self::code).
+    #[must_use]
+    pub fn code_str(self) -> &'static str {
+        match self {
+            Self::Closed => "CLOSED",
+            Self::Open => "OPEN",
+            Self::HalfOpen => "HALF_OPEN",
+        }
+    }
+}
+
 impl fmt::Display for CircuitState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -63,6 +89,26 @@ impl fmt::Display for CircuitState {
             Self::HalfOpen => "half-open",
         })
     }
+}
+
+/// One watched peer's detector state, frozen for introspection — the
+/// row source behind `sys.supervision`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerSnapshot {
+    /// The watched peer's name.
+    pub peer: String,
+    /// Consecutive heartbeats missed as of the last round.
+    pub missed: u32,
+    /// Consecutive clean beats seen while on probation.
+    pub clean: u32,
+    /// Whether the failure detector currently suspects the peer.
+    pub suspected: bool,
+    /// The peer's circuit-breaker state.
+    pub circuit: CircuitState,
+    /// Restart probes sent in the current incident (0 when healthy).
+    pub restart_attempts: u32,
+    /// Tick the next restart probe fires at (0 if never armed).
+    pub next_probe: u64,
 }
 
 /// What the detector observed on one beat — the server turns these into
@@ -256,6 +302,26 @@ impl Supervisor {
     #[must_use]
     pub fn suspected(&self, peer: &str) -> bool {
         self.peers.get(peer).is_some_and(|h| h.suspected)
+    }
+
+    /// Freeze every watched peer's detector state, in peer-name order —
+    /// the deterministic row source for `sys.supervision`. Unknown peers
+    /// have no row, mirroring [`circuit`](Self::circuit) returning
+    /// `Closed` for them: absence means "no grounds to block".
+    #[must_use]
+    pub fn peers(&self) -> Vec<PeerSnapshot> {
+        self.peers
+            .iter()
+            .map(|(peer, h)| PeerSnapshot {
+                peer: peer.clone(),
+                missed: h.missed,
+                clean: h.clean,
+                suspected: h.suspected,
+                circuit: h.circuit,
+                restart_attempts: h.restart_attempts,
+                next_probe: h.next_probe,
+            })
+            .collect()
     }
 
     /// Whether the supervisor is fully settled: no peer suspected, every
@@ -487,5 +553,42 @@ mod tests {
         assert!(!s.is_open("ghost"));
         assert_eq!(s.circuit("ghost"), CircuitState::Closed);
         assert!(!s.suspected("ghost"));
+    }
+
+    #[test]
+    fn circuit_codes_are_pinned_and_independent_of_display() {
+        // The numeric and symbolic codes are a wire format: changing them
+        // invalidates goldens and declarative rules, so they are pinned
+        // here, deliberately separate from the Display strings.
+        assert_eq!(CircuitState::Closed.code(), 0);
+        assert_eq!(CircuitState::Open.code(), 1);
+        assert_eq!(CircuitState::HalfOpen.code(), 2);
+        assert_eq!(CircuitState::Closed.code_str(), "CLOSED");
+        assert_eq!(CircuitState::Open.code_str(), "OPEN");
+        assert_eq!(CircuitState::HalfOpen.code_str(), "HALF_OPEN");
+        assert_eq!(CircuitState::Closed.to_string(), "closed");
+        assert_eq!(CircuitState::Open.to_string(), "open");
+        assert_eq!(CircuitState::HalfOpen.to_string(), "half-open");
+    }
+
+    #[test]
+    fn peer_snapshots_are_name_ordered_and_track_incidents() {
+        let mut net = net();
+        let mut s = sup();
+        net.device_mut("c").unwrap().alive = false;
+        for now in 1..=5 {
+            s.beat(&net, now);
+        }
+        let snaps = s.peers();
+        let names: Vec<&str> = snaps.iter().map(|p| p.peer.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"], "rows come out in peer-name order");
+        let c = &snaps[2];
+        assert!(c.suspected);
+        assert_eq!(c.circuit, CircuitState::Open);
+        assert_eq!(c.missed, 5);
+        assert_eq!(c.restart_attempts, 1, "the tick-5 probe fired");
+        assert!(c.next_probe > 5);
+        assert_eq!(snaps[0].circuit, CircuitState::Closed);
+        assert!(!snaps[0].suspected);
     }
 }

@@ -39,6 +39,44 @@ fn slot_of(level: usize, deadline: u64) -> usize {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct TimerToken(u64);
 
+/// Which region of the wheel an occupancy row describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WheelArea {
+    /// Events scheduled at or before the clock, due on the next pop.
+    Past,
+    /// A (level, slot) cell of the hierarchy proper.
+    Wheel,
+    /// Deadlines beyond the wheel horizon.
+    Overflow,
+}
+
+impl WheelArea {
+    /// Stable machine-readable name for table encodings.
+    #[must_use]
+    pub fn code_str(self) -> &'static str {
+        match self {
+            Self::Past => "past",
+            Self::Wheel => "wheel",
+            Self::Overflow => "overflow",
+        }
+    }
+}
+
+/// Live-entry count for one populated region of the wheel — one
+/// `sys.timers` row. `level`/`slot` are only meaningful for
+/// [`WheelArea::Wheel`] rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WheelSlotOccupancy {
+    /// The wheel region this row describes.
+    pub area: WheelArea,
+    /// Hierarchy level (0 = finest resolution).
+    pub level: usize,
+    /// Slot index within the level.
+    pub slot: usize,
+    /// Live (non-cancelled) entries waiting here.
+    pub live: usize,
+}
+
 #[derive(Debug, Clone)]
 struct Entry<T> {
     deadline: u64,
@@ -210,6 +248,39 @@ impl<T> TimerWheel<T> {
         due.into_iter().map(|e| (e.deadline, e.payload)).collect()
     }
 
+    /// Live-entry occupancy of every populated region of the wheel, in a
+    /// fixed order: `past`, then each (level, slot) pair ascending, then
+    /// `overflow` — the deterministic row source for `sys.timers`.
+    /// Cancelled tombstones still sitting in slots are not counted, so
+    /// the occupancies always sum to [`len`](Self::len).
+    #[must_use]
+    pub fn occupancy(&self) -> Vec<WheelSlotOccupancy> {
+        let live = |e: &&Entry<T>| !self.cancelled.contains(&e.seq);
+        let mut out = Vec::new();
+        let past = self.past.iter().filter(live).count();
+        if past > 0 {
+            out.push(WheelSlotOccupancy { area: WheelArea::Past, level: 0, slot: 0, live: past });
+        }
+        for (level, slots) in self.levels.iter().enumerate() {
+            for (slot, entries) in slots.iter().enumerate() {
+                let n = entries.iter().filter(live).count();
+                if n > 0 {
+                    out.push(WheelSlotOccupancy { area: WheelArea::Wheel, level, slot, live: n });
+                }
+            }
+        }
+        let over = self.overflow.iter().filter(live).count();
+        if over > 0 {
+            out.push(WheelSlotOccupancy {
+                area: WheelArea::Overflow,
+                level: 0,
+                slot: 0,
+                live: over,
+            });
+        }
+        out
+    }
+
     /// Place an entry at the level whose span covers its remaining delta.
     fn place(&mut self, e: Entry<T>) {
         let delta = e.deadline.saturating_sub(self.now);
@@ -304,6 +375,29 @@ mod tests {
         assert_eq!(w.now(), u64::MAX / 2);
         w.schedule(u64::MAX / 2 + 3, 7);
         assert_eq!(w.pop_due(u64::MAX / 2 + 4), vec![(u64::MAX / 2 + 3, 7)]);
+    }
+
+    #[test]
+    fn occupancy_counts_live_entries_and_sums_to_len() {
+        let mut w = TimerWheel::new();
+        w.schedule(3, 0u8); // level 0
+        w.schedule(3, 1u8); // same slot
+        let t = w.schedule(3, 2u8);
+        w.schedule(5_000, 3u8); // level 1
+        w.schedule(20_000_000, 4u8); // overflow
+        w.cancel(t);
+        let occ = w.occupancy();
+        let total: usize = occ.iter().map(|o| o.live).sum();
+        assert_eq!(total, w.len(), "occupancy excludes tombstones");
+        assert!(
+            occ.iter()
+                .any(|o| o.area == WheelArea::Wheel && o.level == 0 && o.slot == 3 && o.live == 2),
+            "the cancelled entry must not be counted: {occ:?}"
+        );
+        assert!(occ.iter().any(|o| o.area == WheelArea::Overflow && o.live == 1));
+        w.pop_due(10);
+        let total: usize = w.occupancy().iter().map(|o| o.live).sum();
+        assert_eq!(total, w.len(), "occupancy tracks fires too");
     }
 
     #[test]

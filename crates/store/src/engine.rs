@@ -158,6 +158,18 @@ impl StorageEngine {
         self.obs = Some(handle);
     }
 
+    /// Drop the observability handle, so the hub it points at can be
+    /// unwrapped while the engine lives on for introspection.
+    pub fn disarm_obs(&mut self) {
+        self.obs = None;
+    }
+
+    /// The buffer pool, read-only — the frame table behind `sys.pool`.
+    #[must_use]
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
     /// Live record count.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -32,7 +32,7 @@ pub mod wal;
 pub use btree::BTree;
 pub use engine::{RecoveryStats, StorageEngine, StoreError, StoreOp, TxnSummary};
 pub use page::{Page, PageId, RecordId, MAX_RECORD, PAGE_SIZE};
-pub use pool::{Access, BufferPool, PolicyKind, PoolStats};
+pub use pool::{Access, BufferPool, FrameInfo, PolicyKind, PoolStats};
 pub use wal::{CrashHook, CrashPoint, CrashSite, NoCrash, PlannedCrash, Wal, WalRecord};
 
 /// Differential oracle suites (satellite of the test tier): seeded op

@@ -138,6 +138,23 @@ impl PoolStats {
     }
 }
 
+/// One frame of the pool as the introspection layer sees it — the row
+/// source behind `sys.pool`. `referenced`/`lru_stamp` expose whichever
+/// policy's per-frame state is live; the other is `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameInfo {
+    /// Frame index, `0..capacity`.
+    pub frame: usize,
+    /// The resident page, or `None` for an empty frame.
+    pub page: Option<PageId>,
+    /// Whether the frame holds unwritten changes.
+    pub dirty: bool,
+    /// The clock policy's reference bit (`None` under LRU).
+    pub referenced: Option<bool>,
+    /// The LRU policy's access stamp (`None` under clock).
+    pub lru_stamp: Option<u64>,
+}
+
 /// Pool errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PoolError {
@@ -225,6 +242,33 @@ impl BufferPool {
     #[must_use]
     pub fn pages_on_disk(&self) -> usize {
         self.disk.len()
+    }
+
+    /// Resident pages (occupied frames).
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Freeze the frame table: one [`FrameInfo`] per frame in frame-index
+    /// order — the deterministic row source for `sys.pool`.
+    #[must_use]
+    pub fn frame_table(&self) -> Vec<FrameInfo> {
+        (0..self.capacity)
+            .map(|f| FrameInfo {
+                frame: f,
+                page: self.frames[f].as_ref().map(Page::id),
+                dirty: self.dirty[f],
+                referenced: match &self.policy {
+                    Policy::Clock { referenced, .. } => Some(referenced[f]),
+                    Policy::Lru { .. } => None,
+                },
+                lru_stamp: match &self.policy {
+                    Policy::Clock { .. } => None,
+                    Policy::Lru { stamp, .. } => Some(stamp[f]),
+                },
+            })
+            .collect()
     }
 
     /// Find a frame for a new occupant, evicting if the pool is full.
@@ -400,6 +444,27 @@ mod tests {
         assert!(acc.hit, "the re-referenced page survived the sweep");
         let (_, acc) = pool.fetch(PageId(2)).unwrap();
         assert!(!acc.hit, "the unreferenced neighbour was the victim");
+    }
+
+    #[test]
+    fn frame_table_mirrors_residency_and_policy_state() {
+        let mut pool = filled(3, 2, PolicyKind::Clock);
+        let table = pool.frame_table();
+        assert_eq!(table.len(), 3, "one row per frame, empty ones included");
+        assert_eq!(table[0].page, Some(PageId(0)));
+        assert!(table[0].dirty, "unflushed creates are dirty");
+        assert_eq!(table[0].referenced, Some(true));
+        assert_eq!(table[0].lru_stamp, None);
+        assert_eq!(table[2].page, None, "the spare frame is empty");
+        assert!(!table[2].dirty);
+        assert_eq!(pool.resident(), 2);
+        pool.flush_all();
+        assert!(pool.frame_table().iter().all(|f| !f.dirty), "flush cleans every frame");
+
+        let lru = filled(2, 1, PolicyKind::Lru);
+        let table = lru.frame_table();
+        assert_eq!(table[0].referenced, None);
+        assert_eq!(table[0].lru_stamp, Some(2), "create + fetch_mut stamped twice");
     }
 
     #[test]

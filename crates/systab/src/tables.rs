@@ -1,0 +1,356 @@
+//! Builders for the six `sys.*` tables.
+//!
+//! Each builder freezes one subsystem's live state into a
+//! [`datacomp::Table`] with a stable schema and deterministic row order,
+//! ready for [`SysScan`](crate::SysScan) and the rest of the operator
+//! algebra. Builders take the subsystem's public introspection types —
+//! they never reach into private state, so anything a table serves is
+//! equally available to ordinary code.
+
+use compkit::journal::{AdaptationJournal, JournalRecord};
+use datacomp::{ColumnType, Schema, Table, Value};
+use obs::span::{EventKind, TraceEvent};
+use obs::MetricsSnapshot;
+use patia::wheel::TimerWheel;
+use patia::WheelArea;
+use store::BufferPool;
+
+/// Saturating `u64 → Value::Int` (registry counters can exceed `i64`).
+fn int(v: u64) -> Value {
+    Value::Int(i64::try_from(v).unwrap_or(i64::MAX))
+}
+
+/// `sys.metrics`: one row per counter, gauge, and histogram component.
+///
+/// Schema: `kind` (`counter`/`gauge`/`histogram`), `name`, `key`
+/// (`value` for scalars; `count`/`sum`/`min`/`max`/`b<idx>` for
+/// histogram components), `value_int`, `value_float` (exactly one is
+/// non-null: gauges fill the float, everything else the int). Rows come
+/// out in the snapshot's name-sorted order, histogram buckets ascending.
+///
+/// # Panics
+/// Never: rows are built to the schema.
+#[must_use]
+pub fn metrics_table(snap: &MetricsSnapshot) -> Table {
+    let schema = Schema::new(&[
+        ("kind", ColumnType::Str),
+        ("name", ColumnType::Str),
+        ("key", ColumnType::Str),
+        ("value_int", ColumnType::Int),
+        ("value_float", ColumnType::Float),
+    ])
+    .expect("sys.metrics schema is statically valid");
+    let mut t = Table::new(schema);
+    let mut push = |kind: &str, name: &str, key: &str, vi: Value, vf: Value| {
+        t.insert(vec![
+            Value::Str(kind.to_owned()),
+            Value::Str(name.to_owned()),
+            Value::Str(key.to_owned()),
+            vi,
+            vf,
+        ])
+        .expect("sys.metrics rows match their schema");
+    };
+    for (name, v) in &snap.counters {
+        push("counter", name, "value", int(*v), Value::Null);
+    }
+    for (name, v) in &snap.gauges {
+        push("gauge", name, "value", Value::Null, Value::float(*v));
+    }
+    for (name, h) in &snap.histograms {
+        push("histogram", name, "count", int(h.count), Value::Null);
+        push("histogram", name, "sum", int(h.sum), Value::Null);
+        push("histogram", name, "min", int(h.min), Value::Null);
+        push("histogram", name, "max", int(h.max), Value::Null);
+        for (bucket, n) in &h.buckets {
+            push("histogram", name, &format!("b{bucket}"), int(*n), Value::Null);
+        }
+    }
+    t
+}
+
+/// `sys.spans`: one row per trace event, in completion order.
+///
+/// Schema: `seq` (position in the event log), `ts`, `dur`, `cat`,
+/// `name`, `kind` (`complete`/`instant`), `args` (the rendered
+/// `k=v` list, space-separated, empty string when the event has none).
+///
+/// # Panics
+/// Never: rows are built to the schema.
+#[must_use]
+pub fn spans_table(events: &[TraceEvent]) -> Table {
+    let schema = Schema::new(&[
+        ("seq", ColumnType::Int),
+        ("ts", ColumnType::Int),
+        ("dur", ColumnType::Int),
+        ("cat", ColumnType::Str),
+        ("name", ColumnType::Str),
+        ("kind", ColumnType::Str),
+        ("args", ColumnType::Str),
+    ])
+    .expect("sys.spans schema is statically valid");
+    let mut t = Table::new(schema);
+    for (seq, e) in events.iter().enumerate() {
+        let kind = match e.kind {
+            EventKind::Complete => "complete",
+            EventKind::Instant => "instant",
+        };
+        let args = e.args.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(" ");
+        t.insert(vec![
+            Value::Int(seq as i64),
+            int(e.ts),
+            int(e.dur),
+            Value::Str(e.cat.to_owned()),
+            Value::Str(e.name.clone()),
+            Value::Str(kind.to_owned()),
+            Value::Str(args),
+        ])
+        .expect("sys.spans rows match their schema");
+    }
+    t
+}
+
+/// `sys.supervision`: one row per watched peer — re-exported from
+/// [`patia::rules`], which owns the schema because the declarative
+/// switching rule filters these very rows.
+pub use patia::rules::supervision_table;
+
+/// `sys.switches`: the adaptation journal's history — summary stats
+/// plus any live (uncheckpointed) records.
+///
+/// Schema: `kind` (`stat`/`record`), `name` (stat name, or the record's
+/// tag: `intent`/`applied`/`undone`/`commit`/`abort`), `txn` (null for
+/// stats), `value` (stat value; the record's step count or index),
+/// `detail` (the record's rendered form; null for stats).
+///
+/// The journal truncates at every commit checkpoint, so after a healthy
+/// run the `record` rows are empty and history lives in the stats:
+/// `committed` / `rolled_back` come from the adaptivity manager,
+/// `journal_appended` / `journal_truncations` / `journal_live` from the
+/// journal's monotone counters.
+///
+/// # Panics
+/// Never: rows are built to the schema.
+#[must_use]
+pub fn switches_table(
+    committed: u64,
+    rolled_back: u64,
+    journal: Option<&AdaptationJournal>,
+) -> Table {
+    let schema = Schema::new(&[
+        ("kind", ColumnType::Str),
+        ("name", ColumnType::Str),
+        ("txn", ColumnType::Int),
+        ("value", ColumnType::Int),
+        ("detail", ColumnType::Str),
+    ])
+    .expect("sys.switches schema is statically valid");
+    let mut t = Table::new(schema);
+    let mut stat = |name: &str, v: u64| {
+        t.insert(vec![
+            Value::Str("stat".to_owned()),
+            Value::Str(name.to_owned()),
+            Value::Null,
+            int(v),
+            Value::Null,
+        ])
+        .expect("sys.switches stat rows match their schema");
+    };
+    stat("committed", committed);
+    stat("rolled_back", rolled_back);
+    stat("journal_appended", journal.map_or(0, AdaptationJournal::appended_total));
+    stat("journal_truncations", journal.map_or(0, AdaptationJournal::truncations));
+    stat("journal_live", journal.map_or(0, |j| j.len() as u64));
+    if let Some(j) = journal {
+        for r in j.records() {
+            let (name, txn, value) = match r {
+                JournalRecord::Intent { txn, steps, .. } => ("intent", *txn, Some(*steps as u64)),
+                JournalRecord::Applied { txn, index, .. } => ("applied", *txn, Some(*index as u64)),
+                JournalRecord::Undone { txn, index } => ("undone", *txn, Some(*index as u64)),
+                JournalRecord::Commit { txn } => ("commit", *txn, None),
+                JournalRecord::Abort { txn } => ("abort", *txn, None),
+            };
+            t.insert(vec![
+                Value::Str("record".to_owned()),
+                Value::Str(name.to_owned()),
+                int(txn),
+                value.map_or(Value::Null, int),
+                Value::Str(r.to_string()),
+            ])
+            .expect("sys.switches record rows match their schema");
+        }
+    }
+    t
+}
+
+/// `sys.pool`: one row per buffer-pool frame, in frame-index order.
+///
+/// Schema: `frame`, `page` (null for an empty frame), `dirty`,
+/// `referenced` (clock policy's bit; null under LRU), `lru_stamp` (LRU
+/// access stamp; null under clock).
+///
+/// # Panics
+/// Never: rows are built to the schema.
+#[must_use]
+pub fn pool_table(pool: &BufferPool) -> Table {
+    let schema = Schema::new(&[
+        ("frame", ColumnType::Int),
+        ("page", ColumnType::Int),
+        ("dirty", ColumnType::Bool),
+        ("referenced", ColumnType::Bool),
+        ("lru_stamp", ColumnType::Int),
+    ])
+    .expect("sys.pool schema is statically valid");
+    let mut t = Table::new(schema);
+    for f in pool.frame_table() {
+        t.insert(vec![
+            Value::Int(f.frame as i64),
+            f.page.map_or(Value::Null, |p| Value::Int(i64::from(p.0))),
+            Value::Bool(f.dirty),
+            f.referenced.map_or(Value::Null, Value::Bool),
+            f.lru_stamp.map_or(Value::Null, int),
+        ])
+        .expect("sys.pool rows match their schema");
+    }
+    t
+}
+
+/// `sys.timers`: one row per populated wheel region, in the wheel's
+/// fixed traversal order (`past`, then (level, slot) ascending, then
+/// `overflow`).
+///
+/// Schema: `area` (`past`/`wheel`/`overflow`), `level` and `slot` (null
+/// outside `wheel` rows), `live` (non-cancelled entries waiting there).
+/// The `live` column always sums to the wheel's
+/// [`len`](TimerWheel::len).
+///
+/// # Panics
+/// Never: rows are built to the schema.
+#[must_use]
+pub fn timers_table<T>(wheel: &TimerWheel<T>) -> Table {
+    let schema = Schema::new(&[
+        ("area", ColumnType::Str),
+        ("level", ColumnType::Int),
+        ("slot", ColumnType::Int),
+        ("live", ColumnType::Int),
+    ])
+    .expect("sys.timers schema is statically valid");
+    let mut t = Table::new(schema);
+    for o in wheel.occupancy() {
+        let (level, slot) = match o.area {
+            WheelArea::Wheel => (Value::Int(o.level as i64), Value::Int(o.slot as i64)),
+            WheelArea::Past | WheelArea::Overflow => (Value::Null, Value::Null),
+        };
+        t.insert(vec![
+            Value::Str(o.area.code_str().to_owned()),
+            level,
+            slot,
+            Value::Int(o.live as i64),
+        ])
+        .expect("sys.timers rows match their schema");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{filter_count, sum_int};
+    use obs::{CostModel, Obs, Primitive};
+    use query::expr::Pred;
+    use store::PolicyKind;
+
+    #[test]
+    fn metrics_table_explodes_histograms_in_registry_order() {
+        let mut obs = Obs::new(CostModel::pentium());
+        obs.metrics.counter_add("b.count", 2);
+        obs.metrics.counter_add("a.count", 1);
+        obs.metrics.gauge_set("util", 0.5);
+        obs.metrics.observe("lat", 3);
+        obs.metrics.observe("lat", 100);
+        let t = metrics_table(&obs.metrics.snapshot());
+        let names: Vec<String> = t
+            .rows()
+            .iter()
+            .map(|r| match (&r[0], &r[1], &r[2]) {
+                (Value::Str(k), Value::Str(n), Value::Str(key)) => format!("{k}:{n}:{key}"),
+                _ => unreachable!("first three columns are strings"),
+            })
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "counter:a.count:value",
+                "counter:b.count:value",
+                "gauge:util:value",
+                "histogram:lat:count",
+                "histogram:lat:sum",
+                "histogram:lat:min",
+                "histogram:lat:max",
+                "histogram:lat:b2",
+                "histogram:lat:b7",
+            ]
+        );
+        let count = sum_int(&t, 3, Pred::eq(2, Value::Str("count".to_owned())), None);
+        assert_eq!(count, 2, "the histogram recorded two observations");
+    }
+
+    #[test]
+    fn spans_table_keeps_event_order_and_instant_kinds() {
+        let mut obs = Obs::new(CostModel::pentium());
+        let s = obs.begin("area", "outer");
+        obs.charge(Primitive::Alu);
+        obs.instant("mark", "hit", vec![("k", "v".to_owned())]);
+        obs.end(s);
+        let t = spans_table(obs.tracer.events());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[0][4], Value::Str("hit".to_owned()), "instants complete first");
+        assert_eq!(t.rows()[0][5], Value::Str("instant".to_owned()));
+        assert_eq!(t.rows()[0][6], Value::Str("k=v".to_owned()));
+        assert_eq!(t.rows()[1][5], Value::Str("complete".to_owned()));
+        assert_eq!(filter_count(&t, Pred::eq(5, Value::Str("instant".to_owned())), None), 1);
+    }
+
+    #[test]
+    fn switches_table_serves_stats_and_live_records() {
+        let t = switches_table(3, 1, None);
+        assert_eq!(t.len(), 5, "five stat rows, no journal attached");
+        assert_eq!(sum_int(&t, 3, Pred::eq(1, Value::Str("committed".to_owned())), None), 3);
+        let mut j = AdaptationJournal::new();
+        let txn = j.begin(2, 0);
+        j.commit(txn);
+        let t = switches_table(1, 0, Some(&j));
+        let records = filter_count(&t, Pred::eq(0, Value::Str("record".to_owned())), None);
+        assert_eq!(records, 2, "intent + commit are live until truncation");
+        assert_eq!(sum_int(&t, 3, Pred::eq(1, Value::Str("journal_appended".to_owned())), None), 2);
+    }
+
+    #[test]
+    fn pool_table_has_one_row_per_frame() {
+        let mut pool = BufferPool::with_policy(3, PolicyKind::Clock);
+        pool.create(store::PageId(7));
+        let t = pool_table(&pool);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.rows()[0][1], Value::Int(7));
+        assert_eq!(t.rows()[0][2], Value::Bool(true), "fresh pages are dirty");
+        assert_eq!(t.rows()[1][1], Value::Null, "empty frames have no page");
+        assert_eq!(filter_count(&t, Pred::eq(2, Value::Bool(true)), None), 1, "one dirty frame");
+        assert_eq!(
+            filter_count(&t, Pred::gt(1, Value::Int(-1)), None),
+            1,
+            "null pages fail every comparison, so only occupied frames match"
+        );
+    }
+
+    #[test]
+    fn timers_table_live_column_sums_to_wheel_len() {
+        let mut w: TimerWheel<u8> = TimerWheel::new();
+        w.schedule(3, 1);
+        w.schedule(3, 2);
+        w.schedule(5_000, 3);
+        w.schedule(30_000_000, 4);
+        let t = timers_table(&w);
+        assert_eq!(sum_int(&t, 3, Pred::True, None) as usize, w.len());
+        assert_eq!(filter_count(&t, Pred::eq(0, Value::Str("overflow".to_owned())), None), 1);
+    }
+}

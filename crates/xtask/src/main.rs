@@ -6,14 +6,19 @@
 //!   per CI chaos seed, replacing the raw
 //!   `UPDATE_GOLDENS=1 CHAOS_SEED=<seed> cargo test …` incantation),
 //!   the crash-replay recovery matrix (`tests/goldens/crashrep.txt`),
-//!   the storage WAL crash matrix (`tests/goldens/storerep.txt`), and
-//!   the benchmark-trajectory baseline `BENCH_adm.json`.
+//!   the storage WAL crash matrix (`tests/goldens/storerep.txt`), the
+//!   system-table query results (`tests/goldens/systab.txt`), and the
+//!   benchmark-trajectory baseline `BENCH_adm.json`.
 //! * `bench-gate` — replay the benchmark trajectory and compare it to
 //!   the committed `BENCH_adm.json` under the gate tolerances; exits
 //!   non-zero on drift (what the CI `bench-gate` job runs).
 //! * `scale` — run the mega-crowd scale tier in release: ~10.5M requests
 //!   through the event engine inside the wall-clock budget (what the CI
 //!   `scale` job runs).
+//! * `systab` — run the system-table tier: every committed scenario
+//!   settled and queried through the `sys.*` tables, the query-vs-
+//!   hardcoded SWITCH differential, and the `systab` crate's unit suite
+//!   (what the CI `systab` job runs).
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -67,6 +72,10 @@ fn update_goldens() {
         &[("UPDATE_GOLDENS", "1".to_owned())],
     );
     run_cargo(
+        &["test", "-q", "-p", "adm-core", "--test", "systab_e2e"],
+        &[("UPDATE_GOLDENS", "1".to_owned())],
+    );
+    run_cargo(
         &["run", "--release", "-q", "-p", "adm-bench", "--bin", "bench", "--", "--update"],
         &[],
     );
@@ -104,6 +113,14 @@ fn store_recovery() {
     run_cargo(&["test", "-q", "-p", "store", "--features", "slow-props"], &[]);
 }
 
+/// Run the system-table tier: the `systab_e2e` invariant queries and
+/// SWITCH-rule differential over every committed scenario, plus the
+/// `systab` crate's unit suite (what the CI `systab` job runs).
+fn systab() {
+    run_cargo(&["test", "-q", "-p", "adm-core", "--test", "systab_e2e"], &[]);
+    run_cargo(&["test", "-q", "-p", "systab"], &[]);
+}
+
 fn main() {
     let task = std::env::args().nth(1);
     match task.as_deref() {
@@ -112,6 +129,7 @@ fn main() {
         Some("lint-plans") => lint_plans(),
         Some("scale") => scale(),
         Some("store-recovery") => store_recovery(),
+        Some("systab") => systab(),
         other => {
             if let Some(t) = other {
                 println!("unknown task {t:?}\n");
@@ -123,7 +141,8 @@ fn main() {
                  bench-gate      compare a fresh bench run against BENCH_adm.json\n  \
                  lint-plans      planlint every committed scenario configuration\n  \
                  scale           run the mega-crowd scale tier (release, wall-clock budget)\n  \
-                 store-recovery  run the WAL crash matrix and the store differential oracles"
+                 store-recovery  run the WAL crash matrix and the store differential oracles\n  \
+                 systab          query every scenario through the sys.* system tables"
             );
             std::process::exit(2);
         }
