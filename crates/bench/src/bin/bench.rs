@@ -22,6 +22,10 @@
 //!   plus — uniquely in this bench — real wall-clock rows
 //!   (`megacrowd.wall.*`), gated only against order-of-magnitude
 //!   blowups since wall time is machine-dependent;
+//! * **transactions** — the unbundled transaction core: clean
+//!   cross-shard prepare/commit and crash-plus-recovery cycle prices,
+//!   plus the conformance matrix's exact outcome counts (`txn.cycles.*`,
+//!   `txn.counts.*`, `txn.matrix.counts.*`);
 //! * **system tables** — the `systab` introspection layer: billed
 //!   table-scan cycles over a settled chaos world and the declarative
 //!   SWITCH rule's evaluation cost (`systab.cycles.*`,
@@ -262,6 +266,52 @@ fn record_store(snap: &mut BenchSnapshot) {
     }
 }
 
+/// Record the unbundled transaction core under `txn.*`: what cross-shard
+/// SWITCH costs on the virtual clock — a clean three-shard prepare/commit
+/// (with its forced-vote count), a coordinator crash at the commit edge
+/// plus the recovery that settles it — and the conformance matrix's exact
+/// structural outcome counts (cells, landed sides, compensations,
+/// in-doubt resolutions).
+fn record_txn(snap: &mut BenchSnapshot) {
+    use adm_core::scenario::txnrep;
+    use txn::TxnCrashPoint;
+
+    // The clean committed path: one three-shard transaction, every vote
+    // and the decision forced.
+    let (report, o) = txnrep::run_clean_observed(17, 3);
+    assert_eq!(report.shards, 3, "the bench transaction spans three shards");
+    snap.set("txn.cycles.clean_commit", o.clock());
+    snap.set("txn.counts.clean_steps", report.steps as u64);
+    snap.set("txn.counts.clean_log_forces", o.metrics.counter("txn.log.force"));
+
+    // The crash-and-recover path: the coordinator dies with every shard
+    // prepared, recovery resolves all three in doubt by the log read.
+    let (cell, o) = txnrep::run_cell_observed(17, 3, TxnCrashPoint::BeforeDecision);
+    assert!(cell.consistent(), "bench cell must recover cleanly: {}", cell.render_line());
+    snap.set("txn.cycles.crash_recover", o.clock());
+    snap.set("txn.counts.crash_in_doubt_resolved", cell.in_doubt_resolved as u64);
+
+    // The full matrix's structural counts.
+    let mut committed = 0u64;
+    let mut rolled_back = 0u64;
+    let mut undone = 0u64;
+    let mut resolved = 0u64;
+    let mut cells = 0u64;
+    for cell in txnrep::sweep() {
+        assert!(cell.consistent(), "bench cell must recover cleanly: {}", cell.render_line());
+        committed += u64::from(cell.committed());
+        rolled_back += u64::from(cell.rolled_back());
+        undone += cell.undone as u64;
+        resolved += cell.in_doubt_resolved as u64;
+        cells += 1;
+    }
+    snap.set("txn.matrix.counts.cells", cells);
+    snap.set("txn.matrix.counts.committed", committed);
+    snap.set("txn.matrix.counts.rolled_back", rolled_back);
+    snap.set("txn.matrix.counts.steps_undone", undone);
+    snap.set("txn.matrix.counts.in_doubt_resolved", resolved);
+}
+
 /// Record the system-table layer under `systab.*`: what it costs to
 /// serve the machine's own telemetry through the query operators
 /// (billed table-scan cycles over a settled chaos world) and what the
@@ -366,6 +416,9 @@ fn measure() -> BenchSnapshot {
 
     // The storage engine: WAL recovery matrix + pool pressure sweep.
     record_store(&mut snap);
+
+    // The unbundled transaction core: 2PC pricing + the cross-shard matrix.
+    record_txn(&mut snap);
 
     // The system-table layer: billed scans + the declarative SWITCH rule.
     record_systab(&mut snap);

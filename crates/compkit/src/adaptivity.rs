@@ -229,6 +229,14 @@ impl AdaptivityManager {
         self.journal.as_ref()
     }
 
+    /// Live records in the attached journal (0 when none is attached).
+    /// The `sys.txns` system table reads this to surface how much journal
+    /// a crash at this instant would force the next recovery to replay.
+    #[must_use]
+    pub fn journal_len(&self) -> usize {
+        self.journal.as_ref().map_or(0, AdaptationJournal::len)
+    }
+
     /// Execute `plan` against `runtime` transactionally.
     ///
     /// On success the runtime has exactly the plan's target shape, stopped
@@ -625,6 +633,9 @@ impl AdaptivityManager {
             o.metrics
                 .counter_add("compkit.recovery.records_scanned", report.records_scanned as u64);
             o.metrics.counter_add("compkit.recovery.steps_undone", report.undone as u64);
+            // Mirrors `store.wal.replay_len`: the journal length a replay
+            // walked, whoever the log's owner is.
+            o.metrics.counter_add("compkit.recovery.replay_len", report.records_scanned as u64);
         }
         report
     }
@@ -1036,6 +1047,39 @@ mod tests {
         assert_eq!(j.appended_total(), 1 + plan.len() as u64 + 1);
         let report = am.recover(&mut rt, &mut sm, &mut NoCrash);
         assert!(report.noop(), "nothing to recover after a clean commit: {report:?}");
+    }
+
+    #[test]
+    fn journal_len_tracks_live_records_and_recovery_reports_replay_len() {
+        use obs::{CostModel, Obs};
+        let (mut rt, mut sm, mut am, plan) = journalled_world();
+        assert_eq!(am.journal_len(), 0, "fresh journal holds nothing");
+        let mut crash = PlannedCrash::new(CrashPoint::BeforeCommit);
+        am.execute_crashable(
+            &mut rt,
+            &plan,
+            &mut BasicFactory,
+            &mut sm,
+            5,
+            &mut NoFaults,
+            &mut crash,
+        )
+        .unwrap_err();
+        // intent + one record per applied step are still live after a crash.
+        assert_eq!(am.journal_len(), 1 + plan.len());
+
+        let obs = Obs::new(CostModel::pentium()).into_handle();
+        am.arm_obs(obs.clone());
+        let report = am.recover(&mut rt, &mut sm, &mut NoCrash);
+        am.disarm_obs();
+        assert_eq!(report.outcome, RecoveryOutcome::RolledBack);
+        assert_eq!(am.journal_len(), 0, "recovery checkpoints the journal");
+        let o = Obs::try_unwrap(obs).unwrap_or_else(|_| unreachable!("sole handle"));
+        assert_eq!(
+            o.metrics.counter("compkit.recovery.replay_len"),
+            report.records_scanned as u64,
+            "replay_len mirrors store.wal.replay_len for the adaptation journal"
+        );
     }
 
     #[test]

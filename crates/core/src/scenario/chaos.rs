@@ -152,8 +152,9 @@ pub fn ci_chaos(seed: u64) -> ChaosParams {
         incidents: 10,
         // Kept empty so the golden seeds keep drawing byte-identical
         // timelines; compkit crash points are exercised exhaustively by
-        // the `crashrep` matrix instead.
+        // the `crashrep` matrix and 2PC crash points by `txnrep`.
         crash_nodes: Vec::new(),
+        txn_crashes: Vec::new(),
     };
     ChaosParams {
         plan: FaultPlan::random(seed, &space),

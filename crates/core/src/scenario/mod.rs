@@ -16,3 +16,4 @@ pub mod intra_query;
 pub mod megacrowd;
 pub mod storerep;
 pub mod system_adapt;
+pub mod txnrep;

@@ -16,6 +16,7 @@ use gokernel::orb::InvokeFaults;
 use patia::atom::AtomId;
 use patia::server::{PatiaServer, SwitchGate};
 use std::collections::{BTreeMap, BTreeSet};
+use txn::{TxnCrashHook, TxnCrashPoint, TxnCrashSite};
 use ubinet::sim::{EnvEvent, Simulator};
 
 /// Schedule the plan's network faults (flaps, spikes, partitions, node
@@ -195,10 +196,70 @@ impl PlanCrashHook {
     pub fn fired(&self) -> usize {
         self.fired
     }
+
+    /// Rendered labels of the crash points that never fired.
+    #[must_use]
+    pub fn unfired_labels(&self) -> Vec<String> {
+        self.pending[self.fired..].iter().map(ToString::to_string).collect()
+    }
 }
 
 impl CrashHook for PlanCrashHook {
     fn crash(&mut self, site: &CrashSite) -> bool {
+        let Some(point) = self.pending.get(self.fired) else { return false };
+        if point.matches(site) {
+            self.fired += 1;
+            return true;
+        }
+        false
+    }
+}
+
+/// [`TxnCrashHook`] injector: carries the plan's [`Fault::TxnCrash`]
+/// points into the `txn` crate's two-phase-commit crash model. Points
+/// fire in timeline order, each exactly once, at the first matching
+/// protocol boundary of whatever global transaction is then in flight.
+#[derive(Debug, Clone)]
+pub struct PlanTxnCrashHook {
+    pending: Vec<TxnCrashPoint>,
+    fired: usize,
+}
+
+impl PlanTxnCrashHook {
+    /// Collect the plan's 2PC crash points in timeline order.
+    #[must_use]
+    pub fn new(plan: &FaultPlan) -> Self {
+        let pending = plan
+            .iter()
+            .filter_map(|(_, f)| match f {
+                Fault::TxnCrash { point } => Some(*point),
+                _ => None,
+            })
+            .collect();
+        Self { pending, fired: 0 }
+    }
+
+    /// Crash points not yet fired.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.len() - self.fired
+    }
+
+    /// Crash points already fired.
+    #[must_use]
+    pub fn fired(&self) -> usize {
+        self.fired
+    }
+
+    /// Rendered labels of the crash points that never fired.
+    #[must_use]
+    pub fn unfired_labels(&self) -> Vec<String> {
+        self.pending[self.fired..].iter().map(ToString::to_string).collect()
+    }
+}
+
+impl TxnCrashHook for PlanTxnCrashHook {
+    fn crash(&mut self, site: &TxnCrashSite) -> bool {
         let Some(point) = self.pending.get(self.fired) else { return false };
         if point.matches(site) {
             self.fired += 1;

@@ -32,10 +32,12 @@
 #![warn(missing_docs)]
 
 pub mod adapters;
+pub mod coverage;
 pub mod plan;
 
 pub use adapters::{
     flaky_factory, schedule_network, PatiaDriver, PlanCrashHook, PlanInvokeFaults, PlanStepFaults,
-    PlanSwitchGate,
+    PlanSwitchGate, PlanTxnCrashHook,
 };
+pub use coverage::{CoverageEntry, CoverageLedger, HookCoverage};
 pub use plan::{Fault, FaultPlan, FaultSpace};

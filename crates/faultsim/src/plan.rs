@@ -11,6 +11,7 @@ use adm_rng::Pcg32;
 use compkit::journal::CrashPoint;
 use std::collections::BTreeMap;
 use std::fmt;
+use txn::TxnCrashPoint;
 
 /// One injectable fault. Paired variants (death/revival, down/up,
 /// partition/heal, pressure/release) model an incident and its recovery as
@@ -113,6 +114,14 @@ pub enum Fault {
         /// The restarting node.
         node: String,
     },
+    /// A coordinator/participant crash at a cross-shard transaction
+    /// protocol boundary —
+    /// [`adapters::PlanTxnCrashHook`](crate::adapters::PlanTxnCrashHook)
+    /// carries the point into the `txn` crate's 2PC crash model.
+    TxnCrash {
+        /// Where in the two-phase-commit lifecycle the crash strikes.
+        point: TxnCrashPoint,
+    },
 }
 
 impl fmt::Display for Fault {
@@ -137,6 +146,7 @@ impl fmt::Display for Fault {
             Fault::InvokeFailure { call_index } => write!(f, "invoke-failure call={call_index}"),
             Fault::NodeCrash { node, point } => write!(f, "node-crash {node}@{point}"),
             Fault::NodeRestart { node } => write!(f, "node-restart {node}"),
+            Fault::TxnCrash { point } => write!(f, "txn-crash @{point}"),
         }
     }
 }
@@ -158,6 +168,10 @@ pub struct FaultSpace {
     /// point) and later restart. Kept separate from `nodes` so existing
     /// seeded spaces draw byte-identical plans until a space opts in.
     pub crash_nodes: Vec<String>,
+    /// Cross-shard transaction crash points the space may draw
+    /// ([`Fault::TxnCrash`]). Opt-in like `crash_nodes` for the same
+    /// reason: existing seeded spaces keep drawing byte-identical plans.
+    pub txn_crashes: Vec<TxnCrashPoint>,
     /// Plans schedule within ticks `1..=horizon`.
     pub horizon: u64,
     /// How many incidents (a fault plus its recovery, where paired) to
@@ -254,6 +268,9 @@ impl FaultPlan {
         if !space.crash_nodes.is_empty() {
             kinds.push(9); // mid-reconfiguration crash + restart
         }
+        if !space.txn_crashes.is_empty() {
+            kinds.push(10); // cross-shard 2PC coordinator/participant crash
+        }
         for _ in 0..space.incidents {
             let start = 1 + rng.below(horizon - 1);
             let duration = 1 + rng.below((horizon / 4).max(1));
@@ -301,7 +318,7 @@ impl FaultPlan {
                 8 => {
                     plan.push(start, Fault::InvokeFailure { call_index: rng.below(64) });
                 }
-                _ => {
+                9 => {
                     let node = space.crash_nodes[rng.index(space.crash_nodes.len())].clone();
                     let point = match rng.index(6) {
                         0 => CrashPoint::MidPlan { after_steps: 1 },
@@ -313,6 +330,10 @@ impl FaultPlan {
                     };
                     plan.push(start, Fault::NodeCrash { node: node.clone(), point });
                     plan.push(end, Fault::NodeRestart { node });
+                }
+                _ => {
+                    let point = space.txn_crashes[rng.index(space.txn_crashes.len())];
+                    plan.push(start, Fault::TxnCrash { point });
                 }
             }
         }
@@ -357,6 +378,7 @@ mod tests {
             atoms: vec![123, 153],
             components: vec!["codec".into(), "cache".into()],
             crash_nodes: Vec::new(),
+            txn_crashes: Vec::new(),
             horizon: 64,
             incidents: 12,
         }
@@ -476,6 +498,41 @@ mod tests {
                     !matches!(f, Fault::NodeCrash { .. } | Fault::NodeRestart { .. })
                 }),
                 "seed {seed} drew a crash from a space with no crash_nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn txn_crash_spaces_draw_txn_crashes() {
+        let s = FaultSpace {
+            txn_crashes: vec![
+                TxnCrashPoint::BeforePrepare,
+                TxnCrashPoint::AfterDecision,
+                TxnCrashPoint::MidCommitFanout { shard: 0 },
+            ],
+            horizon: 32,
+            incidents: 16,
+            ..Default::default()
+        };
+        let plan = FaultPlan::random(13, &s);
+        assert!(
+            plan.iter().any(|(_, f)| matches!(f, Fault::TxnCrash { .. })),
+            "a space with txn_crashes must draw txn crashes: {}",
+            plan.render()
+        );
+        assert!(plan.render().contains("txn-crash @"), "{}", plan.render());
+    }
+
+    #[test]
+    fn spaces_without_txn_crashes_never_draw_them() {
+        // Same golden-stability contract as `crash_nodes`: the txn-crash
+        // kind only enters the draw when a space opts in, so every
+        // pre-existing seeded space keeps drawing byte-identical plans.
+        for seed in [1u64, 42, 99, 20_260_806] {
+            let plan = FaultPlan::random(seed, &space());
+            assert!(
+                plan.iter().all(|(_, f)| !matches!(f, Fault::TxnCrash { .. })),
+                "seed {seed} drew a txn crash from a space with no txn_crashes"
             );
         }
     }

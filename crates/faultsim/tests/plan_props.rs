@@ -138,6 +138,7 @@ fn random_plan_generation_is_reproducible() {
             horizon: 32,
             incidents: 8,
             crash_nodes: vec!["n1".into()],
+            txn_crashes: vec![txn::TxnCrashPoint::BeforePrepare],
         };
         let first = FaultPlan::random(seed, &space);
         let second = FaultPlan::random(seed, &space);

@@ -44,6 +44,7 @@ pub mod constraint;
 pub mod engine;
 pub mod rules;
 pub mod server;
+pub mod shard;
 pub mod stream;
 pub mod supervise;
 pub mod wheel;
@@ -55,6 +56,7 @@ pub use constraint::{paper_table2, AtomConstraint, ConstraintLogic};
 pub use engine::{EngineEvent, EngineTotals, EventEngine};
 pub use rules::{blocked_peers, supervision_schema, supervision_table, RuleStats};
 pub use server::{FaultCounters, PatiaServer, ServerConfig, SwitchGate, SwitchPolicy, TickStats};
+pub use shard::{cross_shard_plans, shard_of, ShardHandle};
 pub use stream::{StreamCodec, StreamSession};
 pub use supervise::{CircuitState, PeerSnapshot, SuperviseConfig, SupervisionEvent, Supervisor};
 pub use wheel::{TimerToken, TimerWheel, WheelArea, WheelSlotOccupancy};

@@ -6,9 +6,9 @@
 //! same thesis for operating systems at large. This crate applies it to
 //! the reproduction itself: everything the platform already observes —
 //! the metrics registry, the cycle-accounted span log, the supervisor's
-//! circuit breakers, the adaptation journal, the buffer-pool frame
-//! table, the event engine's timer wheel — is rendered as six virtual
-//! tables with stable schemas:
+//! circuit breakers, the adaptation journal, the unbundled transaction
+//! core's log, the buffer-pool frame table, the event engine's timer
+//! wheel — is rendered as seven virtual tables with stable schemas:
 //!
 //! | table             | one row per                 | source                      |
 //! |-------------------|-----------------------------|-----------------------------|
@@ -16,6 +16,7 @@
 //! | `sys.spans`       | trace event                 | [`obs::span::TraceEvent`]   |
 //! | `sys.supervision` | watched peer                | [`patia::Supervisor`]       |
 //! | `sys.switches`    | journal stat / live record  | [`compkit::journal`]        |
+//! | `sys.txns`        | 2PC stat / live log record  | [`txn::TransactionCore`]    |
 //! | `sys.pool`        | buffer-pool frame           | [`store::BufferPool`]       |
 //! | `sys.timers`      | populated wheel region      | [`patia::TimerWheel`]       |
 //!
@@ -40,4 +41,5 @@ pub mod tables;
 pub use scan::{filter_count, scan_rows, sum_int, SysScan};
 pub use tables::{
     metrics_table, pool_table, spans_table, supervision_table, switches_table, timers_table,
+    txns_table,
 };

@@ -1,4 +1,4 @@
-//! Builders for the six `sys.*` tables.
+//! Builders for the seven `sys.*` tables.
 //!
 //! Each builder freezes one subsystem's live state into a
 //! [`datacomp::Table`] with a stable schema and deterministic row order,
@@ -8,12 +8,14 @@
 //! equally available to ordinary code.
 
 use compkit::journal::{AdaptationJournal, JournalRecord};
+use compkit::AdaptivityManager;
 use datacomp::{ColumnType, Schema, Table, Value};
 use obs::span::{EventKind, TraceEvent};
 use obs::MetricsSnapshot;
 use patia::wheel::TimerWheel;
 use patia::WheelArea;
 use store::BufferPool;
+use txn::{TransactionCore, TxnRecord};
 
 /// Saturating `u64 → Value::Int` (registry counters can exceed `i64`).
 fn int(v: u64) -> Value {
@@ -183,6 +185,84 @@ pub fn switches_table(
     t
 }
 
+/// `sys.txns`: the unbundled transaction core's ledger — protocol stats
+/// plus every live (untruncated) record of the unified transaction log.
+///
+/// Schema: `kind` (`stat`/`record`), `name` (stat name, or the record's
+/// tag: `begin`/`intent`/`applied`/`undone`/`prepared`/`commit`/
+/// `shard-committed`/`shard-aborted`/`end`), `gtxn` (null for stats),
+/// `shard` (null for stats and coordinator records), `value` (stat
+/// value; for records the shard count, declared steps, or step index),
+/// `detail` (the record's rendered form; null for stats).
+///
+/// The stats mirror the lifetime counters the core and its log expose
+/// (`committed`/`aborted`/`crashes`/`recoveries`/`in_doubt_resolved`,
+/// `log_appended`/`log_truncations`/`log_live`, `locks_held`) plus the
+/// legacy single-shard journal's live length (`journal_live`, from the
+/// adaptivity manager the core unbundled) so one query screens both
+/// generations of the switch machinery. After `truncate_ended` a
+/// healthy log serves no `record` rows — exactly like `sys.switches`.
+///
+/// # Panics
+/// Never: rows are built to the schema.
+#[must_use]
+pub fn txns_table(core: &TransactionCore, am: Option<&AdaptivityManager>) -> Table {
+    let schema = Schema::new(&[
+        ("kind", ColumnType::Str),
+        ("name", ColumnType::Str),
+        ("gtxn", ColumnType::Int),
+        ("shard", ColumnType::Int),
+        ("value", ColumnType::Int),
+        ("detail", ColumnType::Str),
+    ])
+    .expect("sys.txns schema is statically valid");
+    let mut t = Table::new(schema);
+    let mut stat = |name: &str, v: u64| {
+        t.insert(vec![
+            Value::Str("stat".to_owned()),
+            Value::Str(name.to_owned()),
+            Value::Null,
+            Value::Null,
+            int(v),
+            Value::Null,
+        ])
+        .expect("sys.txns stat rows match their schema");
+    };
+    stat("committed", core.committed());
+    stat("aborted", core.aborted());
+    stat("crashes", core.crashes());
+    stat("recoveries", core.recoveries());
+    stat("in_doubt_resolved", core.in_doubt_resolved());
+    stat("log_appended", core.log().appended_total());
+    stat("log_truncations", core.log().truncations());
+    stat("log_live", core.log().len() as u64);
+    stat("locks_held", core.locks().held_total() as u64);
+    stat("journal_live", am.map_or(0, |m| m.journal_len() as u64));
+    for r in core.log().records() {
+        let (shard, value) = match r {
+            TxnRecord::Begin { shards, .. } => (None, Some(shards.len() as u64)),
+            TxnRecord::Intent { shard, steps, .. } => (Some(shard.0), Some(*steps as u64)),
+            TxnRecord::Applied { shard, index, .. } | TxnRecord::Undone { shard, index, .. } => {
+                (Some(shard.0), Some(*index as u64))
+            }
+            TxnRecord::Prepared { shard, .. }
+            | TxnRecord::ShardCommitted { shard, .. }
+            | TxnRecord::ShardAborted { shard, .. } => (Some(shard.0), None),
+            TxnRecord::Commit { .. } | TxnRecord::End { .. } => (None, None),
+        };
+        t.insert(vec![
+            Value::Str("record".to_owned()),
+            Value::Str(r.tag().to_owned()),
+            int(r.gtxn()),
+            shard.map_or(Value::Null, |s| Value::Int(i64::from(s))),
+            value.map_or(Value::Null, int),
+            Value::Str(r.to_string()),
+        ])
+        .expect("sys.txns record rows match their schema");
+    }
+    t
+}
+
 /// `sys.pool`: one row per buffer-pool frame, in frame-index order.
 ///
 /// Schema: `frame`, `page` (null for an empty frame), `dirty`,
@@ -323,6 +403,75 @@ mod tests {
         let records = filter_count(&t, Pred::eq(0, Value::Str("record".to_owned())), None);
         assert_eq!(records, 2, "intent + commit are live until truncation");
         assert_eq!(sum_int(&t, 3, Pred::eq(1, Value::Str("journal_appended".to_owned())), None), 2);
+    }
+
+    #[test]
+    fn txns_table_serves_protocol_stats_and_live_log_records() {
+        use compkit::runtime::LiveComponent;
+        use compkit::NoFaults;
+        use patia::shard::{atom_instance, host_instance, route_binding};
+        use patia::AtomId;
+        use std::collections::BTreeMap;
+        use txn::{DataComponent, NoTxnCrash, PlannedTxnCrash, ShardId, TxnCrashPoint};
+
+        let handles = vec![
+            patia::ShardHandle::new(0, "east", vec!["n1".into()]),
+            patia::ShardHandle::new(1, "west", vec!["n2".into()]),
+        ];
+        let plans = patia::cross_shard_plans(&handles, AtomId(7), "n1", "n2");
+        let mut shards: BTreeMap<u32, DataComponent> = BTreeMap::new();
+        for (id, node) in [(0u32, "n1"), (1u32, "n2")] {
+            let mut dc = DataComponent::new(ShardId(id));
+            dc.runtime_mut()
+                .start(
+                    &host_instance(node),
+                    LiveComponent { ty: "Host".into(), state: vec![id as u8], started_at: 0 },
+                )
+                .unwrap();
+            shards.insert(id, dc);
+        }
+        let east = shards.get_mut(&0).unwrap().runtime_mut();
+        east.start(
+            &atom_instance(AtomId(7)),
+            LiveComponent { ty: "Agent".into(), state: vec![7], started_at: 0 },
+        )
+        .unwrap();
+        east.bind(route_binding(AtomId(7), "n1")).unwrap();
+
+        let mut core = txn::TransactionCore::new();
+        let mut hook = PlannedTxnCrash::new(TxnCrashPoint::BeforeDecision);
+        let run = core.execute_cross_shard(&mut shards, &plans, 5, &mut NoFaults, &mut hook);
+        assert!(run.is_err(), "planned crash fires before the decision");
+
+        let t = txns_table(&core, None);
+        assert_eq!(sum_int(&t, 4, Pred::eq(1, Value::Str("crashes".to_owned())), None), 1);
+        assert_eq!(
+            filter_count(&t, Pred::eq(1, Value::Str("prepared".to_owned())), None),
+            2,
+            "both shards voted before the coordinator crashed"
+        );
+        let records = filter_count(&t, Pred::eq(0, Value::Str("record".to_owned())), None);
+        assert_eq!(records as usize, core.log().len(), "one record row per live log record");
+
+        let report = core.recover(&mut shards, &mut NoTxnCrash);
+        assert_eq!(
+            report.in_doubt_resolved, 2,
+            "both prepared shards consult the missing decision"
+        );
+        let t = txns_table(&core, None);
+        assert_eq!(sum_int(&t, 4, Pred::eq(1, Value::Str("aborted".to_owned())), None), 1);
+        assert_eq!(
+            sum_int(&t, 4, Pred::eq(1, Value::Str("in_doubt_resolved".to_owned())), None),
+            2
+        );
+        assert_eq!(
+            sum_int(&t, 4, Pred::eq(1, Value::Str("log_live".to_owned())), None),
+            0,
+            "recovery ends the txn and truncation reclaims it"
+        );
+        assert_eq!(filter_count(&t, Pred::eq(0, Value::Str("record".to_owned())), None), 0);
+        assert_eq!(sum_int(&t, 4, Pred::eq(1, Value::Str("journal_live".to_owned())), None), 0);
+        assert_eq!(sum_int(&t, 4, Pred::eq(1, Value::Str("locks_held".to_owned())), None), 0);
     }
 
     #[test]

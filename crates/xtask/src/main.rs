@@ -7,6 +7,7 @@
 //!   `UPDATE_GOLDENS=1 CHAOS_SEED=<seed> cargo test …` incantation),
 //!   the crash-replay recovery matrix (`tests/goldens/crashrep.txt`),
 //!   the storage WAL crash matrix (`tests/goldens/storerep.txt`), the
+//!   cross-shard transaction matrix (`tests/goldens/txnrep.txt`), the
 //!   system-table query results (`tests/goldens/systab.txt`), and the
 //!   benchmark-trajectory baseline `BENCH_adm.json`.
 //! * `bench-gate` — replay the benchmark trajectory and compare it to
@@ -19,6 +20,10 @@
 //!   settled and queried through the `sys.*` tables, the query-vs-
 //!   hardcoded SWITCH differential, and the `systab` crate's unit suite
 //!   (what the CI `systab` job runs).
+//! * `txn-matrix` — run the cross-shard transaction conformance tier:
+//!   the (seed × crash site × topology) 2PC matrix of `txnrep_e2e` plus
+//!   the `txn` crate's unit and property suites (what the CI
+//!   `txn-matrix` job runs).
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -72,6 +77,10 @@ fn update_goldens() {
         &[("UPDATE_GOLDENS", "1".to_owned())],
     );
     run_cargo(
+        &["test", "-q", "-p", "adm-core", "--test", "txnrep_e2e"],
+        &[("UPDATE_GOLDENS", "1".to_owned())],
+    );
+    run_cargo(
         &["test", "-q", "-p", "adm-core", "--test", "systab_e2e"],
         &[("UPDATE_GOLDENS", "1".to_owned())],
     );
@@ -121,6 +130,14 @@ fn systab() {
     run_cargo(&["test", "-q", "-p", "systab"], &[]);
 }
 
+/// Run the cross-shard transaction tier: the 2PC coordinator/participant
+/// crash matrix (`tests/txnrep_e2e.rs`) plus the `txn` crate's unit and
+/// slow-props suites (what the CI `txn-matrix` job runs).
+fn txn_matrix() {
+    run_cargo(&["test", "-q", "-p", "adm-core", "--test", "txnrep_e2e"], &[]);
+    run_cargo(&["test", "-q", "-p", "txn", "--features", "slow-props"], &[]);
+}
+
 fn main() {
     let task = std::env::args().nth(1);
     match task.as_deref() {
@@ -130,6 +147,7 @@ fn main() {
         Some("scale") => scale(),
         Some("store-recovery") => store_recovery(),
         Some("systab") => systab(),
+        Some("txn-matrix") => txn_matrix(),
         other => {
             if let Some(t) = other {
                 println!("unknown task {t:?}\n");
@@ -142,7 +160,8 @@ fn main() {
                  lint-plans      planlint every committed scenario configuration\n  \
                  scale           run the mega-crowd scale tier (release, wall-clock budget)\n  \
                  store-recovery  run the WAL crash matrix and the store differential oracles\n  \
-                 systab          query every scenario through the sys.* system tables"
+                 systab          query every scenario through the sys.* system tables\n  \
+                 txn-matrix      run the cross-shard 2PC coordinator/participant crash matrix"
             );
             std::process::exit(2);
         }

@@ -262,6 +262,7 @@ fn same_seed_replays_identical_timeline_and_stats() {
         horizon: 250,
         incidents: 10,
         crash_nodes: Vec::new(),
+        txn_crashes: Vec::new(),
     };
     let plan = FaultPlan::random(seed, &space);
     assert_eq!(plan.render(), FaultPlan::random(seed, &space).render());

@@ -1,0 +1,209 @@
+//! Cross-shard transaction conformance tier: the unbundled transaction
+//! core's never-hybrid guarantee, asserted end to end.
+//!
+//! Part 1 sweeps the (seed × crash point × topology) matrix of
+//! `scenario::txnrep`: wherever the coordinator or a participant dies,
+//! recovery must land *every* shard's runtime-plus-store digest on the
+//! committed reference or the rolled-back reference — never a mix — a
+//! further recovery must be a no-op, and every armed crash hook must
+//! actually have fired. The matrix transcript is pinned as a golden
+//! (`tests/goldens/txnrep.txt`; regenerate with
+//! `cargo xtask update-goldens`).
+//!
+//! Part 2 prices the protocol: 2PC shows up as cycle-billed
+//! `txn:cross_switch` / `txn:recover` spans whose args agree with the
+//! cell report, and as `txn.*` registry counters (one forced vote per
+//! shard plus the forced decision on the clean path).
+//!
+//! Part 3 closes the introspection loop: the same crashed core is
+//! queried through the `sys.txns` system table, prepared votes and all.
+
+use adm_core::scenario::txnrep::{
+    crash_points, render_matrix, run_cell_observed, run_clean_observed, seeded_world, sweep,
+    TxnCellReport, TOPOLOGIES, TXN_SEEDS,
+};
+use compkit::{AdaptivityManager, NoFaults};
+use datacomp::Value;
+use obs::query::{arg, Query};
+use query::expr::Pred;
+use std::path::PathBuf;
+use systab::{filter_count, sum_int, txns_table};
+use txn::{NoTxnCrash, PlannedTxnCrash, TransactionCore, TxnCrashPoint};
+
+fn goldens_dir() -> PathBuf {
+    // Registered under crates/core; the goldens live at the repo root
+    // next to the e2e sources.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens")
+}
+
+/// Part 1a — the tentpole invariant over the full matrix: every cell
+/// lands all shards on exactly one reference, replays recovery as a
+/// no-op, and fires every armed crash hook.
+#[test]
+fn every_txn_cell_lands_all_shards_on_one_side_never_hybrid() {
+    let cells = sweep();
+    let expected: usize = TOPOLOGIES.iter().map(|&t| TXN_SEEDS.len() * crash_points(t).len()).sum();
+    assert_eq!(cells.len(), expected, "the matrix is complete");
+    for cell in &cells {
+        assert!(
+            cell.consistent(),
+            "cell must land whole, replay as a no-op, and fire its hooks: {}",
+            cell.render_line()
+        );
+        match cell.point {
+            TxnCrashPoint::AfterDecision | TxnCrashPoint::MidCommitFanout { .. } => {
+                assert!(
+                    cell.committed(),
+                    "a crash after the logged decision must roll forward: {}",
+                    cell.render_line()
+                );
+            }
+            _ => {
+                assert!(
+                    cell.rolled_back(),
+                    "presumed abort: no decision record must roll back: {}",
+                    cell.render_line()
+                );
+            }
+        }
+        let expected_calls =
+            if matches!(cell.point, TxnCrashPoint::DuringRecovery { .. }) { 2 } else { 1 };
+        assert_eq!(
+            cell.recover_calls,
+            expected_calls,
+            "recovery must settle in the minimum number of passes: {}",
+            cell.render_line()
+        );
+        assert!(cell.scanned > 0, "every cell leaves a log to scan: {}", cell.render_line());
+        if cell.topology == 3 && cell.point == TxnCrashPoint::BeforeDecision {
+            assert_eq!(
+                cell.in_doubt_resolved,
+                3,
+                "all three prepared shards consult the missing decision: {}",
+                cell.render_line()
+            );
+        }
+    }
+    // The matrix must exercise both outcomes, not collapse to one.
+    assert!(cells.iter().any(TxnCellReport::committed));
+    assert!(cells.iter().any(TxnCellReport::rolled_back));
+}
+
+/// Part 1b — the matrix transcript is deterministic and pinned as a
+/// golden, so any drift in log layout, recovery order, shard digesting,
+/// or hook coverage shows up as a reviewable diff.
+#[test]
+fn txn_matrix_golden_is_stable() {
+    let got = render_matrix(&sweep());
+    assert_eq!(got, render_matrix(&sweep()), "the matrix must replay byte-identically");
+    let path = goldens_dir().join("txnrep.txt");
+    if std::env::var("UPDATE_GOLDENS").is_ok() {
+        std::fs::create_dir_all(goldens_dir()).expect("create goldens dir");
+        std::fs::write(&path, &got).expect("write golden");
+        println!("updated golden {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with `cargo xtask update-goldens`",
+            path.display()
+        )
+    });
+    assert!(
+        got == want,
+        "cross-shard txn matrix drifted from the committed golden; if intentional, regenerate \
+         with `cargo xtask update-goldens`\n{}",
+        obs::diff::unified(&want, &got, "golden txnrep.txt", "this run")
+    );
+}
+
+/// Part 2a — the crash and its recovery are work the machine performs:
+/// billed on the virtual clock, traced as `txn:cross_switch` /
+/// `txn:recover` spans whose args agree with the cell report, and
+/// published to the registry.
+#[test]
+fn two_phase_commit_recovery_is_billed_traced_and_published() {
+    for point in [TxnCrashPoint::BeforeDecision, TxnCrashPoint::AfterDecision] {
+        let (cell, o) = run_cell_observed(17, 2, point);
+        let all = Query::over(o.tracer.events());
+        let crashed = all.clone().cat("txn").name("cross_switch").arg("outcome", "crashed");
+        assert_eq!(crashed.count(), 1, "the crash itself must be traced");
+        assert!(
+            arg(crashed.events()[0].1, "site").is_some(),
+            "the crashed span names its protocol site"
+        );
+        let recovers = all.clone().cat("txn").name("recover").spans();
+        assert_eq!(recovers.count(), 1, "one settled recovery, one span (noop replays are free)");
+        let (_, span) = recovers.events()[0];
+        assert!(span.dur > 0, "recovery must cost cycles");
+        assert_eq!(arg(span, "outcome").unwrap(), cell.outcome.to_string());
+        assert_eq!(arg(span, "scanned").unwrap(), cell.scanned.to_string());
+        assert_eq!(arg(span, "undone").unwrap(), cell.undone.to_string());
+        assert_eq!(arg(span, "in_doubt_resolved").unwrap(), cell.in_doubt_resolved.to_string());
+        assert_eq!(o.metrics.counter("txn.switch.crashed"), 1);
+        assert_eq!(o.metrics.counter("txn.recovery.runs"), 1);
+        assert_eq!(o.metrics.counter("txn.recovery.records_scanned"), cell.scanned as u64);
+        assert_eq!(o.metrics.counter("txn.recovery.steps_undone"), cell.undone as u64);
+        assert_eq!(
+            o.metrics.counter("txn.recovery.in_doubt_resolved"),
+            cell.in_doubt_resolved as u64
+        );
+        assert_eq!(o.metrics.counter("txn.log.replay_len"), cell.scanned as u64);
+        assert_eq!(o.tracer.open_spans(), 0, "every span must be closed");
+    }
+}
+
+/// Part 2b — the clean committed path prices prepare and commit: one
+/// forced vote per shard plus the forced decision, and two locked,
+/// two-step sub-plans.
+#[test]
+fn clean_cross_shard_commit_prices_votes_and_decision() {
+    let (report, o) = run_clean_observed(17, 2);
+    assert_eq!(report.shards, 2);
+    assert_eq!(report.steps, 4, "unbind+stop on the source, start+bind on the target");
+    assert_eq!(o.metrics.counter("txn.switch.committed"), 1);
+    assert_eq!(o.metrics.counter("txn.prepare.shards"), 2);
+    assert_eq!(o.metrics.counter("txn.log.force"), 3, "two votes plus the decision");
+    assert_eq!(o.metrics.counter("txn.switch.crashed"), 0);
+    assert_eq!(o.tracer.open_spans(), 0);
+}
+
+/// Part 3 — the introspection loop: a crashed core served through the
+/// `sys.txns` system table exposes the prepared votes, the recovery
+/// resolves them, and the table reads settled afterwards.
+#[test]
+fn sys_txns_serves_the_crashed_core_and_its_recovery() {
+    let (mut shards, plans) = seeded_world(42, 2);
+    let mut core = TransactionCore::new();
+    let mut hook = PlannedTxnCrash::new(TxnCrashPoint::BeforeDecision);
+    let run = core.execute_cross_shard(&mut shards, &plans, 50, &mut NoFaults, &mut hook);
+    assert!(run.is_err(), "the planned crash fires before the decision");
+
+    let mut am = AdaptivityManager::new();
+    am.attach_journal();
+    let t = txns_table(&core, Some(&am));
+    let stat = |name: &str| sum_int(&t, 4, Pred::eq(1, Value::Str(name.to_owned())), None);
+    assert_eq!(stat("crashes"), 1);
+    assert_eq!(stat("log_live") as usize, core.log().len());
+    assert_eq!(
+        filter_count(&t, Pred::eq(1, Value::Str("prepared".to_owned())), None),
+        2,
+        "both shards' votes are visible as sys.txns record rows"
+    );
+    assert_eq!(
+        filter_count(&t, Pred::eq(0, Value::Str("record".to_owned())), None) as usize,
+        core.log().len(),
+        "one record row per live log record"
+    );
+
+    let report = core.recover(&mut shards, &mut NoTxnCrash);
+    assert_eq!(report.in_doubt_resolved, 2);
+    let t = txns_table(&core, Some(&am));
+    let stat = |name: &str| sum_int(&t, 4, Pred::eq(1, Value::Str(name.to_owned())), None);
+    assert_eq!(stat("aborted"), 1, "presumed abort lands in the stats");
+    assert_eq!(stat("recoveries"), 1);
+    assert_eq!(stat("in_doubt_resolved"), 2);
+    assert_eq!(stat("log_live"), 0, "recovery ends the txn and truncation reclaims it");
+    assert_eq!(stat("locks_held"), 0);
+    assert_eq!(stat("journal_live"), 0, "the legacy journal rides along, empty");
+}
