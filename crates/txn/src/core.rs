@@ -615,6 +615,12 @@ impl TransactionCore {
         let mut crashed = false;
         'txns: for t in self.log.open_txns() {
             let in_doubt = t.in_doubt().len();
+            // Residue is tracked per transaction (residue[txn_mark..] is
+            // this transaction's): one stuck undo must not block another
+            // transaction's End, and a failed persist must keep *this*
+            // transaction open — never appended as ended — so a later
+            // pass retries the idempotent persist from the live log.
+            let txn_mark = residue.len();
             if t.decided {
                 // Roll forward: complete the commit fan-out.
                 for sid in &t.shards {
@@ -639,16 +645,19 @@ impl TransactionCore {
                     }
                 }
                 resolved += in_doubt;
-                self.log.append(TxnRecord::End { gtxn: t.gtxn });
-                self.bill(Primitive::Store);
-                forward += 1;
-                self.committed = self.committed.saturating_add(1);
+                if residue.len() == txn_mark {
+                    self.log.append(TxnRecord::End { gtxn: t.gtxn });
+                    self.bill(Primitive::Store);
+                    forward += 1;
+                    self.committed = self.committed.saturating_add(1);
+                }
             } else {
                 // Presumed abort: the prepared shards queried the log and
                 // found no decision — roll everything back.
                 resolved += in_doubt;
                 for sid in t.shards.iter().rev() {
                     let p = t.progress.get(sid).cloned().unwrap_or_default();
+                    let shard_mark = residue.len();
                     if let Some(dc) = shards.get_mut(&sid.0) {
                         for (index, record) in p.pending_undo() {
                             if let Err(e) = dc.undo_step(&record) {
@@ -665,19 +674,23 @@ impl TransactionCore {
                             }
                         }
                     }
-                    if !p.aborted {
+                    // Abort fan-out reaches a shard only once its
+                    // compensation completed: a shard whose undo left
+                    // residue stays un-aborted in the log so the record
+                    // order never claims more than actually happened.
+                    if !p.aborted && residue.len() == shard_mark {
                         self.log.append(TxnRecord::ShardAborted { gtxn: t.gtxn, shard: *sid });
                         self.bill(Primitive::Store);
                     }
                 }
-                if residue.is_empty() {
+                if residue.len() == txn_mark {
                     self.log.append(TxnRecord::End { gtxn: t.gtxn });
                     self.bill(Primitive::Store);
                     back += 1;
                     self.aborted = self.aborted.saturating_add(1);
                 }
             }
-            if residue.is_empty() {
+            if residue.len() == txn_mark {
                 self.locks.release_all(t.gtxn);
             }
         }
@@ -875,6 +888,91 @@ mod tests {
         assert_eq!(r2.outcome, RecoveryOutcome::RolledBack);
         assert!(r2.undone < 4, "the undo done before the recovery crash is not redone");
         assert_eq!(digests(&shards), before);
+        assert!(tc.recover(&mut shards, &mut NoTxnCrash).noop());
+    }
+
+    #[test]
+    fn store_failure_during_roll_forward_keeps_txn_open_for_retry() {
+        use compkit::journal::NoCrash;
+        use store::StorageEngine;
+        let (mut shards, plans) = world();
+        shards.get_mut(&1).unwrap().attach_store(StorageEngine::new(8));
+        let mut tc = TransactionCore::new();
+        let mut hook = PlannedTxnCrash::new(TxnCrashPoint::AfterDecision);
+        tc.execute_cross_shard(&mut shards, &plans, 40, &mut NoFaults, &mut hook).unwrap_err();
+        // s1's engine is down when recovery tries to finish the fan-out.
+        shards.get_mut(&1).unwrap().store_mut().unwrap().crash();
+        let r1 = tc.recover(&mut shards, &mut NoTxnCrash);
+        assert_eq!(r1.outcome, RecoveryOutcome::Incomplete);
+        assert_eq!(r1.residue.len(), 1);
+        assert_eq!(r1.forward, 0);
+        assert_eq!(tc.committed(), 0, "not counted committed until the fan-out lands");
+        assert!(!tc.log().is_empty(), "the decided txn stays open for retry");
+        assert!(tc.locks().held_total() > 0, "its locks are held until it ends");
+        // The engine comes back; a later pass retries the idempotent
+        // persist and settles the transaction.
+        shards.get_mut(&1).unwrap().store_mut().unwrap().recover(&mut NoCrash).unwrap();
+        let r2 = tc.recover(&mut shards, &mut NoTxnCrash);
+        assert_eq!(r2.outcome, RecoveryOutcome::RolledForward);
+        assert_eq!(tc.committed(), 1);
+        assert!(tc.log().is_empty());
+        assert_eq!(tc.locks().held_total(), 0);
+        let key = shards[&1].store_key("codec");
+        assert!(
+            shards.get_mut(&1).unwrap().store_mut().unwrap().get(key).unwrap().is_some(),
+            "the committed shard's durable state survived the failed pass"
+        );
+        assert!(tc.recover(&mut shards, &mut NoTxnCrash).noop());
+    }
+
+    #[test]
+    fn residue_in_one_txn_does_not_block_anothers_rollback() {
+        let (mut shards, plans) = world();
+        // An extra unbound instance gives the first txn a disjoint footprint.
+        shards
+            .get_mut(&0)
+            .unwrap()
+            .runtime_mut()
+            .start("aux", LiveComponent { ty: "Aux".into(), state: vec![4], started_at: 0 })
+            .unwrap();
+        let mut tc = TransactionCore::new();
+        let mut aux_plans = BTreeMap::new();
+        aux_plans.insert(
+            0,
+            ReconfigurationPlan { stop: vec![("aux".into(), "Aux".into())], ..Default::default() },
+        );
+        let mut hook = PlannedTxnCrash::new(TxnCrashPoint::BeforeDecision);
+        tc.execute_cross_shard(&mut shards, &aux_plans, 40, &mut NoFaults, &mut hook).unwrap_err();
+        let mut hook = PlannedTxnCrash::new(TxnCrashPoint::BeforeDecision);
+        tc.execute_cross_shard(&mut shards, &plans, 41, &mut NoFaults, &mut hook).unwrap_err();
+        // Sabotage gtxn 0's compensation: restart `aux` out-of-band so
+        // the undo (a start) collides.
+        shards
+            .get_mut(&0)
+            .unwrap()
+            .runtime_mut()
+            .start("aux", LiveComponent { ty: "Aux".into(), state: vec![4], started_at: 9 })
+            .unwrap();
+        let r1 = tc.recover(&mut shards, &mut NoTxnCrash);
+        assert_eq!(r1.outcome, RecoveryOutcome::Incomplete);
+        assert_eq!(r1.residue.len(), 1);
+        assert_eq!(r1.back, 1, "the clean txn still rolls back in the same pass");
+        assert_eq!(tc.aborted(), 1);
+        assert!(tc.locks().held_by(1).is_empty(), "the clean txn released its locks");
+        assert!(!tc.locks().held_by(0).is_empty(), "the stuck txn keeps its locks");
+        let live = tc.log().render();
+        assert!(live.contains("gtxn=0"), "the stuck txn stays open");
+        assert!(!live.contains("gtxn=1"), "the clean txn is reclaimed");
+        assert!(
+            !live.contains("shard-aborted gtxn=0"),
+            "no abort fan-out is claimed for a shard whose undo left residue"
+        );
+        // Clear the sabotage; the next pass settles the stuck txn too.
+        shards.get_mut(&0).unwrap().runtime_mut().stop("aux").unwrap();
+        let r2 = tc.recover(&mut shards, &mut NoTxnCrash);
+        assert_eq!(r2.outcome, RecoveryOutcome::RolledBack);
+        assert_eq!(tc.aborted(), 2);
+        assert_eq!(tc.locks().held_total(), 0);
         assert!(tc.recover(&mut shards, &mut NoTxnCrash).noop());
     }
 

@@ -88,14 +88,18 @@ impl LockManager {
     /// Request `resource` in `mode` for `txn`. Re-entrant requests and
     /// Shared→Exclusive upgrades by a sole holder are granted in place.
     pub fn acquire(&mut self, txn: u64, resource: &str, mode: LockMode) -> LockOutcome {
-        let holders = self.granted.entry(resource.to_owned()).or_default();
-        let own = holders.get(&txn).copied();
+        // Read-only lookup first: the granted map gains an entry only on
+        // the grant path, so contested-but-never-granted names leave
+        // nothing behind.
+        let holders = self.granted.get(resource);
+        let own = holders.and_then(|h| h.get(&txn)).copied();
         // Already strong enough?
         if own.is_some() && (own == Some(LockMode::Exclusive) || mode == LockMode::Shared) {
             return LockOutcome::Granted;
         }
         let blockers: Vec<u64> = holders
-            .iter()
+            .into_iter()
+            .flatten()
             .filter(|(other, held_mode)| {
                 **other != txn
                     && (mode == LockMode::Exclusive || **held_mode == LockMode::Exclusive)
@@ -103,7 +107,7 @@ impl LockManager {
             .map(|(other, _)| *other)
             .collect();
         if blockers.is_empty() {
-            holders.insert(txn, mode);
+            self.granted.entry(resource.to_owned()).or_default().insert(txn, mode);
             self.held.entry(txn).or_default().insert(resource.to_owned());
             self.waiting.remove(&txn);
             self.grants = self.grants.saturating_add(1);
@@ -185,6 +189,14 @@ impl LockManager {
     #[must_use]
     pub fn held_total(&self) -> usize {
         self.granted.values().map(BTreeMap::len).sum()
+    }
+
+    /// Resources with a live granted entry. Invariant: never exceeds the
+    /// resources actually held — contested-but-never-granted names leave
+    /// no tracking state behind.
+    #[must_use]
+    pub fn resources_tracked(&self) -> usize {
+        self.granted.len()
     }
 
     /// Transactions currently blocked, sorted.
@@ -292,6 +304,25 @@ mod tests {
         lm.acquire(1, "a", LockMode::Exclusive);
         lm.acquire(2, "a", LockMode::Exclusive); // 2 waits on 1, no cycle
         assert!(lm.detect_deadlock().is_none());
+    }
+
+    #[test]
+    fn contested_requests_leave_no_tracking_state() {
+        let mut lm = LockManager::new();
+        lm.acquire(1, "a", LockMode::Exclusive);
+        for txn in 2..10 {
+            assert!(matches!(
+                lm.acquire(txn, "a", LockMode::Exclusive),
+                LockOutcome::Waiting { .. }
+            ));
+        }
+        assert_eq!(lm.resources_tracked(), 1, "only the granted resource is tracked");
+        lm.release_all(1);
+        for txn in 2..10 {
+            lm.release_all(txn);
+        }
+        assert_eq!(lm.resources_tracked(), 0, "no empty per-resource maps remain");
+        assert_eq!(lm.held_total(), 0);
     }
 
     #[test]
